@@ -1,0 +1,70 @@
+/// \file ablation_baselines.cpp
+/// Extra study (not a paper figure): every implemented CAC policy on the
+/// Fig. 10 workload — FACS, SCC, Complete Sharing, Guard Channel and the
+/// multi-threshold policy — so the FACS-vs-SCC comparison can be placed
+/// against the classic baselines the paper's Section 1 discusses.
+
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace facs;
+
+  sim::SweepSpec sweep;
+  sweep.title = "Ablation - all CAC policies on the Fig. 10 workload";
+  sweep.xs = bench::paperXs();
+  sweep.replications = 10;
+
+  sim::SimulationConfig base;
+  base.rings = 1;
+  base.scenario = sim::fig10Scenario();
+  base.arrival_window_s = 600.0 / 7.0;
+
+  std::vector<sim::CurveSpec> curves;
+
+  sim::CurveSpec facs_curve;
+  facs_curve.label = "FACS";
+  facs_curve.base = base;
+  facs_curve.make_controller = bench::facsFactory();
+  curves.push_back(facs_curve);
+
+  sim::CurveSpec scc_curve;
+  scc_curve.label = "SCC";
+  scc_curve.base = base;
+  scc_curve.make_controller = bench::sccFactory();
+  curves.push_back(scc_curve);
+
+  sim::CurveSpec cs_curve;
+  cs_curve.label = "CS";
+  cs_curve.base = base;
+  cs_curve.make_controller = bench::csFactory();
+  curves.push_back(cs_curve);
+
+  sim::CurveSpec gc_curve;
+  gc_curve.label = "Guard(10)";
+  gc_curve.base = base;
+  gc_curve.make_controller = bench::guardFactory(10);
+  curves.push_back(gc_curve);
+
+  sim::CurveSpec mt_curve;
+  mt_curve.label = "MultiThr";
+  mt_curve.base = base;
+  mt_curve.make_controller = bench::multiThresholdFactory({38, 30, 20});
+  curves.push_back(mt_curve);
+
+  sim::CurveSpec sir_curve;
+  sir_curve.label = "SIR";
+  sir_curve.base = base;
+  sir_curve.make_controller = bench::sirFactory();
+  curves.push_back(sir_curve);
+
+  sim::CurveSpec rsv_curve;
+  rsv_curve.label = "PredRsv";
+  rsv_curve.base = base;
+  rsv_curve.make_controller = bench::predictiveRsvFactory();
+  curves.push_back(rsv_curve);
+
+  const sim::SweepResult result = sim::runSweep(sweep, curves);
+  return bench::emit(argc, argv, result,
+                     "CS is the permissive envelope; FACS trades acceptance "
+                     "for ongoing-call QoS as load grows");
+}

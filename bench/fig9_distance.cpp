@@ -1,0 +1,32 @@
+/// \file fig9_distance.cpp
+/// Reproduces Fig. 9: percentage of accepted calls vs number of requesting
+/// connections, with the user-to-BS distance as the curve parameter
+/// (1 / 3 / 7 / 10 km). The paper's point: distance matters, but far less
+/// than speed or angle.
+
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace facs;
+
+  sim::SweepSpec sweep;
+  sweep.title =
+      "Fig. 9 - percent accepted vs requesting connections (distance "
+      "parameter)";
+  sweep.xs = bench::paperXs();
+  sweep.replications = 10;
+
+  std::vector<sim::CurveSpec> curves;
+  for (const double km : {1.0, 3.0, 7.0, 10.0}) {
+    sim::CurveSpec c;
+    c.label = std::to_string(static_cast<int>(km)) + "km";
+    c.base.scenario = sim::fig9Scenario(km);
+    c.make_controller = bench::facsFactory();
+    curves.push_back(std::move(c));
+  }
+
+  const sim::SweepResult result = sim::runSweep(sweep, curves);
+  return bench::emit(argc, argv, result,
+                     "acceptance decreases with distance, but with much "
+                     "smaller curve separation than Figs. 7-8");
+}

@@ -1,0 +1,107 @@
+#pragma once
+/// \file figure_common.hpp
+/// Shared plumbing for the figure-reproduction benches: controller
+/// factories, the paper's default sweep axes, and output-mode handling
+/// (aligned table by default, CSV with --csv).
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cac/baselines.hpp"
+#include "cac/predictive_reservation.hpp"
+#include "cac/sir_controller.hpp"
+#include "core/facs.hpp"
+#include "scc/shadow_cluster.hpp"
+#include "sim/experiment.hpp"
+
+namespace facs::bench {
+
+/// SirController bundled with the radio model it consults (the bench
+/// factories hand out self-contained controllers).
+class StandaloneSirController final : public cellular::AdmissionController {
+ public:
+  explicit StandaloneSirController(const cellular::HexNetwork& net,
+                                   cac::SirThresholds thresholds = {})
+      : radio_{net}, inner_{radio_, thresholds} {}
+
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+  [[nodiscard]] cellular::AdmissionDecision decide(
+      const cellular::CallRequest& request,
+      const cellular::AdmissionContext& context) override {
+    return inner_.decide(request, context);
+  }
+
+ private:
+  cellular::RadioModel radio_;
+  cac::SirController inner_;
+};
+
+inline sim::ControllerFactory facsFactory(core::FacsConfig config = {}) {
+  return [config](const cellular::HexNetwork&) {
+    return std::make_unique<core::FacsController>(config);
+  };
+}
+
+inline sim::ControllerFactory sccFactory(scc::SccConfig config = {}) {
+  return [config](const cellular::HexNetwork& net) {
+    return std::make_unique<scc::ShadowClusterController>(net, config);
+  };
+}
+
+inline sim::ControllerFactory csFactory() {
+  return [](const cellular::HexNetwork&) {
+    return std::make_unique<cac::CompleteSharingController>();
+  };
+}
+
+inline sim::ControllerFactory guardFactory(cellular::BandwidthUnits guard) {
+  return [guard](const cellular::HexNetwork&) {
+    return std::make_unique<cac::GuardChannelController>(guard);
+  };
+}
+
+inline sim::ControllerFactory multiThresholdFactory(
+    std::array<cellular::BandwidthUnits, cellular::kServiceClassCount> t) {
+  return [t](const cellular::HexNetwork&) {
+    return std::make_unique<cac::MultiThresholdController>(t);
+  };
+}
+
+inline sim::ControllerFactory sirFactory() {
+  return [](const cellular::HexNetwork& net) {
+    return std::make_unique<StandaloneSirController>(net);
+  };
+}
+
+inline sim::ControllerFactory predictiveRsvFactory(
+    cac::PredictiveReservationConfig config = {}) {
+  return [config](const cellular::HexNetwork& net) {
+    return std::make_unique<cac::PredictiveReservationController>(net, config);
+  };
+}
+
+/// The paper's x-axis: 0-100 requesting connections.
+inline std::vector<int> paperXs() {
+  return {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+}
+
+/// Emits the sweep in the format selected on the command line and returns
+/// the process exit code.
+inline int emit(int argc, char** argv, const sim::SweepResult& result,
+                const std::string& expectation) {
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+  }
+  if (csv) {
+    sim::printCsv(std::cout, result);
+  } else {
+    sim::printTable(std::cout, result);
+    std::cout << "# paper shape: " << expectation << "\n";
+  }
+  return 0;
+}
+
+}  // namespace facs::bench

@@ -1,0 +1,97 @@
+/// \file micro_fuzzy.cpp
+/// Microbenchmarks of the fuzzy substrate: per-inference latency of FLC1,
+/// FLC2 and the full FACS cascade — the numbers that decide whether the
+/// controller is viable on a base station's admission path ("suitable for
+/// real-time operation", paper Section 3).
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "core/facs.hpp"
+#include "fuzzy/fdl.hpp"
+
+namespace {
+
+using namespace facs;
+
+void BM_Flc1Inference(benchmark::State& state) {
+  const fuzzy::MamdaniEngine flc1 = core::buildFlc1();
+  std::array<double, 3> in{60.0, 20.0, 5.0};
+  double x = 0.0;
+  for (auto _ : state) {
+    in[1] = x;  // vary the angle so no caching layer could cheat
+    x = x < 180.0 ? x + 1.0 : -180.0;
+    benchmark::DoNotOptimize(flc1.infer(in));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Flc1Inference);
+
+void BM_Flc2Inference(benchmark::State& state) {
+  const fuzzy::MamdaniEngine flc2 = core::buildFlc2();
+  std::array<double, 3> in{0.5, 5.0, 20.0};
+  double cs = 0.0;
+  for (auto _ : state) {
+    in[2] = cs;
+    cs = cs < 40.0 ? cs + 0.5 : 0.0;
+    benchmark::DoNotOptimize(flc2.infer(in));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Flc2Inference);
+
+void BM_FacsEvaluate(benchmark::State& state) {
+  const core::FacsController facs;
+  cellular::UserSnapshot user;
+  user.speed_kmh = 45.0;
+  user.angle_deg = 20.0;
+  user.distance_km = 4.0;
+  double cs = 0.0;
+  for (auto _ : state) {
+    cs = cs < 40.0 ? cs + 1.0 : 0.0;
+    benchmark::DoNotOptimize(facs.evaluate(user, 5.0, cs));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FacsEvaluate);
+
+/// Defuzzification resolution is the main latency knob: sweep it.
+void BM_FacsEvaluateResolution(benchmark::State& state) {
+  core::FacsConfig cfg;
+  cfg.flc1.resolution = static_cast<int>(state.range(0));
+  cfg.flc2.resolution = static_cast<int>(state.range(0));
+  const core::FacsController facs{cfg};
+  cellular::UserSnapshot user;
+  user.speed_kmh = 45.0;
+  user.angle_deg = 20.0;
+  user.distance_km = 4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(facs.evaluate(user, 5.0, 17.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FacsEvaluateResolution)->Arg(101)->Arg(251)->Arg(1001)->Arg(4001);
+
+void BM_FdlParseFlc1(benchmark::State& state) {
+  const std::string doc = fuzzy::toFdl(core::buildFlc1());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuzzy::parseFdl(doc));
+  }
+}
+BENCHMARK(BM_FdlParseFlc1);
+
+void BM_MembershipDegree(benchmark::State& state) {
+  const fuzzy::Triangular tri{30.0, 15.0, 30.0};
+  double x = 0.0;
+  for (auto _ : state) {
+    x = x < 70.0 ? x + 0.1 : 0.0;
+    benchmark::DoNotOptimize(tri.degree(x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MembershipDegree);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+/// \file micro_sim.cpp
+/// Microbenchmarks of the simulation substrate: event-queue throughput,
+/// whole-run latency per policy, and SCC's decision cost as the number of
+/// tracked shadows grows.
+
+#include <benchmark/benchmark.h>
+
+#include "cac/baselines.hpp"
+#include "core/facs.hpp"
+#include "scc/shadow_cluster.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace facs;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue<int> q;
+  sim::Rng rng = sim::makeRng(1);
+  double clock = 0.0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.push(clock + sim::sampleUniform(rng, 0.0, 100.0), i);
+    }
+    for (int i = 0; i < 64; ++i) {
+      auto e = q.pop();
+      clock = e->time_s;
+      benchmark::DoNotOptimize(e);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+sim::SimulationConfig benchConfig(int requests) {
+  sim::SimulationConfig cfg;
+  cfg.total_requests = requests;
+  cfg.seed = 5;
+  cfg.scenario.tracking_window_s = 0.0;
+  cfg.scenario.gps_error_m.reset();
+  return cfg;
+}
+
+void BM_SimulationRunFacs(benchmark::State& state) {
+  const auto cfg = benchConfig(static_cast<int>(state.range(0)));
+  const auto factory = [](const cellular::HexNetwork&) {
+    return std::make_unique<core::FacsController>();
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::runSimulation(cfg, factory));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+BENCHMARK(BM_SimulationRunFacs)->Arg(25)->Arg(100);
+
+void BM_SimulationRunCs(benchmark::State& state) {
+  const auto cfg = benchConfig(static_cast<int>(state.range(0)));
+  const auto factory = [](const cellular::HexNetwork&) {
+    return std::make_unique<cac::CompleteSharingController>();
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::runSimulation(cfg, factory));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+}
+BENCHMARK(BM_SimulationRunCs)->Arg(25)->Arg(100);
+
+void BM_SimulationWithGpsTracking(benchmark::State& state) {
+  sim::SimulationConfig cfg = benchConfig(50);
+  cfg.scenario.tracking_window_s = 30.0;
+  cfg.scenario.gps_error_m = 10.0;
+  const auto factory = [](const cellular::HexNetwork&) {
+    return std::make_unique<core::FacsController>();
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::runSimulation(cfg, factory));
+  }
+}
+BENCHMARK(BM_SimulationWithGpsTracking);
+
+/// SCC decision cost is O(tracked shadows x cluster cells x intervals).
+void BM_SccDecideVsTrackedCalls(benchmark::State& state) {
+  const cellular::HexNetwork net{2};
+  scc::ShadowClusterController scc{net};
+  const int tracked = static_cast<int>(state.range(0));
+  for (int i = 0; i < tracked; ++i) {
+    cellular::CallRequest r;
+    r.call = static_cast<cellular::CallId>(i + 1);
+    r.service = cellular::ServiceClass::Voice;
+    r.demand_bu = 5;
+    r.snapshot.position = {static_cast<double>(i % 10), 0.0};
+    r.snapshot.speed_kmh = 30.0;
+    r.target_cell = 0;
+    scc.onAdmitted(r, {net.station(0), 0.0});
+  }
+  cellular::CallRequest probe;
+  probe.call = 100000;
+  probe.service = cellular::ServiceClass::Video;
+  probe.demand_bu = 10;
+  probe.snapshot.position = {1.0, 1.0};
+  probe.target_cell = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scc.decide(probe, {net.station(0), 0.0}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SccDecideVsTrackedCalls)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/// \file prediction_quality.cpp
+/// Extra study (backs the paper's Section 5 conclusion "the proposed
+/// system has better prediction ... than SCC"): ROC AUC of FLC1's
+/// correction value against straight-line dead reckoning (the assumption
+/// behind SCC's demand projection) and a mobility-blind proximity
+/// baseline, per speed class. Walking users are intrinsically
+/// unpredictable (the paper's own observation) — no predictor can rank a
+/// coin flip — so the fuzzy edge shows up at vehicular speeds and in the
+/// mixed population, where Cv's speed-awareness discounts untrustworthy
+/// headings.
+
+#include <iomanip>
+#include <iostream>
+
+#include "predict/prediction_study.hpp"
+
+int main() {
+  using namespace facs;
+
+  std::cout << "# Prediction quality (ROC AUC; outcome = user approached "
+               "the BS within 300 s)\n";
+  std::cout << std::left << std::setw(14) << "population" << std::setw(12)
+            << "approach%" << std::setw(12) << "facs-cv" << std::setw(16)
+            << "straight-line" << "proximity" << "\n";
+
+  struct Population {
+    const char* label;
+    double speed_min;
+    double speed_max;
+  };
+  const Population populations[] = {
+      {"walk-4kmh", 4.0, 4.0},     {"walk-10kmh", 10.0, 10.0},
+      {"urban-30kmh", 30.0, 30.0}, {"road-60kmh", 60.0, 60.0},
+      {"mixed-0-120", 0.0, 120.0},
+  };
+
+  for (const Population& pop : populations) {
+    predict::PredictionConfig cfg;
+    cfg.scenario.speed_min_kmh = pop.speed_min;
+    cfg.scenario.speed_max_kmh = pop.speed_max;
+    cfg.scenario.angle_sigma_deg = 75.0;  // directions over the whole range
+    cfg.samples = 3000;
+    cfg.seed = 11;
+    const predict::StudyResult study = predict::runPredictionStudy(cfg);
+
+    const double approach_pct =
+        100.0 * study.approachers /
+        static_cast<double>(study.approachers + study.retreaters);
+    std::cout << std::left << std::setw(14) << pop.label << std::fixed
+              << std::setprecision(1) << std::setw(12) << approach_pct
+              << std::setprecision(3);
+    for (const auto& p : study.predictors) {
+      const int width = p.name == "straight-line" ? 16 : 12;
+      std::cout << std::setw(width) << p.auc;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "# paper shape: walkers are near-unrankable (AUC ~ 0.5 for "
+               "everyone); fuzzy prediction wins at vehicular\n"
+               "# speeds and on the mixed population by discounting slow "
+               "users' stated headings\n";
+  return 0;
+}

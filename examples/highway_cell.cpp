@@ -1,0 +1,75 @@
+/// \file highway_cell.cpp
+/// Multi-cell scenario: a 7-cell cluster of small cells over a highway
+/// corridor. Fast vehicles hand over constantly; the interesting metric is
+/// the dropping probability, and how much a handoff-priority policy
+/// (guard channels, or FACS's future-work handoff bias) buys.
+
+#include <iomanip>
+#include <iostream>
+
+#include "cac/baselines.hpp"
+#include "core/facs.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace facs;
+
+  std::cout << "Highway corridor: handoff behaviour across a 7-cell "
+               "cluster\n\n";
+
+  sim::SimulationConfig cfg;
+  cfg.rings = 1;
+  cfg.cell_radius_km = 2.0;  // micro-cells: crossings every couple minutes
+  cfg.total_requests = 150;
+  cfg.arrival_window_s = 400.0;
+  cfg.enable_handoffs = true;
+  cfg.mobility_update_s = 5.0;
+  cfg.seed = 7;
+  cfg.scenario.speed_min_kmh = 70.0;
+  cfg.scenario.speed_max_kmh = 130.0;
+  cfg.scenario.angle_sigma_deg = 30.0;
+  cfg.scenario.distance_min_km = 0.0;
+  cfg.scenario.distance_max_km = 2.0;
+  cfg.scenario.tracking_window_s = 10.0;
+  cfg.scenario.gps_fix_period_s = 2.0;
+  cfg.scenario.turn.sigma_max_deg = 10.0;  // cars follow the road
+
+  struct Policy {
+    const char* label;
+    sim::ControllerFactory factory;
+  };
+  core::FacsConfig handoff_priority;
+  handoff_priority.handoff_bias = 0.4;  // the paper's future-work knob
+
+  const Policy policies[] = {
+      {"CS", [](const cellular::HexNetwork&) {
+         return std::make_unique<cac::CompleteSharingController>();
+       }},
+      {"Guard(8)", [](const cellular::HexNetwork&) {
+         return std::make_unique<cac::GuardChannelController>(8);
+       }},
+      {"FACS", [](const cellular::HexNetwork&) {
+         return std::make_unique<core::FacsController>();
+       }},
+      {"FACS+handoff-bias", [handoff_priority](const cellular::HexNetwork&) {
+         return std::make_unique<core::FacsController>(handoff_priority);
+       }},
+  };
+
+  std::cout << std::left << std::setw(20) << "policy" << std::setw(10)
+            << "accept%" << std::setw(12) << "handoffs" << std::setw(10)
+            << "drop-p" << "util" << "\n";
+  for (const Policy& p : policies) {
+    const sim::Metrics m = sim::runSimulation(cfg, p.factory);
+    std::cout << std::left << std::setw(20) << p.label << std::fixed
+              << std::setprecision(1) << std::setw(10) << m.percentAccepted()
+              << std::setw(12) << m.handoff_requests << std::setprecision(3)
+              << std::setw(10) << m.droppingProbability() << std::setw(10)
+              << m.meanUtilization() << "\n";
+  }
+
+  std::cout << "\nReading: guard channels and the FACS handoff bias both "
+               "cut dropping at the price of\nnew-call acceptance — the "
+               "blocking/dropping balance of the paper's introduction.\n";
+  return 0;
+}

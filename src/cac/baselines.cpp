@@ -1,0 +1,74 @@
+#include "cac/baselines.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace facs::cac {
+
+using cellular::AdmissionContext;
+using cellular::AdmissionDecision;
+using cellular::BandwidthUnits;
+using cellular::CallRequest;
+
+AdmissionDecision CompleteSharingController::decide(
+    const CallRequest& request, const AdmissionContext& context) {
+  const bool fits = context.station.canFit(request.demand_bu);
+  AdmissionDecision d;
+  d.accept = fits;
+  d.score = fits ? 1.0 : -1.0;
+  std::ostringstream os;
+  os << "free=" << context.station.freeBu() << " need=" << request.demand_bu;
+  d.rationale = os.str();
+  return d;
+}
+
+GuardChannelController::GuardChannelController(BandwidthUnits guard_bu)
+    : guard_bu_{guard_bu} {
+  if (guard_bu_ < 0) {
+    throw std::invalid_argument("guard channels must be >= 0");
+  }
+}
+
+AdmissionDecision GuardChannelController::decide(
+    const CallRequest& request, const AdmissionContext& context) {
+  const bool privileged = request.is_handoff || request.priority > 0;
+  const BandwidthUnits usable =
+      privileged ? context.station.freeBu()
+                 : context.station.freeBu() - guard_bu_;
+  const bool accept = request.demand_bu <= usable;
+  AdmissionDecision d;
+  d.accept = accept;
+  d.score = accept ? 1.0 : -1.0;
+  std::ostringstream os;
+  os << (privileged ? "privileged" : "new-call") << " usable=" << usable
+     << " need=" << request.demand_bu;
+  d.rationale = os.str();
+  return d;
+}
+
+MultiThresholdController::MultiThresholdController(
+    std::array<BandwidthUnits, cellular::kServiceClassCount> thresholds_bu)
+    : thresholds_{thresholds_bu} {
+  for (const BandwidthUnits t : thresholds_) {
+    if (t < 0) {
+      throw std::invalid_argument("class thresholds must be >= 0");
+    }
+  }
+}
+
+AdmissionDecision MultiThresholdController::decide(
+    const CallRequest& request, const AdmissionContext& context) {
+  const BandwidthUnits cutoff = threshold(request.service);
+  const bool under_threshold = context.station.occupiedBu() <= cutoff;
+  const bool fits = context.station.canFit(request.demand_bu);
+  AdmissionDecision d;
+  d.accept = under_threshold && fits;
+  d.score = d.accept ? 1.0 : -1.0;
+  std::ostringstream os;
+  os << "occupied=" << context.station.occupiedBu() << " cutoff=" << cutoff;
+  if (!fits) os << " (no free BU)";
+  d.rationale = os.str();
+  return d;
+}
+
+}  // namespace facs::cac

@@ -1,0 +1,100 @@
+#include "cac/predictive_reservation.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace facs::cac {
+
+using cellular::AdmissionContext;
+using cellular::AdmissionDecision;
+using cellular::CallRequest;
+using cellular::CellId;
+using cellular::Vec2;
+
+PredictiveReservationController::PredictiveReservationController(
+    const cellular::HexNetwork& network, PredictiveReservationConfig config)
+    : network_{network}, config_{config} {
+  if (config_.reservation_fraction < 0.0 ||
+      config_.reservation_fraction > 1.0) {
+    throw std::invalid_argument("reservation fraction must be in [0, 1]");
+  }
+  if (config_.min_speed_kmh < 0.0) {
+    throw std::invalid_argument("minimum speed must be >= 0");
+  }
+}
+
+double PredictiveReservationController::reservedBu(CellId cell) const {
+  const auto it = reserved_per_cell_.find(cell);
+  return it == reserved_per_cell_.end() ? 0.0 : it->second;
+}
+
+std::optional<CellId> PredictiveReservationController::predictNextCell(
+    const cellular::UserSnapshot& snapshot, CellId serving_cell) const {
+  if (snapshot.speed_kmh < config_.min_speed_kmh) return std::nullopt;
+  // Straight-line: march along the measured heading until the cell
+  // changes or the look-ahead (one cell diameter) is exhausted.
+  const double heading = cellular::normalizeAngleDeg(
+      cellular::bearingDeg(snapshot.position,
+                           network_.cell(serving_cell).center) +
+      snapshot.angle_deg);
+  const Vec2 dir = cellular::headingVector(heading);
+  const double lookahead_km = 2.0 * network_.cellRadiusKm();
+  const double step_km = network_.cellRadiusKm() / 10.0;
+  for (double d = step_km; d <= lookahead_km; d += step_km) {
+    const auto cell = network_.cellAt(snapshot.position + dir * d);
+    if (!cell) return std::nullopt;  // leaves coverage first
+    if (*cell != serving_cell) return *cell;
+  }
+  return std::nullopt;  // stays home over the horizon
+}
+
+AdmissionDecision PredictiveReservationController::decide(
+    const CallRequest& request, const AdmissionContext& context) {
+  const double reserved =
+      request.is_handoff ? 0.0 : reservedBu(context.station.cell());
+  const double usable =
+      static_cast<double>(context.station.freeBu()) - reserved;
+  const bool fits_hard = context.station.canFit(request.demand_bu);
+  const bool accept =
+      fits_hard && static_cast<double>(request.demand_bu) <= usable;
+
+  AdmissionDecision d;
+  d.accept = accept;
+  d.score = accept ? 1.0 : -1.0;
+  std::ostringstream os;
+  os << (request.is_handoff ? "handoff" : "new") << " free="
+     << context.station.freeBu() << " reserved=" << reserved
+     << " need=" << request.demand_bu;
+  d.rationale = os.str();
+  return d;
+}
+
+void PredictiveReservationController::onAdmitted(
+    const CallRequest& request, const AdmissionContext& context) {
+  // Refresh (handoffs re-predict from the new cell).
+  onReleased(request, context);
+  if (config_.reservation_fraction == 0.0) return;
+  const CellId serving = context.station.cell();
+  const auto next = predictNextCell(request.snapshot, serving);
+  if (!next) return;
+  Reservation r;
+  r.cell = *next;
+  r.bu = config_.reservation_fraction *
+         static_cast<double>(request.demand_bu);
+  reservations_[request.call] = r;
+  reserved_per_cell_[r.cell] += r.bu;
+}
+
+void PredictiveReservationController::onReleased(
+    const CallRequest& request, const AdmissionContext& /*context*/) {
+  const auto it = reservations_.find(request.call);
+  if (it == reservations_.end()) return;
+  auto cell_it = reserved_per_cell_.find(it->second.cell);
+  if (cell_it != reserved_per_cell_.end()) {
+    cell_it->second = std::max(0.0, cell_it->second - it->second.bu);
+  }
+  reservations_.erase(it);
+}
+
+}  // namespace facs::cac

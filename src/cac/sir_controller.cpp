@@ -1,0 +1,35 @@
+#include "cac/sir_controller.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace facs::cac {
+
+using cellular::AdmissionContext;
+using cellular::AdmissionDecision;
+using cellular::CallRequest;
+
+SirController::SirController(const cellular::RadioModel& radio,
+                             SirThresholds thresholds)
+    : radio_{radio}, thresholds_{thresholds} {}
+
+AdmissionDecision SirController::decide(const CallRequest& request,
+                                        const AdmissionContext& context) {
+  const double sinr_db =
+      radio_.sinrDb(request.snapshot.position, context.station.cell());
+  const double needed_db = threshold(request.service);
+  const bool clean_enough = sinr_db >= needed_db;
+  const bool fits = context.station.canFit(request.demand_bu);
+
+  AdmissionDecision d;
+  d.accept = clean_enough && fits;
+  // Confidence: SINR margin scaled into [-1, 1] over a 10 dB window.
+  d.score = std::clamp((sinr_db - needed_db) / 10.0, -1.0, 1.0);
+  std::ostringstream os;
+  os << "sinr=" << sinr_db << "dB need=" << needed_db << "dB";
+  if (!fits) os << " (no free BU)";
+  d.rationale = os.str();
+  return d;
+}
+
+}  // namespace facs::cac

@@ -1,0 +1,61 @@
+#pragma once
+/// \file admission.hpp
+/// The Call Admission Control policy interface. FACS (src/core), the
+/// Shadow Cluster Concept baseline (src/scc) and the classic policies
+/// (src/cac) all implement this; the simulator (src/sim) consumes it.
+
+#include <string>
+
+#include "cellular/basestation.hpp"
+#include "cellular/call.hpp"
+
+namespace facs::cellular {
+
+/// Everything a policy may consult at decision time beyond the request.
+struct AdmissionContext {
+  const BaseStation& station;  ///< Ledger of the target cell.
+  double now_s = 0.0;          ///< Simulation clock.
+};
+
+/// Outcome of one admission decision.
+struct AdmissionDecision {
+  bool accept = false;
+  /// Policy-specific confidence in [-1, 1]; for FACS this is the
+  /// defuzzified A/R value, for others a coarse mapping. Negative = reject
+  /// leaning, positive = accept leaning.
+  double score = 0.0;
+  /// Short human-readable rationale for logs/dashboards.
+  std::string rationale;
+};
+
+/// Abstract CAC policy (stateful: policies may track per-cell bookkeeping).
+///
+/// Protocol, driven by the simulator:
+///   decide()      — called for every request (new call or handoff) BEFORE
+///                   any bandwidth is allocated;
+///   onAdmitted()  — called after the simulator allocates bandwidth;
+///   onReleased()  — called after a call ends or leaves the cell;
+///   onRejected()  — called when a request is denied (blocked/dropped).
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual AdmissionDecision decide(
+      const CallRequest& request, const AdmissionContext& context) = 0;
+
+  virtual void onAdmitted(const CallRequest& /*request*/,
+                          const AdmissionContext& /*context*/) {}
+  virtual void onReleased(const CallRequest& /*request*/,
+                          const AdmissionContext& /*context*/) {}
+  virtual void onRejected(const CallRequest& /*request*/,
+                          const AdmissionContext& /*context*/) {}
+
+ protected:
+  AdmissionController() = default;
+  AdmissionController(const AdmissionController&) = default;
+  AdmissionController& operator=(const AdmissionController&) = default;
+};
+
+}  // namespace facs::cellular

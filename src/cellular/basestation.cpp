@@ -1,0 +1,64 @@
+#include "cellular/basestation.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace facs::cellular {
+
+BaseStation::BaseStation(CellId cell, BandwidthUnits capacity_bu)
+    : cell_{cell}, capacity_{capacity_bu} {
+  if (capacity_ <= 0) {
+    throw std::invalid_argument("base station capacity must be positive");
+  }
+}
+
+void BaseStation::allocate(CallId call, BandwidthUnits bu, bool real_time) {
+  if (bu <= 0) {
+    throw std::invalid_argument("allocation must be a positive number of BUs");
+  }
+  if (ledger_.contains(call)) {
+    throw std::invalid_argument("call " + std::to_string(call) +
+                                " already holds an allocation in cell " +
+                                std::to_string(cell_));
+  }
+  if (bu > freeBu()) {
+    throw std::logic_error(
+        "capacity invariant violated: admitting call " + std::to_string(call) +
+        " (" + std::to_string(bu) + " BU) would exceed capacity " +
+        std::to_string(capacity_) + " (occupied " +
+        std::to_string(occupiedBu()) + ")");
+  }
+  ledger_.emplace(call, Allocation{bu, real_time});
+  if (real_time) {
+    rtc_ += bu;
+  } else {
+    nrtc_ += bu;
+  }
+}
+
+void BaseStation::release(CallId call) {
+  const auto it = ledger_.find(call);
+  if (it == ledger_.end()) {
+    throw std::invalid_argument("call " + std::to_string(call) +
+                                " holds no allocation in cell " +
+                                std::to_string(cell_));
+  }
+  if (it->second.real_time) {
+    rtc_ -= it->second.bu;
+  } else {
+    nrtc_ -= it->second.bu;
+  }
+  ledger_.erase(it);
+}
+
+const Allocation& BaseStation::allocation(CallId call) const {
+  const auto it = ledger_.find(call);
+  if (it == ledger_.end()) {
+    throw std::invalid_argument("call " + std::to_string(call) +
+                                " holds no allocation in cell " +
+                                std::to_string(cell_));
+  }
+  return it->second;
+}
+
+}  // namespace facs::cellular

@@ -1,0 +1,80 @@
+#pragma once
+/// \file basestation.hpp
+/// A base station's bandwidth ledger. Admission policies consult it; the
+/// simulator mutates it. The ledger enforces the capacity invariant: the
+/// sum of live allocations never exceeds capacity.
+
+#include <unordered_map>
+
+#include "cellular/call.hpp"
+#include "cellular/traffic.hpp"
+
+namespace facs::cellular {
+
+/// Per-call bandwidth allocation record.
+struct Allocation {
+  BandwidthUnits bu = 0;
+  bool real_time = false;
+};
+
+/// Bandwidth accounting for one base station, split into the paper's
+/// differentiated-service counters: RTC (Real-Time Counter — voice, video)
+/// and NRTC (Non-Real-Time Counter — text). The paper's FLC2 input
+/// "Counter state (Cs), which shows the capacity of the system" is
+/// occupiedBu() = RTC + NRTC.
+class BaseStation {
+ public:
+  /// \throws std::invalid_argument if capacity is not positive.
+  explicit BaseStation(CellId cell, BandwidthUnits capacity_bu);
+
+  [[nodiscard]] CellId cell() const noexcept { return cell_; }
+  [[nodiscard]] BandwidthUnits capacityBu() const noexcept { return capacity_; }
+  [[nodiscard]] BandwidthUnits occupiedBu() const noexcept {
+    return rtc_ + nrtc_;
+  }
+  [[nodiscard]] BandwidthUnits freeBu() const noexcept {
+    return capacity_ - occupiedBu();
+  }
+  /// Real-Time Counter: BUs held by voice/video calls.
+  [[nodiscard]] BandwidthUnits rtc() const noexcept { return rtc_; }
+  /// Non-Real-Time Counter: BUs held by text calls.
+  [[nodiscard]] BandwidthUnits nrtc() const noexcept { return nrtc_; }
+  [[nodiscard]] std::size_t activeCalls() const noexcept {
+    return ledger_.size();
+  }
+  [[nodiscard]] bool carries(CallId call) const noexcept {
+    return ledger_.contains(call);
+  }
+  /// Occupancy as a fraction of capacity in [0, 1].
+  [[nodiscard]] double utilization() const noexcept {
+    return static_cast<double>(occupiedBu()) / static_cast<double>(capacity_);
+  }
+
+  /// True iff \p bu more units fit right now.
+  [[nodiscard]] bool canFit(BandwidthUnits bu) const noexcept {
+    return bu >= 0 && bu <= freeBu();
+  }
+
+  /// Records an allocation.
+  /// \throws std::invalid_argument on non-positive demand or duplicate call.
+  /// \throws std::logic_error if the allocation would exceed capacity
+  ///         (callers must check canFit() — admission happens first).
+  void allocate(CallId call, BandwidthUnits bu, bool real_time);
+
+  /// Releases a call's allocation.
+  /// \throws std::invalid_argument if the call holds no allocation here.
+  void release(CallId call);
+
+  /// Allocation record for an active call.
+  /// \throws std::invalid_argument if absent.
+  [[nodiscard]] const Allocation& allocation(CallId call) const;
+
+ private:
+  CellId cell_;
+  BandwidthUnits capacity_;
+  BandwidthUnits rtc_ = 0;
+  BandwidthUnits nrtc_ = 0;
+  std::unordered_map<CallId, Allocation> ledger_;
+};
+
+}  // namespace facs::cellular

@@ -1,0 +1,21 @@
+#include "cellular/call.hpp"
+
+namespace facs::cellular {
+
+std::string_view toString(CallState s) noexcept {
+  switch (s) {
+    case CallState::Requested:
+      return "requested";
+    case CallState::Active:
+      return "active";
+    case CallState::Completed:
+      return "completed";
+    case CallState::Blocked:
+      return "blocked";
+    case CallState::Dropped:
+      return "dropped";
+  }
+  return "requested";
+}
+
+}  // namespace facs::cellular

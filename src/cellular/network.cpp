@@ -1,0 +1,66 @@
+#include "cellular/network.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace facs::cellular {
+
+namespace {
+struct HexHash {
+  std::size_t operator()(const HexCoord& h) const noexcept {
+    return std::hash<long long>{}(
+        (static_cast<long long>(h.q) << 32) ^
+        static_cast<long long>(static_cast<unsigned>(h.r)));
+  }
+};
+}  // namespace
+
+HexNetwork::HexNetwork(int rings, double cell_radius_km,
+                       BandwidthUnits capacity_bu)
+    : cell_radius_km_{cell_radius_km} {
+  if (rings < 0) throw std::invalid_argument("rings must be >= 0");
+  if (!(cell_radius_km > 0.0)) {
+    throw std::invalid_argument("cell radius must be positive");
+  }
+
+  const std::vector<HexCoord> coords = hexDisk(rings);
+  std::unordered_map<HexCoord, CellId, HexHash> index;
+  cells_.reserve(coords.size());
+  stations_.reserve(coords.size());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    const auto id = static_cast<CellId>(i);
+    cells_.push_back({id, coords[i], hexCenter(coords[i], cell_radius_km_)});
+    stations_.emplace_back(id, capacity_bu);
+    index.emplace(coords[i], id);
+  }
+
+  neighbors_.resize(cells_.size());
+  for (const Cell& c : cells_) {
+    for (const HexCoord& n : hexNeighbors(c.coord)) {
+      const auto it = index.find(n);
+      if (it != index.end()) neighbors_[c.id].push_back(it->second);
+    }
+  }
+}
+
+std::optional<CellId> HexNetwork::cellAt(Vec2 position) const {
+  const HexCoord h = pointToHex(position, cell_radius_km_);
+  for (const Cell& c : cells_) {
+    if (c.coord == h) return c.id;
+  }
+  return std::nullopt;
+}
+
+BandwidthUnits HexNetwork::totalOccupiedBu() const noexcept {
+  BandwidthUnits total = 0;
+  for (const BaseStation& s : stations_) total += s.occupiedBu();
+  return total;
+}
+
+BandwidthUnits HexNetwork::totalCapacityBu() const noexcept {
+  BandwidthUnits total = 0;
+  for (const BaseStation& s : stations_) total += s.capacityBu();
+  return total;
+}
+
+}  // namespace facs::cellular

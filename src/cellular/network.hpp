@@ -1,0 +1,69 @@
+#pragma once
+/// \file network.hpp
+/// A hexagonal cellular layout: cells, their base stations and adjacency.
+
+#include <optional>
+#include <vector>
+
+#include "cellular/basestation.hpp"
+#include "cellular/geometry.hpp"
+
+namespace facs::cellular {
+
+/// One cell of the network.
+struct Cell {
+  CellId id = 0;
+  HexCoord coord{};
+  Vec2 center{};
+};
+
+/// A hexagonal disk of cells around a centre cell, each with its own base
+/// station. The paper's evaluation uses a single BS (rings = 0, 40 BU,
+/// 10 km radius); multi-ring networks support the SCC baseline and the
+/// handoff experiments.
+class HexNetwork {
+ public:
+  /// \param rings        number of rings around the centre cell (>= 0).
+  /// \param cell_radius_km hex circumradius; the paper's user-to-BS
+  ///                      distances span 0-10 km, so the default is 10.
+  /// \param capacity_bu  per-BS capacity (paper: 40 BU).
+  /// \throws std::invalid_argument on negative rings or non-positive radius.
+  HexNetwork(int rings, double cell_radius_km = 10.0,
+             BandwidthUnits capacity_bu = kPaperCellCapacityBu);
+
+  [[nodiscard]] std::size_t cellCount() const noexcept { return cells_.size(); }
+  [[nodiscard]] double cellRadiusKm() const noexcept { return cell_radius_km_; }
+  [[nodiscard]] const Cell& cell(CellId id) const { return cells_.at(id); }
+  [[nodiscard]] const std::vector<Cell>& cells() const noexcept {
+    return cells_;
+  }
+  [[nodiscard]] BaseStation& station(CellId id) { return stations_.at(id); }
+  [[nodiscard]] const BaseStation& station(CellId id) const {
+    return stations_.at(id);
+  }
+
+  /// Cell containing a planar point, if any cell of the disk does.
+  [[nodiscard]] std::optional<CellId> cellAt(Vec2 position) const;
+
+  /// Ids of in-network neighbours of a cell (up to 6).
+  [[nodiscard]] const std::vector<CellId>& neighbors(CellId id) const {
+    return neighbors_.at(id);
+  }
+
+  /// Straight-line distance from a point to a cell's base station.
+  [[nodiscard]] double distanceToStationKm(Vec2 position, CellId id) const {
+    return position.distanceTo(cell(id).center);
+  }
+
+  /// Total occupied and total capacity over all stations.
+  [[nodiscard]] BandwidthUnits totalOccupiedBu() const noexcept;
+  [[nodiscard]] BandwidthUnits totalCapacityBu() const noexcept;
+
+ private:
+  double cell_radius_km_;
+  std::vector<Cell> cells_;
+  std::vector<BaseStation> stations_;
+  std::vector<std::vector<CellId>> neighbors_;
+};
+
+}  // namespace facs::cellular

@@ -1,0 +1,90 @@
+#include "cellular/radio.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace facs::cellular {
+
+double dbToLinear(double db) noexcept { return std::pow(10.0, db / 10.0); }
+double linearToDb(double linear) noexcept { return 10.0 * std::log10(linear); }
+double dbmToMw(double dbm) noexcept { return dbToLinear(dbm); }
+double mwToDbm(double mw) noexcept { return linearToDb(mw); }
+
+double pathLossDb(const PathLossParams& params, double d_km) {
+  if (d_km < 0.0) {
+    throw std::invalid_argument("path-loss distance must be >= 0");
+  }
+  const double d = std::max(d_km, params.min_distance_km);
+  return params.reference_loss_db +
+         10.0 * params.exponent *
+             std::log10(d / params.reference_distance_km);
+}
+
+double shadowedPathLossDb(const PathLossParams& params, double d_km,
+                          std::mt19937_64& rng) {
+  double loss = pathLossDb(params, d_km);
+  if (params.shadowing_sigma_db > 0.0) {
+    std::normal_distribution<double> shadow{0.0, params.shadowing_sigma_db};
+    loss += shadow(rng);
+  }
+  return loss;
+}
+
+RadioModel::RadioModel(const HexNetwork& network, Config config)
+    : network_{network}, config_{config} {
+  if (config_.activity_factor < 0.0 || config_.activity_factor > 1.0) {
+    throw std::invalid_argument("activity factor must be in [0, 1]");
+  }
+  if (!(config_.path_loss.exponent > 0.0)) {
+    throw std::invalid_argument("path-loss exponent must be positive");
+  }
+  if (!(config_.path_loss.min_distance_km > 0.0)) {
+    throw std::invalid_argument("minimum path-loss distance must be positive");
+  }
+}
+
+double RadioModel::linkPowerMw(Vec2 position, CellId cell,
+                               double extra_loss_db) const {
+  const double d = network_.distanceToStationKm(position, cell);
+  const double loss = pathLossDb(config_.path_loss, d) + extra_loss_db;
+  return dbmToMw(config_.tx_power_dbm - loss);
+}
+
+double RadioModel::receivedPowerDbm(Vec2 position, CellId cell) const {
+  return mwToDbm(linkPowerMw(position, cell, 0.0));
+}
+
+double RadioModel::sinrDb(Vec2 position, CellId serving_cell) const {
+  const double signal_mw = linkPowerMw(position, serving_cell, 0.0);
+  double interference_mw = dbmToMw(config_.noise_floor_dbm);
+  for (const Cell& c : network_.cells()) {
+    if (c.id == serving_cell) continue;
+    const double activity =
+        config_.activity_factor * network_.station(c.id).utilization();
+    if (activity <= 0.0) continue;
+    interference_mw += activity * linkPowerMw(position, c.id, 0.0);
+  }
+  return linearToDb(signal_mw / interference_mw);
+}
+
+double RadioModel::shadowedSinrDb(Vec2 position, CellId serving_cell,
+                                  std::mt19937_64& rng) const {
+  std::normal_distribution<double> shadow{
+      0.0, config_.path_loss.shadowing_sigma_db};
+  const double serving_extra =
+      config_.path_loss.shadowing_sigma_db > 0.0 ? shadow(rng) : 0.0;
+  const double signal_mw = linkPowerMw(position, serving_cell, serving_extra);
+  double interference_mw = dbmToMw(config_.noise_floor_dbm);
+  for (const Cell& c : network_.cells()) {
+    if (c.id == serving_cell) continue;
+    const double activity =
+        config_.activity_factor * network_.station(c.id).utilization();
+    if (activity <= 0.0) continue;
+    const double extra =
+        config_.path_loss.shadowing_sigma_db > 0.0 ? shadow(rng) : 0.0;
+    interference_mw += activity * linkPowerMw(position, c.id, extra);
+  }
+  return linearToDb(signal_mw / interference_mw);
+}
+
+}  // namespace facs::cellular

@@ -1,0 +1,93 @@
+#pragma once
+/// \file radio.hpp
+/// A simple radio layer for the cellular substrate: log-distance path loss
+/// with log-normal shadowing and downlink SIR estimation across co-channel
+/// cells. This backs the SIR-based admission baseline (`cac::SirController`)
+/// — the interference/power-control CAC family the paper's Section 1 cites
+/// ([2] Wang et al., [6] Xiao et al.) — and gives examples a physically
+/// grounded signal model.
+///
+/// Units: distances km, powers dBm, gains/losses dB.
+
+#include <random>
+
+#include "cellular/geometry.hpp"
+#include "cellular/network.hpp"
+
+namespace facs::cellular {
+
+/// Log-distance path-loss model: PL(d) = PL0 + 10 n log10(d / d0), with
+/// optional log-normal shadowing sigma. Defaults describe the rural/
+/// suburban macro deployment the paper's 10 km cells imply (a 2 GHz urban
+/// profile would leave the edge of such a cell noise-limited and dead):
+/// PL0 = 100 dB at 1 km, exponent 3.5, so a 43 dBm site still delivers
+/// ~12 dB SNR at the 10 km edge and co-channel neighbours dominate noise.
+struct PathLossParams {
+  double reference_loss_db = 100.0;  ///< PL0 at d0 (rural macro, sub-GHz-ish).
+  double reference_distance_km = 1.0;
+  double exponent = 3.5;             ///< n; free space = 2, dense urban ~4.
+  double shadowing_sigma_db = 8.0;   ///< 0 disables shadowing.
+  double min_distance_km = 0.01;     ///< Clamp to avoid the d -> 0 pole.
+};
+
+/// Deterministic part of the path loss at distance \p d_km.
+/// \throws std::invalid_argument for negative distance.
+[[nodiscard]] double pathLossDb(const PathLossParams& params, double d_km);
+
+/// Path loss with one shadowing realization drawn from \p rng.
+[[nodiscard]] double shadowedPathLossDb(const PathLossParams& params,
+                                        double d_km, std::mt19937_64& rng);
+
+/// Configuration of the downlink radio model.
+struct RadioConfig {
+  PathLossParams path_loss{};
+  double tx_power_dbm = 43.0;      ///< Typical macro BS.
+  double noise_floor_dbm = -104.0; ///< Thermal noise over 10 MHz-ish.
+  /// Interference activity factor in [0, 1]: fraction of each interfering
+  /// cell's power that is actually radiated, scaled by the cell's
+  /// bandwidth utilization at evaluation time.
+  double activity_factor = 1.0;
+};
+
+/// Downlink radio snapshot of one network: every base station transmits at
+/// a fixed power on the same channel (reuse-1), and a user's SIR is the
+/// serving-cell signal over the sum of all other cells' signals plus
+/// thermal noise.
+class RadioModel {
+ public:
+  using Config = RadioConfig;
+
+  /// \param network not owned; must outlive the model.
+  /// \throws std::invalid_argument on nonsensical config.
+  RadioModel(const HexNetwork& network, Config config = {});
+
+  /// Received power (dBm) at \p position from \p cell with deterministic
+  /// path loss (no shadowing).
+  [[nodiscard]] double receivedPowerDbm(Vec2 position, CellId cell) const;
+
+  /// Downlink SINR (dB) at \p position served by \p serving_cell.
+  /// Interference from each other cell is weighted by that cell's current
+  /// utilization (an idle cell does not interfere).
+  [[nodiscard]] double sinrDb(Vec2 position, CellId serving_cell) const;
+
+  /// As sinrDb(), with per-link shadowing drawn from \p rng.
+  [[nodiscard]] double shadowedSinrDb(Vec2 position, CellId serving_cell,
+                                      std::mt19937_64& rng) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] double linkPowerMw(Vec2 position, CellId cell,
+                                   double extra_loss_db) const;
+
+  const HexNetwork& network_;
+  Config config_;
+};
+
+/// dB <-> linear helpers.
+[[nodiscard]] double dbToLinear(double db) noexcept;
+[[nodiscard]] double linearToDb(double linear) noexcept;
+[[nodiscard]] double dbmToMw(double dbm) noexcept;
+[[nodiscard]] double mwToDbm(double mw) noexcept;
+
+}  // namespace facs::cellular

@@ -1,0 +1,222 @@
+#include "cli/cli.hpp"
+
+#include <sstream>
+
+#include "cac/baselines.hpp"
+#include "core/facs.hpp"
+#include "scc/shadow_cluster.hpp"
+
+namespace facs::sim {
+
+std::string_view toString(PolicyChoice p) noexcept {
+  switch (p) {
+    case PolicyChoice::Facs:
+      return "facs";
+    case PolicyChoice::Scc:
+      return "scc";
+    case PolicyChoice::CompleteSharing:
+      return "cs";
+    case PolicyChoice::GuardChannel:
+      return "guard";
+    case PolicyChoice::MultiThreshold:
+      return "threshold";
+  }
+  return "facs";
+}
+
+namespace {
+
+double parseDouble(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw CliError("flag " + flag + ": expected a number, got '" + value + "'");
+  }
+}
+
+int parseInt(const std::string& value, const std::string& flag) {
+  const double v = parseDouble(value, flag);
+  const int i = static_cast<int>(v);
+  if (static_cast<double>(i) != v) {
+    throw CliError("flag " + flag + ": expected an integer, got '" + value +
+                   "'");
+  }
+  return i;
+}
+
+/// "lo[:hi]" -> (lo, hi); a single value means lo == hi.
+std::pair<double, double> parseRange(const std::string& value,
+                                     const std::string& flag) {
+  const std::size_t colon = value.find(':');
+  if (colon == std::string::npos) {
+    const double v = parseDouble(value, flag);
+    return {v, v};
+  }
+  return {parseDouble(value.substr(0, colon), flag),
+          parseDouble(value.substr(colon + 1), flag)};
+}
+
+std::vector<int> parseIntList(const std::string& value,
+                              const std::string& flag) {
+  std::vector<int> out;
+  std::stringstream ss{value};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(parseInt(item, flag));
+  }
+  if (out.empty()) throw CliError("flag " + flag + ": empty list");
+  return out;
+}
+
+PolicyChoice parsePolicy(const std::string& value) {
+  if (value == "facs") return PolicyChoice::Facs;
+  if (value == "scc") return PolicyChoice::Scc;
+  if (value == "cs") return PolicyChoice::CompleteSharing;
+  if (value == "guard") return PolicyChoice::GuardChannel;
+  if (value == "threshold") return PolicyChoice::MultiThreshold;
+  throw CliError("unknown policy '" + value +
+                 "' (facs|scc|cs|guard|threshold)");
+}
+
+}  // namespace
+
+CliOptions parseCli(const std::vector<std::string>& args) {
+  CliOptions opt;
+  std::size_t i = 0;
+  const auto next = [&](const std::string& flag) -> std::string {
+    if (i + 1 >= args.size()) throw CliError("flag " + flag + ": missing value");
+    return args[++i];
+  };
+
+  for (; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") {
+      opt.help = true;
+    } else if (a == "--policy") {
+      opt.policy = parsePolicy(next(a));
+    } else if (a == "--requests") {
+      opt.config.total_requests = parseInt(next(a), a);
+    } else if (a == "--window") {
+      opt.config.arrival_window_s = parseDouble(next(a), a);
+    } else if (a == "--seed") {
+      opt.config.seed = static_cast<std::uint64_t>(parseInt(next(a), a));
+    } else if (a == "--rings") {
+      opt.config.rings = parseInt(next(a), a);
+    } else if (a == "--cell-radius") {
+      opt.config.cell_radius_km = parseDouble(next(a), a);
+    } else if (a == "--capacity") {
+      opt.config.capacity_bu = parseInt(next(a), a);
+    } else if (a == "--speed") {
+      const auto [lo, hi] = parseRange(next(a), a);
+      opt.config.scenario.speed_min_kmh = lo;
+      opt.config.scenario.speed_max_kmh = hi;
+    } else if (a == "--angle") {
+      const auto [mean, sigma] = parseRange(next(a), a);
+      opt.config.scenario.angle_mean_deg = mean;
+      opt.config.scenario.angle_sigma_deg =
+          sigma == mean ? 0.0 : sigma;  // single value = exact angle
+    } else if (a == "--distance") {
+      const auto [lo, hi] = parseRange(next(a), a);
+      opt.config.scenario.distance_min_km = lo;
+      opt.config.scenario.distance_max_km = hi;
+    } else if (a == "--tracking-window") {
+      opt.config.scenario.tracking_window_s = parseDouble(next(a), a);
+    } else if (a == "--gps-error") {
+      opt.config.scenario.gps_error_m = parseDouble(next(a), a);
+    } else if (a == "--no-gps") {
+      opt.config.scenario.gps_error_m.reset();
+    } else if (a == "--poisson") {
+      opt.config.arrivals = ArrivalProcess::Poisson;
+    } else if (a == "--warmup") {
+      opt.config.warmup_s = parseDouble(next(a), a);
+    } else if (a == "--handoffs") {
+      opt.config.enable_handoffs = true;
+    } else if (a == "--guard-bu") {
+      opt.guard_bu = parseInt(next(a), a);
+    } else if (a == "--facs-threshold") {
+      opt.facs_threshold = parseDouble(next(a), a);
+    } else if (a == "--sweep") {
+      opt.sweep_xs = parseIntList(next(a), a);
+    } else if (a == "--reps") {
+      opt.replications = parseInt(next(a), a);
+    } else if (a == "--csv") {
+      opt.csv = true;
+    } else {
+      throw CliError("unknown flag '" + a + "' (try --help)");
+    }
+  }
+  return opt;
+}
+
+std::string cliUsage() {
+  return R"(facs_cli - run FACS / baseline call-admission simulations
+
+usage: facs_cli [flags]
+
+policy:
+  --policy facs|scc|cs|guard|threshold   admission policy (default facs)
+  --guard-bu N          guard channels for --policy guard (default 8)
+  --facs-threshold T    FACS acceptance threshold tau (default 0)
+
+workload:
+  --requests N          requesting connections (default 50)
+  --window S            arrival window seconds (default 600)
+  --poisson             Poisson arrivals instead of a uniform burst
+  --warmup S            exclude the first S seconds from metrics
+  --speed LO[:HI]       user speed km/h (default 0:120)
+  --angle MEAN[:SIGMA]  heading deviation deg; single value = exact
+  --distance LO[:HI]    distance to BS km (default 0:10)
+  --tracking-window S   GPS observation before the decision (default 30)
+  --gps-error M         GPS 1-sigma error metres (default 10)
+  --no-gps              noiseless ground-truth snapshots
+
+network:
+  --rings N             hex rings around the centre cell (default 0)
+  --cell-radius KM      hex circumradius (default 10)
+  --capacity BU         per-cell bandwidth units (default 40)
+  --handoffs            move users between cells while in call
+
+run:
+  --seed N              RNG seed (default 1)
+  --sweep X1,X2,...     sweep total_requests and print a table
+  --reps N              replications per sweep point (default 5)
+  --csv                 CSV output for sweeps
+)";
+}
+
+ControllerFactory makeFactory(const CliOptions& options) {
+  switch (options.policy) {
+    case PolicyChoice::Facs: {
+      core::FacsConfig cfg;
+      cfg.accept_threshold = options.facs_threshold;
+      return [cfg](const cellular::HexNetwork&) {
+        return std::make_unique<core::FacsController>(cfg);
+      };
+    }
+    case PolicyChoice::Scc:
+      return [](const cellular::HexNetwork& net) {
+        return std::make_unique<scc::ShadowClusterController>(net);
+      };
+    case PolicyChoice::CompleteSharing:
+      return [](const cellular::HexNetwork&) {
+        return std::make_unique<cac::CompleteSharingController>();
+      };
+    case PolicyChoice::GuardChannel: {
+      const cellular::BandwidthUnits guard = options.guard_bu;
+      return [guard](const cellular::HexNetwork&) {
+        return std::make_unique<cac::GuardChannelController>(guard);
+      };
+    }
+    case PolicyChoice::MultiThreshold:
+      return [](const cellular::HexNetwork&) {
+        return std::make_unique<cac::MultiThresholdController>(
+            std::array<cellular::BandwidthUnits, 3>{38, 30, 20});
+      };
+  }
+  throw CliError("unhandled policy");
+}
+
+}  // namespace facs::sim

@@ -1,0 +1,70 @@
+#pragma once
+/// \file cli.hpp
+/// Command-line front end for the simulator: parses `facs_cli` style
+/// arguments into a SimulationConfig plus a policy selection, so operators
+/// can run any scenario/policy combination without recompiling. Kept in
+/// the library (rather than the tool's main.cpp) so the parsing logic is
+/// unit-testable.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace facs::sim {
+
+/// Which admission policy the run should use.
+enum class PolicyChoice {
+  Facs,
+  Scc,
+  CompleteSharing,
+  GuardChannel,
+  MultiThreshold,
+};
+
+[[nodiscard]] std::string_view toString(PolicyChoice p) noexcept;
+
+/// Fully parsed command line.
+struct CliOptions {
+  SimulationConfig config{};
+  PolicyChoice policy = PolicyChoice::Facs;
+  cellular::BandwidthUnits guard_bu = 8;  ///< For --policy guard.
+  double facs_threshold = 0.0;            ///< For --policy facs.
+  bool csv = false;
+  bool help = false;
+  /// When set, run a sweep over these request counts instead of one run.
+  std::vector<int> sweep_xs;
+  int replications = 5;
+};
+
+/// Error with the offending argument attached.
+class CliError : public std::runtime_error {
+ public:
+  explicit CliError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Parses argv (excluding argv[0]).
+///
+/// Supported flags:
+///   --policy facs|scc|cs|guard|threshold
+///   --requests N        --window SECONDS       --seed N
+///   --rings N           --cell-radius KM       --capacity BU
+///   --speed MIN[:MAX]   --angle MEAN[:SIGMA]   --distance MIN[:MAX]
+///   --tracking-window S --gps-error M          --no-gps
+///   --poisson           --warmup S             --handoffs
+///   --guard-bu N        --facs-threshold T
+///   --sweep X1,X2,...   --reps N               --csv
+///   --help
+///
+/// \throws CliError on unknown flags, missing values or malformed numbers.
+[[nodiscard]] CliOptions parseCli(const std::vector<std::string>& args);
+
+/// Usage text for --help.
+[[nodiscard]] std::string cliUsage();
+
+/// Builds the controller factory selected by \p options.
+[[nodiscard]] ControllerFactory makeFactory(const CliOptions& options);
+
+}  // namespace facs::sim

@@ -1,0 +1,82 @@
+#include "core/facs.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace facs::core {
+
+std::string_view toString(SoftDecision d) noexcept {
+  switch (d) {
+    case SoftDecision::Reject:
+      return "reject";
+    case SoftDecision::WeakReject:
+      return "weak-reject";
+    case SoftDecision::NotRejectNotAccept:
+      return "not-reject-not-accept";
+    case SoftDecision::WeakAccept:
+      return "weak-accept";
+    case SoftDecision::Accept:
+      return "accept";
+  }
+  return "not-reject-not-accept";
+}
+
+FacsController::FacsController(FacsConfig config)
+    : config_{config},
+      flc1_{buildFlc1(config.flc1)},
+      flc2_{buildFlc2(config.flc2)} {}
+
+double FacsController::predictCv(const cellular::UserSnapshot& user) const {
+  const std::array<double, 3> inputs{user.speed_kmh, user.angle_deg,
+                                     user.distance_km};
+  return flc1_.infer(inputs);
+}
+
+SoftDecision FacsController::classify(double ar) const {
+  // Term order in FLC2's output variable matches the SoftDecision values.
+  return static_cast<SoftDecision>(flc2_.output().winningTerm(ar));
+}
+
+FacsEvaluation FacsController::evaluate(const cellular::UserSnapshot& user,
+                                        double demand_bu, double occupied_bu,
+                                        bool is_handoff, int priority) const {
+  FacsEvaluation eval;
+  eval.cv = predictCv(user);
+  const std::array<double, 3> inputs{eval.cv, demand_bu, occupied_bu};
+  eval.ar = flc2_.infer(inputs);
+  eval.soft = classify(eval.ar);
+
+  double threshold = config_.accept_threshold;
+  threshold -= config_.priority_bias * priority;
+  if (is_handoff) threshold -= config_.handoff_bias;
+  // Ties reject: a defuzzified A/R within numerical noise of the threshold
+  // (e.g. a pure "not reject not accept" outcome against tau = 0) must not
+  // flip on the sign of a 1e-18 rounding residue.
+  constexpr double kDecisionEpsilon = 1e-9;
+  eval.accept = eval.ar > threshold + kDecisionEpsilon;
+  return eval;
+}
+
+cellular::AdmissionDecision FacsController::decide(
+    const cellular::CallRequest& request,
+    const cellular::AdmissionContext& context) {
+  const FacsEvaluation eval = evaluate(
+      request.snapshot, static_cast<double>(request.demand_bu),
+      static_cast<double>(context.station.occupiedBu()), request.is_handoff,
+      request.priority);
+
+  // The fuzzy stages never see the hard ledger; enforce the capacity
+  // invariant here so an "accept" is always allocatable.
+  const bool fits = context.station.canFit(request.demand_bu);
+
+  cellular::AdmissionDecision decision;
+  decision.accept = eval.accept && fits;
+  decision.score = eval.ar;
+  std::ostringstream os;
+  os << "cv=" << eval.cv << " ar=" << eval.ar << " soft=" << toString(eval.soft);
+  if (eval.accept && !fits) os << " (no free BU)";
+  decision.rationale = os.str();
+  return decision;
+}
+
+}  // namespace facs::core

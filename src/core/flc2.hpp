@@ -1,0 +1,42 @@
+#pragma once
+/// \file flc2.hpp
+/// FLC2 — the fuzzy *admission* controller (paper Section 3.2).
+///
+/// Inputs:  Cv (FLC1's correction value, [0, 1]), R (required bandwidth,
+///          BU, [0, 10]), Cs (counter state = occupied BUs, [0, 40]).
+/// Output:  A/R (accept/reject) in [-1, 1] with the soft term set
+///          {Reject, Weak Reject, Not Reject Not Accept, Weak Accept,
+///          Accept}.
+///
+/// Membership functions follow Fig. 6; the rule base is Table 2 verbatim
+/// (27 rules = 3 x 3 x 3).
+
+#include <array>
+
+#include "fuzzy/engine.hpp"
+
+namespace facs::core {
+
+inline constexpr double kRequestMinBu = 0.0;
+inline constexpr double kRequestMaxBu = 10.0;
+inline constexpr double kCounterMinBu = 0.0;
+inline constexpr double kCounterMaxBu = 40.0;
+inline constexpr double kDecisionMin = -1.0;
+inline constexpr double kDecisionMax = 1.0;
+
+/// One row of Table 2, by term name.
+struct Frb2Row {
+  const char* cv;
+  const char* r;
+  const char* cs;
+  const char* ar;
+};
+
+/// Table 2 verbatim (rules 0..26).
+[[nodiscard]] const std::array<Frb2Row, 27>& frb2Table() noexcept;
+
+/// Builds FLC2 with the paper's membership functions and rule base.
+[[nodiscard]] fuzzy::MamdaniEngine buildFlc2(
+    fuzzy::EngineConfig config = {});
+
+}  // namespace facs::core

@@ -1,0 +1,137 @@
+#include "fuzzy/defuzzify.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace facs::fuzzy {
+
+namespace {
+
+constexpr double kZeroArea = 1e-12;
+
+struct Samples {
+  std::vector<double> x;
+  std::vector<double> mu;
+};
+
+Samples sample(const AggregatedCurve& curve, Interval u, int resolution) {
+  Samples s;
+  s.x.resize(static_cast<std::size_t>(resolution));
+  s.mu.resize(static_cast<std::size_t>(resolution));
+  const double step = u.width() / (resolution - 1);
+  for (int i = 0; i < resolution; ++i) {
+    const double x = u.lo + step * i;
+    s.x[static_cast<std::size_t>(i)] = x;
+    s.mu[static_cast<std::size_t>(i)] = curve(x);
+  }
+  return s;
+}
+
+double centroid(const Samples& s) {
+  // Trapezoidal integration of x*mu(x) and mu(x).
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 1; i < s.x.size(); ++i) {
+    const double dx = s.x[i] - s.x[i - 1];
+    num += 0.5 * dx * (s.x[i] * s.mu[i] + s.x[i - 1] * s.mu[i - 1]);
+    den += 0.5 * dx * (s.mu[i] + s.mu[i - 1]);
+  }
+  if (den < kZeroArea) return 0.5 * (s.x.front() + s.x.back());
+  return num / den;
+}
+
+double bisector(const Samples& s) {
+  double total = 0.0;
+  std::vector<double> cumulative(s.x.size(), 0.0);
+  for (std::size_t i = 1; i < s.x.size(); ++i) {
+    const double dx = s.x[i] - s.x[i - 1];
+    total += 0.5 * dx * (s.mu[i] + s.mu[i - 1]);
+    cumulative[i] = total;
+  }
+  if (total < kZeroArea) return 0.5 * (s.x.front() + s.x.back());
+  const double half = 0.5 * total;
+  for (std::size_t i = 1; i < s.x.size(); ++i) {
+    if (cumulative[i] >= half) {
+      // Linear interpolation within the segment for a stable answer.
+      const double seg = cumulative[i] - cumulative[i - 1];
+      const double t = seg > 0.0 ? (half - cumulative[i - 1]) / seg : 0.0;
+      return s.x[i - 1] + t * (s.x[i] - s.x[i - 1]);
+    }
+  }
+  return s.x.back();
+}
+
+enum class MaxPick { Mean, Smallest, Largest };
+
+double ofMax(const Samples& s, MaxPick pick) {
+  double peak = 0.0;
+  for (const double m : s.mu) peak = std::max(peak, m);
+  if (peak < kZeroArea) return 0.5 * (s.x.front() + s.x.back());
+  const double tol = 1e-9;
+  double sum = 0.0;
+  std::size_t count = 0;
+  double smallest = s.x.back();
+  double largest = s.x.front();
+  for (std::size_t i = 0; i < s.x.size(); ++i) {
+    if (s.mu[i] >= peak - tol) {
+      sum += s.x[i];
+      ++count;
+      smallest = std::min(smallest, s.x[i]);
+      largest = std::max(largest, s.x[i]);
+    }
+  }
+  switch (pick) {
+    case MaxPick::Mean:
+      return sum / static_cast<double>(count);
+    case MaxPick::Smallest:
+      return smallest;
+    case MaxPick::Largest:
+      return largest;
+  }
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace
+
+double defuzzify(Defuzzifier method, const AggregatedCurve& curve,
+                 Interval universe, int resolution) {
+  if (resolution < 2) {
+    throw std::invalid_argument("defuzzification resolution must be >= 2");
+  }
+  if (!(universe.lo < universe.hi)) {
+    throw std::invalid_argument("defuzzification universe is empty");
+  }
+  const Samples s = sample(curve, universe, resolution);
+  switch (method) {
+    case Defuzzifier::Centroid:
+      return centroid(s);
+    case Defuzzifier::Bisector:
+      return bisector(s);
+    case Defuzzifier::MeanOfMax:
+      return ofMax(s, MaxPick::Mean);
+    case Defuzzifier::SmallestOfMax:
+      return ofMax(s, MaxPick::Smallest);
+    case Defuzzifier::LargestOfMax:
+      return ofMax(s, MaxPick::Largest);
+  }
+  return centroid(s);
+}
+
+std::string_view toString(Defuzzifier method) noexcept {
+  switch (method) {
+    case Defuzzifier::Centroid:
+      return "centroid";
+    case Defuzzifier::Bisector:
+      return "bisector";
+    case Defuzzifier::MeanOfMax:
+      return "mom";
+    case Defuzzifier::SmallestOfMax:
+      return "som";
+    case Defuzzifier::LargestOfMax:
+      return "lom";
+  }
+  return "centroid";
+}
+
+}  // namespace facs::fuzzy

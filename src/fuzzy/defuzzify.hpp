@@ -1,0 +1,38 @@
+#pragma once
+/// \file defuzzify.hpp
+/// Defuzzification of an aggregated output fuzzy set into a crisp value.
+
+#include <functional>
+#include <string_view>
+
+#include "fuzzy/membership.hpp"
+
+namespace facs::fuzzy {
+
+/// Defuzzification strategies. Centroid is the FACS default (the standard
+/// choice for Mamdani admission controllers of the paper's era); the rest
+/// are provided for the design-ablation benchmarks.
+enum class Defuzzifier {
+  Centroid,       ///< Centre of gravity of the aggregated set.
+  Bisector,       ///< Vertical line splitting the area in half.
+  MeanOfMax,      ///< Mean of the maximizing interval(s).
+  SmallestOfMax,  ///< Leftmost maximizing point.
+  LargestOfMax,   ///< Rightmost maximizing point.
+};
+
+/// A sampled view of the aggregated output membership curve.
+using AggregatedCurve = std::function<double(double)>;
+
+/// Defuzzifies \p curve over \p universe using \p resolution uniform samples.
+///
+/// If the curve is identically zero over the universe (no rule fired), the
+/// universe midpoint is returned — a neutral value by construction of the
+/// FACS output variables (A/R = 0 is "not reject, not accept").
+///
+/// \throws std::invalid_argument if resolution < 2 or the universe is empty.
+[[nodiscard]] double defuzzify(Defuzzifier method, const AggregatedCurve& curve,
+                               Interval universe, int resolution = 1001);
+
+[[nodiscard]] std::string_view toString(Defuzzifier method) noexcept;
+
+}  // namespace facs::fuzzy

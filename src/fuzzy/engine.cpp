@@ -1,0 +1,163 @@
+#include "fuzzy/engine.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace facs::fuzzy {
+
+MamdaniEngine::MamdaniEngine(std::string name, EngineConfig config)
+    : name_{std::move(name)}, config_{config} {
+  if (name_.empty()) {
+    throw std::invalid_argument("engine name must not be empty");
+  }
+  if (config_.resolution < 2) {
+    throw std::invalid_argument("engine resolution must be >= 2");
+  }
+}
+
+std::size_t MamdaniEngine::addInput(LinguisticVariable variable) {
+  inputs_.push_back(std::move(variable));
+  return inputs_.size() - 1;
+}
+
+void MamdaniEngine::setOutput(LinguisticVariable variable) {
+  output_.clear();
+  output_.push_back(std::move(variable));
+}
+
+void MamdaniEngine::addRule(const std::vector<std::string>& antecedent_terms,
+                            const std::string& consequent_term, double weight) {
+  rules_.add(inputs_, output(), antecedent_terms, consequent_term, weight);
+}
+
+void MamdaniEngine::addRule(Rule rule) { rules_.add(std::move(rule)); }
+
+const LinguisticVariable& MamdaniEngine::output() const {
+  if (output_.empty()) {
+    throw std::logic_error("engine '" + name_ + "' has no output variable");
+  }
+  return output_.front();
+}
+
+void MamdaniEngine::checkValid() const {
+  if (inputs_.empty()) {
+    throw std::logic_error("engine '" + name_ + "' has no input variables");
+  }
+  for (const auto& v : inputs_) {
+    if (v.termCount() == 0) {
+      throw std::logic_error("engine '" + name_ + "': input variable '" +
+                             v.name() + "' has no terms");
+    }
+  }
+  const LinguisticVariable& out = output();  // throws if missing
+  if (out.termCount() == 0) {
+    throw std::logic_error("engine '" + name_ + "': output variable '" +
+                           out.name() + "' has no terms");
+  }
+  if (rules_.empty()) {
+    throw std::logic_error("engine '" + name_ + "' has an empty rule base");
+  }
+  const RuleBaseReport report = rules_.validate(inputs_, out);
+  if (!report.malformed.empty()) {
+    std::ostringstream os;
+    os << "engine '" << name_ << "': rule " << report.malformed.front()
+       << " is malformed (bad arity, term index or weight)";
+    throw std::logic_error(os.str());
+  }
+  if (!report.conflicts.empty()) {
+    std::ostringstream os;
+    os << "engine '" << name_ << "': rules " << report.conflicts.front().first
+       << " and " << report.conflicts.front().second
+       << " share an antecedent but disagree on the consequent";
+    throw std::logic_error(os.str());
+  }
+  // Uncovered combinations are allowed (sparse rule bases are legal); the
+  // FACS controllers assert completeness separately in their tests.
+}
+
+void MamdaniEngine::setConfig(const EngineConfig& config) {
+  if (config.resolution < 2) {
+    throw std::invalid_argument("engine resolution must be >= 2");
+  }
+  config_ = config;
+}
+
+std::vector<double> MamdaniEngine::fire(
+    const std::vector<FuzzyVector>& fuzzified) const {
+  std::vector<double> strengths;
+  strengths.reserve(rules_.size());
+  for (const Rule& r : rules_.rules()) {
+    double strength = 1.0;
+    for (std::size_t v = 0; v < r.antecedent.size(); ++v) {
+      if (r.antecedent[v] == kAnyTerm) continue;
+      strength = apply(config_.conjunction, strength,
+                       fuzzified[v][r.antecedent[v]]);
+      if (strength == 0.0) break;
+    }
+    strengths.push_back(strength * r.weight);
+  }
+  return strengths;
+}
+
+double MamdaniEngine::infer(std::span<const double> crisp_inputs) const {
+  return inferTraced(crisp_inputs).crisp_output;
+}
+
+InferenceTrace MamdaniEngine::inferTraced(
+    std::span<const double> crisp_inputs) const {
+  checkValid();
+  if (crisp_inputs.size() != inputs_.size()) {
+    std::ostringstream os;
+    os << "engine '" << name_ << "' expects " << inputs_.size()
+       << " inputs, got " << crisp_inputs.size();
+    throw std::invalid_argument(os.str());
+  }
+
+  InferenceTrace trace;
+  trace.inputs.reserve(inputs_.size());
+  trace.fuzzified.reserve(inputs_.size());
+  for (std::size_t v = 0; v < inputs_.size(); ++v) {
+    const double clamped = inputs_[v].universe().clamp(crisp_inputs[v]);
+    trace.inputs.push_back(clamped);
+    trace.fuzzified.push_back(inputs_[v].fuzzify(clamped));
+  }
+
+  const std::vector<double> strengths = fire(trace.fuzzified);
+  for (std::size_t i = 0; i < strengths.size(); ++i) {
+    if (strengths[i] > 0.0) {
+      trace.activations.push_back({i, strengths[i]});
+    }
+  }
+
+  // Per-output-term activation level: the s-norm of the strengths of all
+  // rules concluding in that term. Computing per-term activation first (and
+  // evaluating each term's membership once per sample point) keeps the
+  // aggregated-curve evaluation O(#terms) instead of O(#rules).
+  const LinguisticVariable& out = output();
+  std::vector<double> term_activation(out.termCount(), 0.0);
+  for (std::size_t i = 0; i < strengths.size(); ++i) {
+    if (strengths[i] <= 0.0) continue;
+    const std::size_t t = rules_.rule(i).consequent;
+    term_activation[t] =
+        apply(config_.aggregation, term_activation[t], strengths[i]);
+  }
+
+  const auto curve = [&](double x) {
+    double mu = 0.0;
+    for (std::size_t t = 0; t < term_activation.size(); ++t) {
+      if (term_activation[t] <= 0.0) continue;
+      const double clipped = apply(config_.implication, term_activation[t],
+                                   out.term(t).degree(x));
+      mu = apply(config_.aggregation, mu, clipped);
+    }
+    return mu;
+  };
+
+  trace.crisp_output = defuzzify(config_.defuzzifier, curve, out.universe(),
+                                 config_.resolution);
+  trace.winning_output_term = out.winningTerm(trace.crisp_output);
+  return trace;
+}
+
+}  // namespace facs::fuzzy

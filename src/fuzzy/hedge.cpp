@@ -1,0 +1,86 @@
+#include "fuzzy/hedge.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace facs::fuzzy {
+
+std::string_view toString(Hedge h) noexcept {
+  switch (h) {
+    case Hedge::Not:
+      return "not";
+    case Hedge::Very:
+      return "very";
+    case Hedge::Extremely:
+      return "extremely";
+    case Hedge::Somewhat:
+      return "somewhat";
+    case Hedge::Slightly:
+      return "slightly";
+    case Hedge::Indeed:
+      return "indeed";
+  }
+  return "very";
+}
+
+double applyHedge(Hedge h, double degree) noexcept {
+  switch (h) {
+    case Hedge::Not:
+      return 1.0 - degree;
+    case Hedge::Very:
+      return degree * degree;
+    case Hedge::Extremely:
+      return degree * degree * degree;
+    case Hedge::Somewhat:
+      return std::sqrt(degree);
+    case Hedge::Slightly:
+      return std::sqrt(std::sqrt(degree));
+    case Hedge::Indeed:
+      if (degree <= 0.5) return 2.0 * degree * degree;
+      return 1.0 - 2.0 * (1.0 - degree) * (1.0 - degree);
+  }
+  return degree;
+}
+
+HedgedMembership::HedgedMembership(Hedge hedge, const MembershipFunction& base)
+    : hedge_{hedge}, base_{base.clone()} {}
+
+HedgedMembership::HedgedMembership(const HedgedMembership& other)
+    : hedge_{other.hedge_}, base_{other.base_->clone()} {}
+
+double HedgedMembership::degree(double x) const noexcept {
+  return applyHedge(hedge_, base_->degree(x));
+}
+
+Interval HedgedMembership::support() const noexcept {
+  if (hedge_ == Hedge::Not) {
+    // The complement is non-zero (almost) everywhere; report an unbounded
+    // interval and let the variable universe clip it.
+    return {-std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  }
+  return base_->support();
+}
+
+double HedgedMembership::peak() const noexcept {
+  if (hedge_ == Hedge::Not) {
+    // Peak of the complement: an edge of the base support.
+    return base_->support().lo;
+  }
+  return base_->peak();
+}
+
+std::string HedgedMembership::describe() const {
+  return std::string{toString(hedge_)} + " " + base_->describe();
+}
+
+std::unique_ptr<MembershipFunction> HedgedMembership::clone() const {
+  return std::unique_ptr<MembershipFunction>{new HedgedMembership{*this}};
+}
+
+std::unique_ptr<MembershipFunction> makeHedged(Hedge hedge,
+                                               const MembershipFunction& base) {
+  return std::make_unique<HedgedMembership>(hedge, base);
+}
+
+}  // namespace facs::fuzzy

@@ -1,0 +1,58 @@
+#pragma once
+/// \file hedge.hpp
+/// Linguistic hedges: unary modifiers of membership functions ("very
+/// fast", "somewhat near", "not straight"). Implemented as decorators so a
+/// hedged term is itself a MembershipFunction and composes freely with
+/// variables, rules and other hedges.
+
+#include <functional>
+
+#include "fuzzy/membership.hpp"
+
+namespace facs::fuzzy {
+
+/// The classical Zadeh hedges.
+enum class Hedge {
+  Not,        ///< 1 - mu
+  Very,       ///< mu^2   (concentration)
+  Extremely,  ///< mu^3
+  Somewhat,   ///< mu^0.5 (dilation)
+  Slightly,   ///< mu^0.25
+  Indeed,     ///< contrast intensification: 2mu^2 if mu <= 0.5, else 1-2(1-mu)^2
+};
+
+[[nodiscard]] std::string_view toString(Hedge h) noexcept;
+
+/// Applies a hedge to a membership degree in [0, 1].
+[[nodiscard]] double applyHedge(Hedge h, double degree) noexcept;
+
+/// A hedged membership function wrapping (and owning a copy of) a base
+/// shape. Note "not" inverts the degree, so its support is the whole real
+/// line conceptually; support() keeps the base support for all hedges
+/// except Not, which reports an unbounded-ish interval via the base
+/// universe being unknown here — callers clip to the variable universe
+/// anyway (the engine always evaluates within it).
+class HedgedMembership final : public MembershipFunction {
+ public:
+  HedgedMembership(Hedge hedge, const MembershipFunction& base);
+
+  [[nodiscard]] double degree(double x) const noexcept override;
+  [[nodiscard]] Interval support() const noexcept override;
+  [[nodiscard]] double peak() const noexcept override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<MembershipFunction> clone() const override;
+
+  [[nodiscard]] Hedge hedge() const noexcept { return hedge_; }
+
+ private:
+  HedgedMembership(const HedgedMembership& other);
+
+  Hedge hedge_;
+  std::unique_ptr<MembershipFunction> base_;
+};
+
+/// Convenience: hedged copy of any shape.
+[[nodiscard]] std::unique_ptr<MembershipFunction> makeHedged(
+    Hedge hedge, const MembershipFunction& base);
+
+}  // namespace facs::fuzzy

@@ -1,0 +1,35 @@
+#pragma once
+/// \file norms.hpp
+/// Triangular norms and co-norms used for rule conjunction, implication and
+/// aggregation. The paper does not name its operators; the default FACS
+/// configuration (min / min / max) matches the standard Mamdani controller
+/// of the authors' earlier fuzzy-CAC work (Barolli et al., IPSJ 2001).
+
+#include <string_view>
+
+namespace facs::fuzzy {
+
+/// Triangular norms (fuzzy AND / implication).
+enum class TNorm {
+  Minimum,            ///< min(a, b) — Mamdani clip.
+  AlgebraicProduct,   ///< a * b — Larsen scale.
+  BoundedDifference,  ///< max(0, a + b - 1) — Lukasiewicz.
+};
+
+/// Triangular co-norms (fuzzy OR / aggregation).
+enum class SNorm {
+  Maximum,       ///< max(a, b).
+  AlgebraicSum,  ///< a + b - a*b (probabilistic OR).
+  BoundedSum,    ///< min(1, a + b).
+};
+
+/// Applies the t-norm to operands in [0, 1].
+[[nodiscard]] double apply(TNorm n, double a, double b) noexcept;
+
+/// Applies the s-norm to operands in [0, 1].
+[[nodiscard]] double apply(SNorm n, double a, double b) noexcept;
+
+[[nodiscard]] std::string_view toString(TNorm n) noexcept;
+[[nodiscard]] std::string_view toString(SNorm n) noexcept;
+
+}  // namespace facs::fuzzy

@@ -1,0 +1,101 @@
+#include "fuzzy/sugeno.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace facs::fuzzy {
+
+double LinearConsequent::evaluate(std::span<const double> inputs) const {
+  double out = constant;
+  for (std::size_t i = 0; i < coefficients.size() && i < inputs.size(); ++i) {
+    out += coefficients[i] * inputs[i];
+  }
+  return out;
+}
+
+SugenoEngine::SugenoEngine(std::string name, TNorm conjunction)
+    : name_{std::move(name)}, conjunction_{conjunction} {
+  if (name_.empty()) {
+    throw std::invalid_argument("engine name must not be empty");
+  }
+}
+
+std::size_t SugenoEngine::addInput(LinguisticVariable variable) {
+  inputs_.push_back(std::move(variable));
+  return inputs_.size() - 1;
+}
+
+void SugenoEngine::addRule(const std::vector<std::string>& antecedent_terms,
+                           LinearConsequent consequent, double weight) {
+  if (antecedent_terms.size() != inputs_.size()) {
+    throw std::invalid_argument("TSK rule arity mismatch");
+  }
+  if (!consequent.coefficients.empty() &&
+      consequent.coefficients.size() != inputs_.size()) {
+    throw std::invalid_argument(
+        "TSK consequent needs 0 coefficients (zero-order) or one per input");
+  }
+  if (!(weight > 0.0) || weight > 1.0) {
+    throw std::invalid_argument("rule weight must be in (0, 1]");
+  }
+
+  SugenoRule rule;
+  rule.weight = weight;
+  rule.consequent = std::move(consequent);
+  rule.antecedent.reserve(inputs_.size());
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    const std::string& term = antecedent_terms[i];
+    if (term == "*" || term == "any") {
+      rule.antecedent.push_back(kAnyTerm);
+      continue;
+    }
+    const auto idx = inputs_[i].termIndex(term);
+    if (!idx) {
+      throw std::invalid_argument("unknown term '" + term + "' for variable '" +
+                                  inputs_[i].name() + "'");
+    }
+    rule.antecedent.push_back(*idx);
+  }
+  rules_.push_back(std::move(rule));
+}
+
+double SugenoEngine::infer(std::span<const double> crisp_inputs) const {
+  if (inputs_.empty()) {
+    throw std::logic_error("TSK engine '" + name_ + "' has no inputs");
+  }
+  if (rules_.empty()) {
+    throw std::logic_error("TSK engine '" + name_ + "' has no rules");
+  }
+  if (crisp_inputs.size() != inputs_.size()) {
+    std::ostringstream os;
+    os << "TSK engine '" << name_ << "' expects " << inputs_.size()
+       << " inputs, got " << crisp_inputs.size();
+    throw std::invalid_argument(os.str());
+  }
+
+  std::vector<double> clamped(inputs_.size());
+  std::vector<FuzzyVector> fuzzified(inputs_.size());
+  for (std::size_t v = 0; v < inputs_.size(); ++v) {
+    clamped[v] = inputs_[v].universe().clamp(crisp_inputs[v]);
+    fuzzified[v] = inputs_[v].fuzzify(clamped[v]);
+  }
+
+  double weighted_sum = 0.0;
+  double strength_sum = 0.0;
+  for (const SugenoRule& rule : rules_) {
+    double strength = 1.0;
+    for (std::size_t v = 0; v < rule.antecedent.size(); ++v) {
+      if (rule.antecedent[v] == kAnyTerm) continue;
+      strength =
+          apply(conjunction_, strength, fuzzified[v][rule.antecedent[v]]);
+      if (strength == 0.0) break;
+    }
+    strength *= rule.weight;
+    if (strength <= 0.0) continue;
+    weighted_sum += strength * rule.consequent.evaluate(clamped);
+    strength_sum += strength;
+  }
+  return strength_sum > 0.0 ? weighted_sum / strength_sum : 0.0;
+}
+
+}  // namespace facs::fuzzy

@@ -1,0 +1,80 @@
+#pragma once
+/// \file sugeno.hpp
+/// Takagi-Sugeno-Kang (TSK) inference: rules conclude with a crisp linear
+/// function of the inputs instead of an output fuzzy set, and the engine
+/// output is the firing-strength-weighted average of the rule outputs.
+///
+/// Provided alongside the Mamdani engine because TSK controllers are the
+/// standard "fast path" for embedded admission control (no output-universe
+/// sampling, so inference is one dot product per fired rule), and they let
+/// downstream users of this library fit controllers to data. The FACS
+/// reproduction itself uses Mamdani, as the paper's Fig. 2 prescribes a
+/// defuzzifier stage.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fuzzy/norms.hpp"
+#include "fuzzy/rule.hpp"
+#include "fuzzy/variable.hpp"
+
+namespace facs::fuzzy {
+
+/// Consequent of a TSK rule: output = constant + sum_i coefficient[i] * x_i.
+/// An empty coefficient vector makes the rule zero-order (constant output).
+struct LinearConsequent {
+  double constant = 0.0;
+  std::vector<double> coefficients;  ///< One per input variable, or empty.
+
+  [[nodiscard]] double evaluate(std::span<const double> inputs) const;
+};
+
+/// One TSK rule: antecedent over the input term sets (wildcards allowed),
+/// crisp linear consequent, optional weight.
+struct SugenoRule {
+  std::vector<std::size_t> antecedent;
+  LinearConsequent consequent;
+  double weight = 1.0;
+};
+
+/// A single-output TSK engine over shared LinguisticVariable inputs.
+class SugenoEngine {
+ public:
+  explicit SugenoEngine(std::string name,
+                        TNorm conjunction = TNorm::AlgebraicProduct);
+
+  std::size_t addInput(LinguisticVariable variable);
+
+  /// Adds a rule by antecedent term names ("*" wildcard).
+  /// \throws std::invalid_argument on unknown names, arity mismatch, or a
+  ///         coefficient count that is neither 0 nor the input count.
+  void addRule(const std::vector<std::string>& antecedent_terms,
+               LinearConsequent consequent, double weight = 1.0);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t inputCount() const noexcept {
+    return inputs_.size();
+  }
+  [[nodiscard]] const LinguisticVariable& input(std::size_t i) const {
+    return inputs_.at(i);
+  }
+  [[nodiscard]] std::size_t ruleCount() const noexcept {
+    return rules_.size();
+  }
+
+  /// Weighted-average TSK inference. If no rule fires, returns 0 (the
+  /// conventional TSK fallback; callers needing another neutral value
+  /// should add a wildcard catch-all rule).
+  /// \throws std::invalid_argument on arity mismatch.
+  /// \throws std::logic_error if the engine has no inputs or rules.
+  [[nodiscard]] double infer(std::span<const double> crisp_inputs) const;
+
+ private:
+  std::string name_;
+  TNorm conjunction_;
+  std::vector<LinguisticVariable> inputs_;
+  std::vector<SugenoRule> rules_;
+};
+
+}  // namespace facs::fuzzy

@@ -1,0 +1,59 @@
+#pragma once
+/// \file prediction_study.hpp
+/// Quantifies the paper's central claim — "the proposed scheme can achieve
+/// a better prediction of the user behavior" — as a measurable ranking
+/// problem. For a population of tracked users we ask each predictor for a
+/// score, roll the ground-truth mobility forward, label each user by
+/// whether they actually approached their base station over the horizon,
+/// and compare predictors by ROC AUC (probability that a random approacher
+/// outranks a random retreater).
+///
+/// Predictors compared:
+///   * facs-cv          — FLC1's correction value (the paper's predictor);
+///   * straight-line    — cosine of the measured angle, i.e. dead-reckoning
+///                        the stated velocity (what SCC's projection does);
+///   * proximity        — negative current distance (a mobility-blind
+///                        baseline).
+
+#include <string>
+#include <vector>
+
+#include "sim/workload.hpp"
+
+namespace facs::predict {
+
+struct PredictionConfig {
+  sim::ScenarioParams scenario{};
+  /// How far ahead ground truth is rolled to label the outcome.
+  double horizon_s = 300.0;
+  /// Ground-truth integration step.
+  double step_s = 5.0;
+  int samples = 2000;
+  std::uint64_t seed = 1;
+};
+
+/// One predictor's quality over the sampled population.
+struct PredictorReport {
+  std::string name;
+  /// ROC AUC in [0, 1]: 0.5 = uninformative, 1 = perfect ranking.
+  double auc = 0.5;
+  double mean_score_approachers = 0.0;
+  double mean_score_retreaters = 0.0;
+};
+
+struct StudyResult {
+  int approachers = 0;  ///< Users whose final BS distance shrank.
+  int retreaters = 0;
+  std::vector<PredictorReport> predictors;
+};
+
+/// Area under the ROC curve via the rank-sum statistic; ties count half.
+/// \throws std::invalid_argument unless both classes are non-empty.
+[[nodiscard]] double rocAuc(const std::vector<double>& positive_scores,
+                            const std::vector<double>& negative_scores);
+
+/// Runs the full study. Deterministic per config.
+/// \throws std::invalid_argument on non-positive horizon/step/samples.
+[[nodiscard]] StudyResult runPredictionStudy(const PredictionConfig& config);
+
+}  // namespace facs::predict

@@ -1,0 +1,184 @@
+#include "scc/shadow_cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace facs::scc {
+
+using cellular::AdmissionContext;
+using cellular::AdmissionDecision;
+using cellular::CallRequest;
+using cellular::CellId;
+using cellular::Vec2;
+
+mobility::MotionState motionFromSnapshot(
+    const cellular::UserSnapshot& snapshot,
+    Vec2 station_position) noexcept {
+  mobility::MotionState m;
+  m.position_km = snapshot.position;
+  m.speed_kmh = snapshot.speed_kmh;
+  // snapshot.angle_deg = heading - bearing(user -> BS), so invert.
+  m.heading_deg = cellular::normalizeAngleDeg(
+      cellular::bearingDeg(snapshot.position, station_position) +
+      snapshot.angle_deg);
+  return m;
+}
+
+ShadowClusterController::ShadowClusterController(
+    const cellular::HexNetwork& network, SccConfig config)
+    : network_{network}, config_{config} {
+  if (config_.intervals < 1) {
+    throw std::invalid_argument("SCC horizon must span >= 1 interval");
+  }
+  if (!(config_.interval_s > 0.0)) {
+    throw std::invalid_argument("SCC interval length must be positive");
+  }
+  if (!(config_.threshold > 0.0)) {
+    throw std::invalid_argument("SCC survivability threshold must be positive");
+  }
+  if (config_.cluster_radius < 0) {
+    throw std::invalid_argument("SCC cluster radius must be >= 0");
+  }
+  if (!(config_.sigma_base_km > 0.0) || config_.sigma_growth_km < 0.0) {
+    throw std::invalid_argument("SCC spread parameters must be positive");
+  }
+  if (!(config_.mean_holding_s > 0.0)) {
+    throw std::invalid_argument("SCC mean holding time must be positive");
+  }
+}
+
+std::vector<CellId> ShadowClusterController::cluster(CellId center) const {
+  std::vector<CellId> out;
+  const cellular::HexCoord c = network_.cell(center).coord;
+  for (const cellular::Cell& cell : network_.cells()) {
+    if (cellular::hexDistance(c, cell.coord) <= config_.cluster_radius) {
+      out.push_back(cell.id);
+    }
+  }
+  return out;
+}
+
+double ShadowClusterController::contribution(const Shadow& shadow, CellId cell,
+                                             int k, double now_s) const {
+  // Position is projected from the moment the kinematics were captured
+  // (they go stale between handoffs); activity decay is memoryless, so it
+  // only depends on how far into the future we look.
+  const double mid_of_interval_s = (k + 0.5) * config_.interval_s;
+  const double tau_pos_s = (now_s - shadow.since_s) + mid_of_interval_s;
+  const double p_active = std::exp(-mid_of_interval_s / config_.mean_holding_s);
+
+  const Vec2 predicted =
+      shadow.state.position_km +
+      cellular::headingVector(shadow.state.heading_deg) *
+          (shadow.state.speed_kmh / 3600.0 * tau_pos_s);
+
+  const double sigma_km =
+      config_.sigma_base_km + config_.sigma_growth_km * k;
+  const double d_km = predicted.distanceTo(network_.cell(cell).center);
+  // Unnormalized Gaussian kernel: each BS accumulates the probability that
+  // the mobile shows up in *its* cell independently, which (like the
+  // original scheme's per-BS bookkeeping) deliberately over-reserves when
+  // a mobile threatens several cells at once.
+  const double spatial = std::exp(-(d_km * d_km) / (2.0 * sigma_km * sigma_km));
+  return shadow.demand_bu * p_active * spatial;
+}
+
+DemandProfile ShadowClusterController::projectedDemand(CellId cell,
+                                                       double now_s) const {
+  DemandProfile profile(static_cast<std::size_t>(config_.intervals), 0.0);
+  for (int k = 0; k < config_.intervals; ++k) {
+    double total = 0.0;
+    for (const auto& [id, shadow] : shadows_) {
+      total += contribution(shadow, cell, k, now_s);
+    }
+    profile[static_cast<std::size_t>(k)] = total;
+  }
+  return profile;
+}
+
+AdmissionDecision ShadowClusterController::decide(
+    const CallRequest& request, const AdmissionContext& context) {
+  CellId center = request.target_cell;
+  if (center == cellular::kInvalidCell) {
+    const auto found = network_.cellAt(request.snapshot.position);
+    center = found.value_or(context.station.cell());
+  }
+
+  Shadow tentative;
+  tentative.state =
+      motionFromSnapshot(request.snapshot, network_.cell(center).center);
+  tentative.demand_bu = static_cast<double>(request.demand_bu);
+  tentative.since_s = context.now_s;
+
+  // A shadow cluster can only guarantee QoS inside the network: a mobile
+  // predicted to exit coverage within the horizon is denied outright.
+  if (config_.require_coverage) {
+    for (int k = 0; k < config_.intervals; ++k) {
+      const double tau_s = (k + 0.5) * config_.interval_s;
+      const Vec2 predicted =
+          tentative.state.position_km +
+          cellular::headingVector(tentative.state.heading_deg) *
+              (tentative.state.speed_kmh / 3600.0 * tau_s);
+      if (!network_.cellAt(predicted)) {
+        AdmissionDecision denial;
+        denial.accept = false;
+        denial.score = -1.0;
+        denial.rationale = "predicted to leave coverage within the horizon";
+        return denial;
+      }
+    }
+  }
+
+  // Every cell of the tentative shadow cluster must be able to support the
+  // projected demand over the whole horizon.
+  double worst_headroom = std::numeric_limits<double>::infinity();
+  for (const CellId cell : cluster(center)) {
+    const double budget =
+        config_.threshold *
+        static_cast<double>(network_.station(cell).capacityBu());
+    const DemandProfile existing = projectedDemand(cell, context.now_s);
+    for (int k = 0; k < config_.intervals; ++k) {
+      const double projected =
+          existing[static_cast<std::size_t>(k)] +
+          contribution(tentative, cell, k, context.now_s);
+      worst_headroom = std::min(worst_headroom, budget - projected);
+    }
+  }
+
+  const bool fits = context.station.canFit(request.demand_bu);
+  AdmissionDecision decision;
+  decision.accept = worst_headroom >= 0.0 && fits;
+  // Coarse confidence: headroom as a fraction of one cell's budget.
+  const double budget =
+      config_.threshold * static_cast<double>(context.station.capacityBu());
+  decision.score = std::clamp(worst_headroom / budget, -1.0, 1.0);
+  std::ostringstream os;
+  os << "worst-headroom=" << worst_headroom << " BU over " << config_.intervals
+     << " intervals";
+  if (!fits) os << " (no free BU)";
+  decision.rationale = os.str();
+  return decision;
+}
+
+void ShadowClusterController::onAdmitted(const CallRequest& request,
+                                         const AdmissionContext& context) {
+  CellId center = request.target_cell;
+  if (center == cellular::kInvalidCell) center = context.station.cell();
+  Shadow shadow;
+  shadow.state =
+      motionFromSnapshot(request.snapshot, network_.cell(center).center);
+  shadow.demand_bu = static_cast<double>(request.demand_bu);
+  shadow.since_s = context.now_s;
+  // Handoffs refresh the kinematics of an already-tracked call.
+  shadows_[request.call] = shadow;
+}
+
+void ShadowClusterController::onReleased(const CallRequest& request,
+                                         const AdmissionContext& /*context*/) {
+  shadows_.erase(request.call);
+}
+
+}  // namespace facs::scc

@@ -1,0 +1,70 @@
+#pragma once
+/// \file event_queue.hpp
+/// A minimal, deterministic discrete-event queue: events pop in
+/// non-decreasing time order, FIFO among equal timestamps (insertion
+/// sequence breaks ties, so runs are bit-reproducible).
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace facs::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Entry {
+    double time_s = 0.0;
+    std::uint64_t seq = 0;
+    Payload payload;
+  };
+
+  /// Schedules \p payload at \p time_s.
+  /// \throws std::invalid_argument if time_s is non-finite or precedes the
+  ///         last popped event (no time travel).
+  void push(double time_s, Payload payload) {
+    if (!(time_s >= last_popped_s_)) {
+      throw std::invalid_argument(
+          "event scheduled in the past (time must be >= current clock)");
+    }
+    heap_.push(Entry{time_s, next_seq_++, std::move(payload)});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the next event, if any.
+  [[nodiscard]] std::optional<double> peekTime() const {
+    if (heap_.empty()) return std::nullopt;
+    return heap_.top().time_s;
+  }
+
+  /// Pops the earliest event; advances the internal clock.
+  [[nodiscard]] std::optional<Entry> pop() {
+    if (heap_.empty()) return std::nullopt;
+    Entry e = heap_.top();  // top() is const; Payload must be copyable
+    heap_.pop();
+    last_popped_s_ = e.time_s;
+    return e;
+  }
+
+  /// Clock: the time of the most recently popped event.
+  [[nodiscard]] double now() const noexcept { return last_popped_s_; }
+
+ private:
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time_s != b.time_s) return a.time_s > b.time_s;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  double last_popped_s_ = 0.0;
+};
+
+}  // namespace facs::sim

@@ -1,0 +1,123 @@
+#include "sim/experiment.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace facs::sim {
+
+void RunningStat::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / n_;
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ > 1 ? m2_ / (n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStat::ci95() const noexcept {
+  return n_ > 1 ? 1.96 * stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+namespace {
+
+double extract(const Metrics& m, Measure measure) {
+  switch (measure) {
+    case Measure::PercentAccepted:
+      return m.percentAccepted();
+    case Measure::BlockingProbability:
+      return m.blockingProbability();
+    case Measure::DroppingProbability:
+      return m.droppingProbability();
+    case Measure::MeanUtilization:
+      return m.meanUtilization();
+  }
+  return m.percentAccepted();
+}
+
+}  // namespace
+
+SweepResult runSweep(const SweepSpec& sweep,
+                     const std::vector<CurveSpec>& curves, Measure measure) {
+  if (sweep.xs.empty()) {
+    throw std::invalid_argument("sweep needs at least one x value");
+  }
+  if (sweep.replications < 1) {
+    throw std::invalid_argument("sweep needs >= 1 replication");
+  }
+
+  SweepResult result;
+  result.spec = sweep;
+  result.curves.reserve(curves.size());
+
+  for (const CurveSpec& curve : curves) {
+    CurveResult cr;
+    cr.label = curve.label;
+    for (const int x : sweep.xs) {
+      RunningStat stat;
+      for (int rep = 0; rep < sweep.replications; ++rep) {
+        SimulationConfig cfg = curve.base;
+        cfg.total_requests = x;
+        // Common random numbers across curves: the seed depends only on
+        // (base_seed, rep), never on the curve.
+        cfg.seed = splitmix64(
+            sweep.base_seed +
+            std::uint64_t{0x51ED2701} * static_cast<std::uint64_t>(rep));
+        stat.add(extract(runSimulation(cfg, curve.make_controller), measure));
+      }
+      cr.points.push_back({x, stat.mean(), stat.stddev(), stat.ci95(),
+                           stat.count()});
+    }
+    result.curves.push_back(std::move(cr));
+  }
+  return result;
+}
+
+void printTable(std::ostream& os, const SweepResult& result) {
+  os << "# " << result.spec.title << "\n";
+  os << "# y: " << result.spec.y_label
+     << " (mean +/- 95% CI over " << result.spec.replications
+     << " replications)\n";
+
+  os << std::left << std::setw(14) << result.spec.x_label;
+  for (const CurveResult& c : result.curves) {
+    os << std::setw(22) << c.label;
+  }
+  os << "\n";
+
+  for (std::size_t i = 0; i < result.spec.xs.size(); ++i) {
+    os << std::left << std::setw(14) << result.spec.xs[i];
+    for (const CurveResult& c : result.curves) {
+      std::ostringstream cell;
+      cell << std::fixed << std::setprecision(2) << c.points[i].mean
+           << " +/- " << std::setprecision(2) << c.points[i].ci95;
+      os << std::setw(22) << cell.str();
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+void printCsv(std::ostream& os, const SweepResult& result) {
+  os << result.spec.x_label;
+  for (const CurveResult& c : result.curves) {
+    os << "," << c.label << "_mean," << c.label << "_sd";
+  }
+  os << "\n";
+  for (std::size_t i = 0; i < result.spec.xs.size(); ++i) {
+    os << result.spec.xs[i];
+    for (const CurveResult& c : result.curves) {
+      os << "," << c.points[i].mean << "," << c.points[i].stddev;
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+}  // namespace facs::sim

@@ -1,0 +1,89 @@
+#pragma once
+/// \file experiment.hpp
+/// Parameter-sweep harness: runs a set of labelled curves over the paper's
+/// x-axis (number of requesting connections), with replications, and
+/// renders the resulting series as a table or CSV — one call per figure.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace facs::sim {
+
+/// Welford online mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] int count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  ///< Sample variance.
+  [[nodiscard]] double stddev() const noexcept;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  [[nodiscard]] double ci95() const noexcept;
+
+ private:
+  int n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// One curve of a figure: a label, a scenario and a controller.
+struct CurveSpec {
+  std::string label;
+  SimulationConfig base;  ///< total_requests and seed are overridden per point.
+  ControllerFactory make_controller;
+};
+
+/// Sweep settings shared by all curves of a figure.
+struct SweepSpec {
+  std::string title;
+  std::string x_label = "requesting-connections";
+  std::string y_label = "percent-accepted";
+  std::vector<int> xs;       ///< Values of total_requests to simulate.
+  int replications = 10;     ///< Independent seeds per point.
+  std::uint64_t base_seed = 42;
+};
+
+/// Which metric a sweep extracts from each run.
+enum class Measure {
+  PercentAccepted,        ///< The paper's y-axis (new-call acceptance).
+  BlockingProbability,
+  DroppingProbability,
+  MeanUtilization,
+};
+
+struct PointResult {
+  int x = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;
+  int replications = 0;
+};
+
+struct CurveResult {
+  std::string label;
+  std::vector<PointResult> points;
+};
+
+struct SweepResult {
+  SweepSpec spec;
+  std::vector<CurveResult> curves;
+};
+
+/// Runs every (curve, x, replication) combination. Replication r of point x
+/// uses seed = base_seed ^ hash(r) so curves share common random numbers —
+/// the standard variance-reduction device for policy comparisons.
+[[nodiscard]] SweepResult runSweep(const SweepSpec& sweep,
+                                   const std::vector<CurveSpec>& curves,
+                                   Measure measure = Measure::PercentAccepted);
+
+/// Renders an aligned text table: one row per x, one column per curve
+/// ("mean +/- ci95").
+void printTable(std::ostream& os, const SweepResult& result);
+
+/// Renders CSV: x, then mean and stddev per curve.
+void printCsv(std::ostream& os, const SweepResult& result);
+
+}  // namespace facs::sim

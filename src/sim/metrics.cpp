@@ -1,0 +1,19 @@
+#include "sim/metrics.hpp"
+
+#include <sstream>
+
+namespace facs::sim {
+
+std::string Metrics::summary() const {
+  std::ostringstream os;
+  os << "new " << new_accepted << "/" << new_requests << " ("
+     << percentAccepted() << "%)";
+  if (handoff_requests > 0) {
+    os << ", handoff " << handoff_accepted << "/" << handoff_requests
+       << " (drop p=" << droppingProbability() << ")";
+  }
+  os << ", completed " << completed << ", util " << meanUtilization();
+  return os.str();
+}
+
+}  // namespace facs::sim

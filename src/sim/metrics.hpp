@@ -1,0 +1,78 @@
+#pragma once
+/// \file metrics.hpp
+/// Call-level statistics collected by the simulator — the quantities the
+/// paper's figures plot (percentage of accepted calls) plus the standard
+/// CAC quality measures (blocking, dropping, utilization).
+
+#include <array>
+#include <string>
+
+#include "cellular/traffic.hpp"
+
+namespace facs::sim {
+
+/// Aggregated counters for one simulation run.
+struct Metrics {
+  // New-call admission.
+  int new_requests = 0;
+  int new_accepted = 0;
+  int new_blocked = 0;
+
+  // Handoffs.
+  int handoff_requests = 0;
+  int handoff_accepted = 0;
+  int handoff_dropped = 0;
+
+  int completed = 0;  ///< Calls that ended normally.
+
+  // Per-class acceptance (indexed by ServiceClass).
+  std::array<int, cellular::kServiceClassCount> class_requests{};
+  std::array<int, cellular::kServiceClassCount> class_accepted{};
+
+  // Time-weighted bandwidth usage.
+  double busy_bu_seconds = 0.0;   ///< Integral of occupied BU over time.
+  double observed_span_s = 0.0;   ///< Simulated span the integral covers.
+  cellular::BandwidthUnits total_capacity_bu = 0;
+
+  /// The paper's y-axis: accepted / requesting new connections, in percent.
+  /// 100 when no request was made (an empty x=0 point plots at the top).
+  [[nodiscard]] double percentAccepted() const noexcept {
+    if (new_requests == 0) return 100.0;
+    return 100.0 * static_cast<double>(new_accepted) /
+           static_cast<double>(new_requests);
+  }
+
+  /// New-call blocking probability in [0, 1].
+  [[nodiscard]] double blockingProbability() const noexcept {
+    if (new_requests == 0) return 0.0;
+    return static_cast<double>(new_blocked) /
+           static_cast<double>(new_requests);
+  }
+
+  /// Handoff dropping probability in [0, 1].
+  [[nodiscard]] double droppingProbability() const noexcept {
+    if (handoff_requests == 0) return 0.0;
+    return static_cast<double>(handoff_dropped) /
+           static_cast<double>(handoff_requests);
+  }
+
+  /// Mean fraction of total capacity in use over the observed span.
+  [[nodiscard]] double meanUtilization() const noexcept {
+    if (observed_span_s <= 0.0 || total_capacity_bu <= 0) return 0.0;
+    return busy_bu_seconds /
+           (observed_span_s * static_cast<double>(total_capacity_bu));
+  }
+
+  [[nodiscard]] double percentAcceptedForClass(
+      cellular::ServiceClass c) const noexcept {
+    const auto i = static_cast<std::size_t>(c);
+    if (class_requests[i] == 0) return 100.0;
+    return 100.0 * static_cast<double>(class_accepted[i]) /
+           static_cast<double>(class_requests[i]);
+  }
+
+  /// One-line human-readable summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace facs::sim

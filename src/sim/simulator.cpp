@@ -1,0 +1,365 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "mobility/gps.hpp"
+#include "sim/event_queue.hpp"
+
+namespace facs::sim {
+
+namespace {
+
+using cellular::AdmissionContext;
+using cellular::CallId;
+using cellular::CallRequest;
+using cellular::CellId;
+using cellular::HexNetwork;
+using cellular::ServiceClass;
+using mobility::MotionState;
+
+/// Simulator event: what to do, and to which call.
+struct Event {
+  enum class Kind { Decision, End, Tick };
+  Kind kind = Kind::Tick;
+  CallId call = 0;
+};
+
+/// A request waiting for its admission decision (user being GPS-tracked).
+struct PendingDecision {
+  CallRequest request;
+  MotionState state;  ///< Ground truth at decision time.
+  std::shared_ptr<mobility::SpeedDependentTurn> model;
+};
+
+/// An admitted call.
+struct ActiveCall {
+  CallRequest request;  ///< target_cell kept current across handoffs.
+  MotionState state;
+  std::shared_ptr<mobility::SpeedDependentTurn> model;
+};
+
+void validate(const SimulationConfig& cfg) {
+  if (cfg.total_requests < 0) {
+    throw std::invalid_argument("total_requests must be >= 0");
+  }
+  if (!(cfg.arrival_window_s > 0.0)) {
+    throw std::invalid_argument("arrival window must be positive");
+  }
+  if (cfg.warmup_s < 0.0) {
+    throw std::invalid_argument("warmup must be >= 0");
+  }
+  if (cfg.enable_handoffs && !(cfg.mobility_update_s > 0.0)) {
+    throw std::invalid_argument("mobility update period must be positive");
+  }
+  const ScenarioParams& s = cfg.scenario;
+  if (s.tracking_window_s < 0.0) {
+    throw std::invalid_argument("tracking window must be >= 0");
+  }
+  if (s.tracking_window_s > 0.0 &&
+      (!(s.gps_fix_period_s > 0.0) ||
+       s.gps_fix_period_s > s.tracking_window_s)) {
+    throw std::invalid_argument(
+        "GPS fix period must be in (0, tracking_window]");
+  }
+}
+
+class Run {
+ public:
+  Run(const SimulationConfig& cfg, const ControllerFactory& make_controller)
+      : cfg_{cfg},
+        network_{cfg.rings, cfg.cell_radius_km, cfg.capacity_bu},
+        controller_{make_controller(network_)},
+        arrival_rng_{makeRng(cfg.seed, 0)},
+        user_rng_{makeRng(cfg.seed, 1)},
+        gps_rng_{makeRng(cfg.seed, 2)},
+        holding_rng_{makeRng(cfg.seed, 3)} {
+    if (!controller_) {
+      throw std::invalid_argument("controller factory returned nullptr");
+    }
+  }
+
+  Metrics execute() {
+    scheduleArrivals();
+    if (cfg_.enable_handoffs && pending_decisions_ > 0) {
+      queue_.push(cfg_.mobility_update_s, Event{Event::Kind::Tick, 0});
+    }
+
+    while (auto entry = queue_.pop()) {
+      const double now = entry->time_s;
+      switch (entry->payload.kind) {
+        case Event::Kind::Decision:
+          handleDecision(entry->payload.call, now);
+          break;
+        case Event::Kind::End:
+          handleEnd(entry->payload.call, now);
+          break;
+        case Event::Kind::Tick:
+          handleTick(now);
+          break;
+      }
+    }
+
+    metrics_.observed_span_s = std::max(0.0, last_change_s_ - cfg_.warmup_s);
+    metrics_.total_capacity_bu = network_.totalCapacityBu();
+    return metrics_;
+  }
+
+ private:
+  /// Integrates occupied-BU time up to \p now (call before any change).
+  /// Time before the warm-up boundary is excluded from the integral.
+  void noteOccupancy(double now) {
+    const double from = std::max(last_change_s_, cfg_.warmup_s);
+    if (now > from) {
+      metrics_.busy_bu_seconds +=
+          static_cast<double>(network_.totalOccupiedBu()) * (now - from);
+    }
+    last_change_s_ = now;
+  }
+
+  [[nodiscard]] bool counted(double now) const noexcept {
+    return now >= cfg_.warmup_s;
+  }
+
+  void scheduleArrivals() {
+    std::vector<double> times;
+    times.reserve(static_cast<std::size_t>(cfg_.total_requests));
+    if (cfg_.arrivals == ArrivalProcess::UniformBurst) {
+      for (int i = 0; i < cfg_.total_requests; ++i) {
+        times.push_back(
+            sampleUniform(arrival_rng_, 0.0, cfg_.arrival_window_s));
+      }
+      std::sort(times.begin(), times.end());
+    } else {
+      const double rate = static_cast<double>(cfg_.total_requests) /
+                          cfg_.arrival_window_s;
+      double t = 0.0;
+      for (int i = 0; i < cfg_.total_requests; ++i) {
+        t += sampleExponential(arrival_rng_, 1.0 / rate);
+        times.push_back(t);
+      }
+    }
+
+    for (const double t : times) {
+      const CallId id = next_call_++;
+      prepareRequest(id, t);
+    }
+  }
+
+  /// Draws a user, tracks it through the GPS window and schedules the
+  /// admission decision. Movement is independent of network state, so the
+  /// whole window is computed here; the decision still fires at t + W so
+  /// the counter state it sees is current.
+  void prepareRequest(CallId id, double arrival_s) {
+    std::uniform_int_distribution<std::size_t> cell_pick{
+        0, network_.cellCount() - 1};
+    const CellId spawn_cell = static_cast<CellId>(cell_pick(user_rng_));
+    const RequestPlan plan = drawRequest(
+        cfg_.scenario, network_.cell(spawn_cell).center, spawn_cell, user_rng_);
+
+    PendingDecision pending;
+    pending.model = std::make_shared<mobility::SpeedDependentTurn>(
+        cfg_.scenario.turn);
+    pending.state = plan.initial;
+
+    const double window = cfg_.scenario.tracking_window_s;
+    cellular::UserSnapshot snapshot;
+    CellId target = plan.target_cell;
+    if (window > 0.0) {
+      // Collect fixes while the user moves; the estimator reconstructs
+      // (S, A, D) exactly as a GPS-fed controller would.
+      const mobility::GpsSampler sampler{
+          cfg_.scenario.gps_error_m.value_or(0.0)};
+      const double period = cfg_.scenario.gps_fix_period_s;
+      const int fix_count = static_cast<int>(window / period) + 1;
+      mobility::GpsEstimator estimator{
+          static_cast<std::size_t>(std::max(2, fix_count))};
+      estimator.addFix(
+          sampler.sample(arrival_s, pending.state.position_km, gps_rng_));
+      for (int i = 1; i < fix_count; ++i) {
+        pending.model->step(pending.state, period, gps_rng_);
+        estimator.addFix(sampler.sample(arrival_s + i * period,
+                                        pending.state.position_km, gps_rng_));
+      }
+      // The user may have wandered into a neighbouring cell while tracked.
+      target = network_.cellAt(pending.state.position_km).value_or(target);
+      snapshot = estimator.snapshot(network_.cell(target).center);
+      snapshot.position = pending.state.position_km;  // ledger-grade position
+    } else {
+      snapshot =
+          mobility::snapshotFromTruth(pending.state,
+                                      network_.cell(target).center);
+    }
+
+    CallRequest req;
+    req.call = id;
+    req.user = id;
+    req.service = plan.service;
+    req.demand_bu = cellular::profileFor(plan.service).demand_bu;
+    req.snapshot = snapshot;
+    req.target_cell = target;
+    req.is_handoff = false;
+    pending.request = req;
+
+    pending_[id] = std::move(pending);
+    ++pending_decisions_;
+    queue_.push(arrival_s + window, Event{Event::Kind::Decision, id});
+  }
+
+  void handleDecision(CallId id, double now) {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    PendingDecision pending = std::move(it->second);
+    pending_.erase(it);
+    --pending_decisions_;
+
+    const CallRequest& req = pending.request;
+    cellular::BaseStation& station = network_.station(req.target_cell);
+    const AdmissionContext ctx{station, now};
+
+    const bool count = counted(now);
+    if (count) {
+      ++metrics_.new_requests;
+      ++metrics_.class_requests[static_cast<std::size_t>(req.service)];
+    }
+
+    const cellular::AdmissionDecision decision =
+        controller_->decide(req, ctx);
+    // Defence in depth: an accept that does not fit would corrupt the
+    // ledger, so the simulator re-checks the invariant the policy promised.
+    const bool admit = decision.accept && station.canFit(req.demand_bu);
+
+    if (!admit) {
+      if (count) ++metrics_.new_blocked;
+      controller_->onRejected(req, ctx);
+      return;
+    }
+
+    noteOccupancy(now);
+    station.allocate(req.call, req.demand_bu,
+                     cellular::profileFor(req.service).real_time);
+    if (count) {
+      ++metrics_.new_accepted;
+      ++metrics_.class_accepted[static_cast<std::size_t>(req.service)];
+    }
+    controller_->onAdmitted(req, ctx);
+
+    ActiveCall active;
+    active.request = req;
+    active.state = pending.state;
+    active.model = std::move(pending.model);
+    active_[id] = std::move(active);
+
+    const double holding = sampleExponential(
+        holding_rng_, cellular::profileFor(req.service).mean_holding_s);
+    queue_.push(now + holding, Event{Event::Kind::End, id});
+  }
+
+  void handleEnd(CallId id, double now) {
+    const auto it = active_.find(id);
+    if (it == active_.end()) return;  // dropped at a handoff earlier
+    const ActiveCall& call = it->second;
+    cellular::BaseStation& station = network_.station(call.request.target_cell);
+    noteOccupancy(now);
+    station.release(id);
+    if (counted(now)) ++metrics_.completed;
+    controller_->onReleased(call.request, AdmissionContext{station, now});
+    active_.erase(it);
+  }
+
+  void handleTick(double now) {
+    // Snapshot ids in sorted order: handoffs may erase map entries while we
+    // iterate, and a deterministic visit order keeps runs reproducible.
+    std::vector<CallId> ids;
+    ids.reserve(active_.size());
+    for (const auto& [id, call] : active_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+
+    for (const CallId id : ids) {
+      const auto it = active_.find(id);
+      if (it == active_.end()) continue;
+      ActiveCall& call = it->second;
+      call.model->step(call.state, cfg_.mobility_update_s, user_rng_);
+      const auto new_cell = network_.cellAt(call.state.position_km);
+      if (!new_cell) {
+        // Left coverage entirely: account as a completed departure.
+        handleEnd(id, now);
+        continue;
+      }
+      if (*new_cell != call.request.target_cell) {
+        handleHandoff(id, call, *new_cell, now);
+      }
+    }
+
+    // Keep ticking while there is anything left to move or decide.
+    if (!active_.empty() || pending_decisions_ > 0) {
+      queue_.push(now + cfg_.mobility_update_s, Event{Event::Kind::Tick, 0});
+    }
+  }
+
+  /// Attempts to move \p call into \p new_cell; drops it on rejection.
+  void handleHandoff(CallId id, ActiveCall& call, CellId new_cell,
+                     double now) {
+    cellular::BaseStation& old_station =
+        network_.station(call.request.target_cell);
+    cellular::BaseStation& new_station = network_.station(new_cell);
+
+    CallRequest req = call.request;
+    req.is_handoff = true;
+    req.target_cell = new_cell;
+    req.snapshot =
+        mobility::snapshotFromTruth(call.state, network_.cell(new_cell).center);
+
+    const bool count = counted(now);
+    if (count) ++metrics_.handoff_requests;
+    const AdmissionContext ctx{new_station, now};
+    const cellular::AdmissionDecision decision = controller_->decide(req, ctx);
+    const bool admit = decision.accept && new_station.canFit(req.demand_bu);
+
+    noteOccupancy(now);
+    old_station.release(id);
+    if (admit) {
+      new_station.allocate(id, req.demand_bu,
+                           cellular::profileFor(req.service).real_time);
+      if (count) ++metrics_.handoff_accepted;
+      controller_->onAdmitted(req, ctx);  // refreshes SCC kinematics too
+      call.request = req;
+    } else {
+      if (count) ++metrics_.handoff_dropped;
+      controller_->onRejected(req, ctx);
+      controller_->onReleased(call.request,
+                              AdmissionContext{old_station, now});
+      // The End event for this call becomes a no-op.
+      active_.erase(id);
+    }
+  }
+
+  SimulationConfig cfg_;
+  HexNetwork network_;
+  std::unique_ptr<cellular::AdmissionController> controller_;
+  Rng arrival_rng_;
+  Rng user_rng_;
+  Rng gps_rng_;
+  Rng holding_rng_;
+
+  EventQueue<Event> queue_;
+  std::unordered_map<CallId, PendingDecision> pending_;
+  std::unordered_map<CallId, ActiveCall> active_;
+  int pending_decisions_ = 0;
+  CallId next_call_ = 1;
+  double last_change_s_ = 0.0;
+  Metrics metrics_;
+};
+
+}  // namespace
+
+Metrics runSimulation(const SimulationConfig& config,
+                      const ControllerFactory& make_controller) {
+  validate(config);
+  Run run{config, make_controller};
+  return run.execute();
+}
+
+}  // namespace facs::sim

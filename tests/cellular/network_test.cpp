@@ -1,0 +1,95 @@
+#include "cellular/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cellular/call.hpp"
+
+namespace facs::cellular {
+namespace {
+
+TEST(HexNetwork, SingleCellPaperSetup) {
+  const HexNetwork net{0};
+  EXPECT_EQ(net.cellCount(), 1u);
+  EXPECT_DOUBLE_EQ(net.cellRadiusKm(), 10.0);
+  EXPECT_EQ(net.station(0).capacityBu(), kPaperCellCapacityBu);
+  EXPECT_EQ(net.cell(0).center, (Vec2{0.0, 0.0}));
+  EXPECT_TRUE(net.neighbors(0).empty());
+}
+
+TEST(HexNetwork, Validation) {
+  EXPECT_THROW(HexNetwork(-1), std::invalid_argument);
+  EXPECT_THROW(HexNetwork(1, 0.0), std::invalid_argument);
+  EXPECT_THROW(HexNetwork(1, 10.0, 0), std::invalid_argument);
+}
+
+TEST(HexNetwork, OneRingHasSevenCellsWithCorrectAdjacency) {
+  const HexNetwork net{1};
+  EXPECT_EQ(net.cellCount(), 7u);
+  // Centre touches all six others.
+  EXPECT_EQ(net.neighbors(0).size(), 6u);
+  // Ring cells touch the centre plus two ring siblings (3 in-network).
+  for (CellId id = 1; id < 7; ++id) {
+    EXPECT_EQ(net.neighbors(id).size(), 3u) << "cell " << id;
+  }
+}
+
+TEST(HexNetwork, TwoRingAdjacencyCounts) {
+  const HexNetwork net{2};
+  EXPECT_EQ(net.cellCount(), 19u);
+  EXPECT_EQ(net.neighbors(0).size(), 6u);
+  // Inner-ring cells now have all 6 neighbours in-network.
+  for (CellId id = 1; id < 7; ++id) {
+    EXPECT_EQ(net.neighbors(id).size(), 6u) << "cell " << id;
+  }
+}
+
+TEST(HexNetwork, CellAtFindsCentersAndRejectsOutside) {
+  const HexNetwork net{1, 10.0};
+  for (const Cell& c : net.cells()) {
+    const auto found = net.cellAt(c.center);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, c.id);
+  }
+  // Far outside the 7-cell disk.
+  EXPECT_FALSE(net.cellAt({200.0, 200.0}).has_value());
+}
+
+TEST(HexNetwork, DistanceToStation) {
+  const HexNetwork net{0, 10.0};
+  EXPECT_DOUBLE_EQ(net.distanceToStationKm({3.0, 4.0}, 0), 5.0);
+}
+
+TEST(HexNetwork, StationLedgersAreIndependent) {
+  HexNetwork net{1};
+  net.station(0).allocate(1, 10, true);
+  net.station(3).allocate(2, 5, false);
+  EXPECT_EQ(net.station(0).occupiedBu(), 10);
+  EXPECT_EQ(net.station(3).occupiedBu(), 5);
+  EXPECT_EQ(net.station(1).occupiedBu(), 0);
+  EXPECT_EQ(net.totalOccupiedBu(), 15);
+  EXPECT_EQ(net.totalCapacityBu(), 7 * kPaperCellCapacityBu);
+}
+
+TEST(HexNetwork, NeighborsAreSymmetric) {
+  const HexNetwork net{2};
+  for (CellId a = 0; a < net.cellCount(); ++a) {
+    for (const CellId b : net.neighbors(a)) {
+      const auto& back = net.neighbors(b);
+      EXPECT_NE(std::find(back.begin(), back.end(), a), back.end())
+          << "edge " << a << " -> " << b << " not symmetric";
+    }
+  }
+}
+
+TEST(CallStateNames, ToString) {
+  EXPECT_EQ(toString(CallState::Requested), "requested");
+  EXPECT_EQ(toString(CallState::Active), "active");
+  EXPECT_EQ(toString(CallState::Completed), "completed");
+  EXPECT_EQ(toString(CallState::Blocked), "blocked");
+  EXPECT_EQ(toString(CallState::Dropped), "dropped");
+}
+
+}  // namespace
+}  // namespace facs::cellular

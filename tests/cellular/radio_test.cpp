@@ -1,0 +1,151 @@
+#include "cellular/radio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace facs::cellular {
+namespace {
+
+TEST(DbHelpers, RoundTrips) {
+  EXPECT_NEAR(dbToLinear(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbToLinear(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(dbToLinear(-30.0), 0.001, 1e-12);
+  EXPECT_NEAR(linearToDb(100.0), 20.0, 1e-12);
+  for (double db = -120.0; db <= 50.0; db += 10.0) {
+    EXPECT_NEAR(linearToDb(dbToLinear(db)), db, 1e-9);
+    EXPECT_NEAR(mwToDbm(dbmToMw(db)), db, 1e-9);
+  }
+}
+
+TEST(PathLoss, ReferencePointAndSlope) {
+  PathLossParams p;
+  p.reference_loss_db = 128.1;
+  p.reference_distance_km = 1.0;
+  p.exponent = 3.76;
+  EXPECT_NEAR(pathLossDb(p, 1.0), 128.1, 1e-12);
+  // One decade of distance adds 10 n dB.
+  EXPECT_NEAR(pathLossDb(p, 10.0) - pathLossDb(p, 1.0), 37.6, 1e-9);
+  // Monotone in distance.
+  double prev = 0.0;
+  for (double d = 0.05; d <= 20.0; d += 0.5) {
+    const double loss = pathLossDb(p, d);
+    EXPECT_GT(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(PathLoss, ClampsNearFieldAndRejectsNegative) {
+  PathLossParams p;
+  EXPECT_DOUBLE_EQ(pathLossDb(p, 0.0), pathLossDb(p, p.min_distance_km));
+  EXPECT_THROW((void)pathLossDb(p, -1.0), std::invalid_argument);
+}
+
+TEST(PathLoss, ShadowingIsZeroMeanAndDisablable) {
+  PathLossParams p;
+  p.shadowing_sigma_db = 8.0;
+  std::mt19937_64 rng{1};
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += shadowedPathLossDb(p, 2.0, rng) - pathLossDb(p, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.2);
+
+  p.shadowing_sigma_db = 0.0;
+  EXPECT_DOUBLE_EQ(shadowedPathLossDb(p, 2.0, rng), pathLossDb(p, 2.0));
+}
+
+TEST(RadioModel, ValidatesConfig) {
+  const HexNetwork net{0};
+  RadioConfig bad;
+  bad.activity_factor = 1.5;
+  EXPECT_THROW(RadioModel(net, bad), std::invalid_argument);
+  bad = {};
+  bad.path_loss.exponent = 0.0;
+  EXPECT_THROW(RadioModel(net, bad), std::invalid_argument);
+  bad = {};
+  bad.path_loss.min_distance_km = 0.0;
+  EXPECT_THROW(RadioModel(net, bad), std::invalid_argument);
+}
+
+TEST(RadioModel, ReceivedPowerFallsWithDistance) {
+  const HexNetwork net{0};
+  const RadioModel radio{net};
+  const double near = radio.receivedPowerDbm({0.5, 0.0}, 0);
+  const double far = radio.receivedPowerDbm({8.0, 0.0}, 0);
+  EXPECT_GT(near, far);
+  // Sanity: 43 dBm through the default 100 dB reference loss at 1 km.
+  EXPECT_NEAR(radio.receivedPowerDbm({1.0, 0.0}, 0), 43.0 - 100.0, 1e-9);
+  // The 10 km cell edge keeps a usable noise-limited link budget.
+  EXPECT_GT(radio.receivedPowerDbm({10.0, 0.0}, 0),
+            radio.config().noise_floor_dbm + 10.0);
+}
+
+TEST(RadioModel, IdleNetworkIsNoiseLimited) {
+  const HexNetwork net{1};
+  const RadioModel radio{net};
+  // No cell carries traffic: SINR = SNR = Prx - noise floor.
+  const double sinr = radio.sinrDb({1.0, 0.0}, 0);
+  const double snr = radio.receivedPowerDbm({1.0, 0.0}, 0) -
+                     radio.config().noise_floor_dbm;
+  EXPECT_NEAR(sinr, snr, 1e-9);
+}
+
+TEST(RadioModel, LoadedNeighborDegradesSinr) {
+  HexNetwork net{1};
+  const RadioModel radio{net};
+  const Vec2 user{6.0, 0.0};  // toward the eastern neighbour
+  const double quiet = radio.sinrDb(user, 0);
+  net.station(3).allocate(1, 40, true);  // east cell fully loaded
+  const double loud = radio.sinrDb(user, 0);
+  EXPECT_LT(loud, quiet - 3.0);  // several dB of co-channel interference
+}
+
+TEST(RadioModel, SinrDegradesGraduallyWithNeighborUtilization) {
+  HexNetwork net{1};
+  const RadioModel radio{net};
+  const Vec2 user{6.0, 0.0};
+  double prev = radio.sinrDb(user, 0);
+  for (const BandwidthUnits bu : {10, 20, 30, 40}) {
+    HexNetwork fresh{1};
+    fresh.station(3).allocate(1, bu, true);
+    const RadioModel r2{fresh};
+    const double sinr = r2.sinrDb(user, 0);
+    EXPECT_LT(sinr, prev);
+    prev = sinr;
+  }
+}
+
+TEST(RadioModel, CellEdgeIsWorseThanCellCentre) {
+  HexNetwork net{1};
+  // All neighbours half loaded.
+  for (CellId id = 1; id < 7; ++id) net.station(id).allocate(id, 20, true);
+  const RadioModel radio{net};
+  EXPECT_GT(radio.sinrDb({0.5, 0.0}, 0), radio.sinrDb({8.0, 0.0}, 0));
+}
+
+TEST(RadioModel, ShadowedSinrVariesAroundDeterministic) {
+  HexNetwork net{1};
+  net.station(3).allocate(1, 40, true);
+  const RadioModel radio{net};
+  std::mt19937_64 rng{3};
+  const Vec2 user{4.0, 0.0};
+  const double det = radio.sinrDb(user, 0);
+  double sum = 0.0;
+  double min = 1e9;
+  double max = -1e9;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double s = radio.shadowedSinrDb(user, 0, rng);
+    sum += s;
+    min = std::min(min, s);
+    max = std::max(max, s);
+  }
+  EXPECT_GT(max, det + 4.0);  // 8 dB shadowing spreads wide
+  EXPECT_LT(min, det - 4.0);
+  EXPECT_NEAR(sum / n, det, 3.0);  // roughly centred (log-domain skew allowed)
+}
+
+}  // namespace
+}  // namespace facs::cellular

@@ -1,0 +1,123 @@
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace facs::sim {
+namespace {
+
+TEST(Cli, DefaultsWhenEmpty) {
+  const CliOptions opt = parseCli({});
+  EXPECT_EQ(opt.policy, PolicyChoice::Facs);
+  EXPECT_EQ(opt.config.total_requests, 50);
+  EXPECT_FALSE(opt.csv);
+  EXPECT_FALSE(opt.help);
+  EXPECT_TRUE(opt.sweep_xs.empty());
+}
+
+TEST(Cli, ParsesPolicies) {
+  EXPECT_EQ(parseCli({"--policy", "facs"}).policy, PolicyChoice::Facs);
+  EXPECT_EQ(parseCli({"--policy", "scc"}).policy, PolicyChoice::Scc);
+  EXPECT_EQ(parseCli({"--policy", "cs"}).policy,
+            PolicyChoice::CompleteSharing);
+  EXPECT_EQ(parseCli({"--policy", "guard"}).policy,
+            PolicyChoice::GuardChannel);
+  EXPECT_EQ(parseCli({"--policy", "threshold"}).policy,
+            PolicyChoice::MultiThreshold);
+  EXPECT_THROW((void)parseCli({"--policy", "nope"}), CliError);
+}
+
+TEST(Cli, ParsesWorkloadFlags) {
+  const CliOptions opt = parseCli(
+      {"--requests", "80", "--window", "300", "--seed", "9", "--poisson",
+       "--warmup", "120", "--speed", "30:60", "--angle", "15:20",
+       "--distance", "2:8", "--tracking-window", "10", "--gps-error", "25"});
+  EXPECT_EQ(opt.config.total_requests, 80);
+  EXPECT_DOUBLE_EQ(opt.config.arrival_window_s, 300.0);
+  EXPECT_EQ(opt.config.seed, 9u);
+  EXPECT_EQ(opt.config.arrivals, ArrivalProcess::Poisson);
+  EXPECT_DOUBLE_EQ(opt.config.warmup_s, 120.0);
+  EXPECT_DOUBLE_EQ(opt.config.scenario.speed_min_kmh, 30.0);
+  EXPECT_DOUBLE_EQ(opt.config.scenario.speed_max_kmh, 60.0);
+  EXPECT_DOUBLE_EQ(opt.config.scenario.angle_mean_deg, 15.0);
+  EXPECT_DOUBLE_EQ(opt.config.scenario.angle_sigma_deg, 20.0);
+  EXPECT_DOUBLE_EQ(opt.config.scenario.distance_min_km, 2.0);
+  EXPECT_DOUBLE_EQ(opt.config.scenario.distance_max_km, 8.0);
+  EXPECT_DOUBLE_EQ(opt.config.scenario.tracking_window_s, 10.0);
+  ASSERT_TRUE(opt.config.scenario.gps_error_m.has_value());
+  EXPECT_DOUBLE_EQ(*opt.config.scenario.gps_error_m, 25.0);
+}
+
+TEST(Cli, SingleValueRangesAndExactAngle) {
+  const CliOptions opt =
+      parseCli({"--speed", "60", "--angle", "45", "--distance", "7"});
+  EXPECT_DOUBLE_EQ(opt.config.scenario.speed_min_kmh, 60.0);
+  EXPECT_DOUBLE_EQ(opt.config.scenario.speed_max_kmh, 60.0);
+  EXPECT_DOUBLE_EQ(opt.config.scenario.angle_mean_deg, 45.0);
+  EXPECT_DOUBLE_EQ(opt.config.scenario.angle_sigma_deg, 0.0);  // exact
+  EXPECT_DOUBLE_EQ(opt.config.scenario.distance_min_km, 7.0);
+}
+
+TEST(Cli, NetworkAndPolicyKnobs) {
+  const CliOptions opt = parseCli({"--rings", "2", "--cell-radius", "2.5",
+                                   "--capacity", "80", "--handoffs",
+                                   "--guard-bu", "12", "--facs-threshold",
+                                   "0.25", "--no-gps"});
+  EXPECT_EQ(opt.config.rings, 2);
+  EXPECT_DOUBLE_EQ(opt.config.cell_radius_km, 2.5);
+  EXPECT_EQ(opt.config.capacity_bu, 80);
+  EXPECT_TRUE(opt.config.enable_handoffs);
+  EXPECT_EQ(opt.guard_bu, 12);
+  EXPECT_DOUBLE_EQ(opt.facs_threshold, 0.25);
+  EXPECT_FALSE(opt.config.scenario.gps_error_m.has_value());
+}
+
+TEST(Cli, SweepAndOutput) {
+  const CliOptions opt =
+      parseCli({"--sweep", "10,50,100", "--reps", "3", "--csv"});
+  EXPECT_EQ(opt.sweep_xs, (std::vector<int>{10, 50, 100}));
+  EXPECT_EQ(opt.replications, 3);
+  EXPECT_TRUE(opt.csv);
+}
+
+TEST(Cli, HelpFlag) {
+  EXPECT_TRUE(parseCli({"--help"}).help);
+  EXPECT_TRUE(parseCli({"-h"}).help);
+  EXPECT_NE(cliUsage().find("--policy"), std::string::npos);
+}
+
+TEST(Cli, Errors) {
+  EXPECT_THROW((void)parseCli({"--bogus"}), CliError);
+  EXPECT_THROW((void)parseCli({"--requests"}), CliError);        // missing value
+  EXPECT_THROW((void)parseCli({"--requests", "ten"}), CliError); // not a number
+  EXPECT_THROW((void)parseCli({"--requests", "1.5"}), CliError); // not an int
+  EXPECT_THROW((void)parseCli({"--sweep", ","}), CliError);      // empty list
+}
+
+TEST(Cli, FactoriesProduceWorkingControllers) {
+  for (const char* policy : {"facs", "scc", "cs", "guard", "threshold"}) {
+    const CliOptions opt = parseCli({"--policy", policy});
+    const ControllerFactory factory = makeFactory(opt);
+    const cellular::HexNetwork net{1};
+    const auto controller = factory(net);
+    ASSERT_NE(controller, nullptr) << policy;
+    EXPECT_FALSE(controller->name().empty()) << policy;
+  }
+}
+
+TEST(Cli, EndToEndRunWithParsedConfig) {
+  CliOptions opt = parseCli({"--policy", "cs", "--requests", "30",
+                             "--tracking-window", "0", "--no-gps"});
+  const Metrics m = runSimulation(opt.config, makeFactory(opt));
+  EXPECT_EQ(m.new_requests, 30);
+}
+
+TEST(Cli, PolicyNamesRoundTrip) {
+  EXPECT_EQ(toString(PolicyChoice::Facs), "facs");
+  EXPECT_EQ(toString(PolicyChoice::Scc), "scc");
+  EXPECT_EQ(toString(PolicyChoice::CompleteSharing), "cs");
+  EXPECT_EQ(toString(PolicyChoice::GuardChannel), "guard");
+  EXPECT_EQ(toString(PolicyChoice::MultiThreshold), "threshold");
+}
+
+}  // namespace
+}  // namespace facs::sim

@@ -1,0 +1,206 @@
+#include "core/facs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace facs::core {
+namespace {
+
+using cellular::AdmissionContext;
+using cellular::BaseStation;
+using cellular::CallRequest;
+using cellular::ServiceClass;
+using cellular::UserSnapshot;
+
+UserSnapshot idealUser() {
+  UserSnapshot u;
+  u.speed_kmh = 100.0;
+  u.angle_deg = 0.0;
+  u.distance_km = 1.0;
+  u.position = {1.0, 0.0};
+  return u;
+}
+
+UserSnapshot erraticUser() {
+  UserSnapshot u;
+  u.speed_kmh = 4.0;
+  u.angle_deg = 160.0;
+  u.distance_km = 9.0;
+  u.position = {9.0, 0.0};
+  return u;
+}
+
+CallRequest makeRequest(const UserSnapshot& user, ServiceClass service,
+                        bool handoff = false) {
+  CallRequest r;
+  r.call = 1;
+  r.user = 1;
+  r.service = service;
+  r.demand_bu = cellular::profileFor(service).demand_bu;
+  r.snapshot = user;
+  r.target_cell = 0;
+  r.is_handoff = handoff;
+  return r;
+}
+
+TEST(SoftDecisionNames, ToString) {
+  EXPECT_EQ(toString(SoftDecision::Reject), "reject");
+  EXPECT_EQ(toString(SoftDecision::WeakReject), "weak-reject");
+  EXPECT_EQ(toString(SoftDecision::NotRejectNotAccept),
+            "not-reject-not-accept");
+  EXPECT_EQ(toString(SoftDecision::WeakAccept), "weak-accept");
+  EXPECT_EQ(toString(SoftDecision::Accept), "accept");
+}
+
+TEST(FacsController, ClassifyMapsOntoFiveLevels) {
+  const FacsController facs;
+  EXPECT_EQ(facs.classify(-0.95), SoftDecision::Reject);
+  EXPECT_EQ(facs.classify(-0.5), SoftDecision::WeakReject);
+  EXPECT_EQ(facs.classify(0.0), SoftDecision::NotRejectNotAccept);
+  EXPECT_EQ(facs.classify(0.5), SoftDecision::WeakAccept);
+  EXPECT_EQ(facs.classify(0.95), SoftDecision::Accept);
+}
+
+TEST(FacsController, IdealUserOnEmptyCellIsAccepted) {
+  const FacsController facs;
+  const FacsEvaluation eval = facs.evaluate(idealUser(), 5.0, 0.0);
+  EXPECT_GT(eval.cv, 0.8);
+  EXPECT_GT(eval.ar, 0.5);
+  EXPECT_TRUE(eval.accept);
+  EXPECT_EQ(eval.soft, SoftDecision::Accept);
+}
+
+TEST(FacsController, ErraticUserOnFullCellIsRejected) {
+  const FacsController facs;
+  const FacsEvaluation eval = facs.evaluate(erraticUser(), 10.0, 40.0);
+  EXPECT_LT(eval.cv, 0.3);
+  EXPECT_FALSE(eval.accept);
+}
+
+TEST(FacsController, CascadePassesCvIntoFlc2) {
+  const FacsController facs;
+  const double cv_good = facs.predictCv(idealUser());
+  const double cv_bad = facs.predictCv(erraticUser());
+  EXPECT_GT(cv_good, cv_bad + 0.4);
+
+  // At middling occupancy the better prediction translates into a better
+  // admission score — the cascade is live.
+  const FacsEvaluation good = facs.evaluate(idealUser(), 5.0, 20.0);
+  const FacsEvaluation bad = facs.evaluate(erraticUser(), 5.0, 20.0);
+  EXPECT_GT(good.ar, bad.ar);
+}
+
+TEST(FacsController, OccupancyTightensAdmission) {
+  const FacsController facs;
+  const FacsEvaluation empty = facs.evaluate(idealUser(), 10.0, 0.0);
+  const FacsEvaluation mid = facs.evaluate(idealUser(), 10.0, 20.0);
+  const FacsEvaluation full = facs.evaluate(idealUser(), 10.0, 40.0);
+  EXPECT_GT(empty.ar, mid.ar - 1e-9);
+  EXPECT_GT(mid.ar, full.ar);
+  EXPECT_TRUE(empty.accept);
+  EXPECT_FALSE(full.accept);  // G & Vi & F -> R
+}
+
+TEST(FacsController, ThresholdIsConfigurable) {
+  FacsConfig strict;
+  strict.accept_threshold = 0.6;
+  const FacsController facs{strict};
+  // Weak accept (~0.5) fails a 0.6 threshold.
+  const FacsEvaluation eval = facs.evaluate(erraticUser(), 10.0, 0.0);
+  EXPECT_EQ(eval.soft, SoftDecision::WeakAccept);
+  EXPECT_FALSE(eval.accept);
+}
+
+TEST(FacsController, PriorityBiasLowersThreshold) {
+  FacsConfig cfg;
+  cfg.accept_threshold = 0.6;
+  cfg.priority_bias = 0.2;
+  const FacsController facs{cfg};
+  const FacsEvaluation plain = facs.evaluate(erraticUser(), 10.0, 0.0);
+  const FacsEvaluation prio =
+      facs.evaluate(erraticUser(), 10.0, 0.0, /*is_handoff=*/false,
+                    /*priority=*/2);
+  EXPECT_FALSE(plain.accept);
+  EXPECT_TRUE(prio.accept);  // threshold 0.6 - 0.4 = 0.2 < weak accept
+}
+
+TEST(FacsController, HandoffBiasPrioritizesOngoingCalls) {
+  FacsConfig cfg;
+  cfg.handoff_bias = 0.3;
+  const FacsController facs{cfg};
+  // A borderline case near ar ~ 0: neutral for new calls, accepted as
+  // handoff because dropping is worse than blocking (Section 1).
+  UserSnapshot u = idealUser();
+  u.speed_kmh = 4.0;
+  u.angle_deg = 0.0;
+  u.distance_km = 9.0;  // Sl & St & F -> Cv3 -> middling
+  const FacsEvaluation as_new = facs.evaluate(u, 5.0, 25.0, false);
+  const FacsEvaluation as_handoff = facs.evaluate(u, 5.0, 25.0, true);
+  EXPECT_EQ(as_new.ar, as_handoff.ar);  // same fuzzy output...
+  EXPECT_TRUE(!as_new.accept || as_handoff.accept);  // ...easier admission
+}
+
+TEST(FacsController, DecideHonoursLedgerCapacity) {
+  FacsController facs;
+  BaseStation bs{0, 40};
+  bs.allocate(99, 33, true);  // 7 BU free: fuzzy Cs=33 is not yet Full
+
+  // Voice (5 BU) still fits; video (10 BU) does not, whatever FLC2 says.
+  const AdmissionContext ctx{bs, 0.0};
+  const auto voice =
+      facs.decide(makeRequest(idealUser(), ServiceClass::Voice), ctx);
+  const auto video =
+      facs.decide(makeRequest(idealUser(), ServiceClass::Video), ctx);
+  EXPECT_FALSE(video.accept);  // cannot fit 10 BU into 7
+  // The fuzzy score is reported either way.
+  EXPECT_GE(voice.score, -1.0);
+  EXPECT_LE(voice.score, 1.0);
+}
+
+TEST(FacsController, DecideRationaleMentionsStages) {
+  FacsController facs;
+  BaseStation bs{0, 40};
+  const AdmissionContext ctx{bs, 0.0};
+  const auto d = facs.decide(makeRequest(idealUser(), ServiceClass::Text), ctx);
+  EXPECT_TRUE(d.accept);
+  EXPECT_NE(d.rationale.find("cv="), std::string::npos);
+  EXPECT_NE(d.rationale.find("ar="), std::string::npos);
+  EXPECT_NE(d.rationale.find("soft="), std::string::npos);
+}
+
+TEST(FacsController, NameAndAccessors) {
+  const FacsController facs;
+  EXPECT_EQ(facs.name(), "FACS");
+  EXPECT_EQ(facs.flc1().name(), "FLC1");
+  EXPECT_EQ(facs.flc2().name(), "FLC2");
+  EXPECT_DOUBLE_EQ(facs.config().accept_threshold, 0.0);
+}
+
+/// The acceptance region grows as occupancy falls, for every service class
+/// — the soft-decision analogue of "a good CAC balances blocking and
+/// dropping".
+class FacsOccupancySweep : public ::testing::TestWithParam<ServiceClass> {};
+
+TEST_P(FacsOccupancySweep, AcceptanceMonotoneInFreeCapacity) {
+  const FacsController facs;
+  const double demand = cellular::profileFor(GetParam()).demand_bu;
+  bool was_rejected_before_accepted = false;
+  bool seen_accept = false;
+  for (double cs = 40.0; cs >= 0.0; cs -= 1.0) {
+    const FacsEvaluation eval = facs.evaluate(idealUser(), demand, cs);
+    if (eval.accept) {
+      seen_accept = true;
+    } else if (seen_accept) {
+      was_rejected_before_accepted = true;  // non-monotone flip
+    }
+  }
+  EXPECT_TRUE(seen_accept);
+  EXPECT_FALSE(was_rejected_before_accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, FacsOccupancySweep,
+                         ::testing::Values(ServiceClass::Text,
+                                           ServiceClass::Voice,
+                                           ServiceClass::Video));
+
+}  // namespace
+}  // namespace facs::core

@@ -1,0 +1,91 @@
+/// Table-fidelity property tests: for every row of the paper's FRB1 and
+/// FRB2, drive the corresponding engine at the *peak* of that row's
+/// antecedent terms (where the row fires with strength 1 and every other
+/// row is dominated) and check that the defuzzified output lands closest
+/// to the row's consequent term. This pins the whole pipeline — membership
+/// functions, rule wiring, inference operators, defuzzifier — to Tables 1
+/// and 2, row by row.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "core/flc1.hpp"
+#include "core/flc2.hpp"
+
+namespace facs::core {
+namespace {
+
+using fuzzy::MamdaniEngine;
+
+/// Peak input value for a named term of a variable.
+double peakOf(const fuzzy::LinguisticVariable& v, const char* term) {
+  const auto idx = v.termIndex(term);
+  EXPECT_TRUE(idx.has_value()) << term;
+  return v.term(*idx).mf().peak();
+}
+
+class Frb1Fidelity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Frb1Fidelity, PeakInputsYieldTheTabledCv) {
+  static const MamdaniEngine engine = buildFlc1();
+  const Frb1Row& row = frb1Table()[GetParam()];
+
+  const std::array<double, 3> inputs{peakOf(engine.input(0), row.s),
+                                     peakOf(engine.input(1), row.a),
+                                     peakOf(engine.input(2), row.d)};
+  const fuzzy::InferenceTrace trace = engine.inferTraced(inputs);
+
+  // Exactly one rule fires at full strength at the joint peak (triangular
+  // partitions overlap only between adjacent terms).
+  double max_strength = 0.0;
+  for (const auto& a : trace.activations) {
+    max_strength = std::max(max_strength, a.firing_strength);
+  }
+  EXPECT_DOUBLE_EQ(max_strength, 1.0) << "row " << GetParam();
+
+  EXPECT_EQ(engine.output().term(trace.winning_output_term).name(), row.cv)
+      << "row " << GetParam() << ": S=" << row.s << " A=" << row.a
+      << " D=" << row.d;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Frb1Fidelity, ::testing::Range<std::size_t>(0, 42));
+
+class Frb2Fidelity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Frb2Fidelity, PeakInputsYieldTheTabledDecision) {
+  static const MamdaniEngine engine = buildFlc2();
+  const Frb2Row& row = frb2Table()[GetParam()];
+
+  const std::array<double, 3> inputs{peakOf(engine.input(0), row.cv),
+                                     peakOf(engine.input(1), row.r),
+                                     peakOf(engine.input(2), row.cs)};
+  const fuzzy::InferenceTrace trace = engine.inferTraced(inputs);
+
+  EXPECT_EQ(engine.output().term(trace.winning_output_term).name(), row.ar)
+      << "row " << GetParam() << ": Cv=" << row.cv << " R=" << row.r
+      << " Cs=" << row.cs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Frb2Fidelity, ::testing::Range<std::size_t>(0, 27));
+
+/// Cross-check: at joint peaks the FLC1 crisp output approximates the
+/// consequent term's centre within half a term spacing (centroid pull from
+/// the universe edges is bounded by the shoulder geometry).
+TEST(Frb1Fidelity, CrispOutputNearConsequentCenter) {
+  const MamdaniEngine engine = buildFlc1();
+  for (std::size_t i = 0; i < frb1Table().size(); ++i) {
+    const Frb1Row& row = frb1Table()[i];
+    const std::array<double, 3> inputs{peakOf(engine.input(0), row.s),
+                                       peakOf(engine.input(1), row.a),
+                                       peakOf(engine.input(2), row.d)};
+    const double out = engine.infer(inputs);
+    const double target =
+        engine.output().term(*engine.output().termIndex(row.cv)).mf().peak();
+    EXPECT_NEAR(out, target, 0.125) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace facs::core

@@ -1,0 +1,95 @@
+#include "fuzzy/hedge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fuzzy/variable.hpp"
+
+namespace facs::fuzzy {
+namespace {
+
+TEST(Hedges, PointValues) {
+  EXPECT_DOUBLE_EQ(applyHedge(Hedge::Not, 0.3), 0.7);
+  EXPECT_DOUBLE_EQ(applyHedge(Hedge::Very, 0.5), 0.25);
+  EXPECT_DOUBLE_EQ(applyHedge(Hedge::Extremely, 0.5), 0.125);
+  EXPECT_DOUBLE_EQ(applyHedge(Hedge::Somewhat, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(applyHedge(Hedge::Slightly, 0.0625), 0.5);
+  EXPECT_DOUBLE_EQ(applyHedge(Hedge::Indeed, 0.25), 0.125);
+  EXPECT_DOUBLE_EQ(applyHedge(Hedge::Indeed, 0.75), 0.875);
+  EXPECT_DOUBLE_EQ(applyHedge(Hedge::Indeed, 0.5), 0.5);
+}
+
+class HedgeAxioms : public ::testing::TestWithParam<Hedge> {};
+
+TEST_P(HedgeAxioms, PreservesUnitIntervalAndFixedPoints) {
+  const Hedge h = GetParam();
+  for (double mu = 0.0; mu <= 1.0; mu += 0.01) {
+    const double out = applyHedge(h, mu);
+    EXPECT_GE(out, 0.0) << toString(h) << " mu=" << mu;
+    EXPECT_LE(out, 1.0) << toString(h) << " mu=" << mu;
+  }
+  if (h != Hedge::Not) {
+    // Every non-complement hedge fixes full and zero membership.
+    EXPECT_DOUBLE_EQ(applyHedge(h, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(applyHedge(h, 0.0), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, HedgeAxioms,
+                         ::testing::Values(Hedge::Not, Hedge::Very,
+                                           Hedge::Extremely, Hedge::Somewhat,
+                                           Hedge::Slightly, Hedge::Indeed));
+
+TEST(Hedges, ConcentrationAndDilationOrdering) {
+  for (double mu = 0.05; mu < 1.0; mu += 0.05) {
+    EXPECT_LE(applyHedge(Hedge::Extremely, mu), applyHedge(Hedge::Very, mu));
+    EXPECT_LE(applyHedge(Hedge::Very, mu), mu);
+    EXPECT_GE(applyHedge(Hedge::Somewhat, mu), mu);
+    EXPECT_GE(applyHedge(Hedge::Slightly, mu),
+              applyHedge(Hedge::Somewhat, mu));
+  }
+}
+
+TEST(HedgedMembershipTest, WrapsBaseShape) {
+  const Triangular fast{60.0, 30.0, 30.0};
+  const HedgedMembership very_fast{Hedge::Very, fast};
+  EXPECT_DOUBLE_EQ(very_fast.degree(60.0), 1.0);
+  EXPECT_DOUBLE_EQ(very_fast.degree(45.0), 0.25);  // 0.5^2
+  EXPECT_EQ(very_fast.support(), fast.support());
+  EXPECT_DOUBLE_EQ(very_fast.peak(), 60.0);
+  EXPECT_EQ(very_fast.describe(), "very tri(60, 30, 30)");
+}
+
+TEST(HedgedMembershipTest, NotComplementsAndReportsWideSupport) {
+  const Triangular straight{0.0, 45.0, 45.0};
+  const HedgedMembership not_straight{Hedge::Not, straight};
+  EXPECT_DOUBLE_EQ(not_straight.degree(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(not_straight.degree(90.0), 1.0);
+  EXPECT_DOUBLE_EQ(not_straight.degree(22.5), 0.5);
+  EXPECT_TRUE(std::isinf(not_straight.support().lo));
+  EXPECT_TRUE(std::isinf(not_straight.support().hi));
+}
+
+TEST(HedgedMembershipTest, CloneAndComposition) {
+  const Triangular base{0.0, 1.0, 1.0};
+  const auto very = makeHedged(Hedge::Very, base);
+  const auto very_very = makeHedged(Hedge::Very, *very);
+  EXPECT_DOUBLE_EQ(very_very->degree(0.5), std::pow(0.5, 4.0));
+  const auto clone = very_very->clone();
+  EXPECT_DOUBLE_EQ(clone->degree(0.5), very_very->degree(0.5));
+  EXPECT_EQ(clone->describe(), "very very tri(0, 1, 1)");
+}
+
+TEST(HedgedMembershipTest, UsableInsideAVariable) {
+  LinguisticVariable speed{"S", Interval{0.0, 120.0}};
+  const Trapezoidal fast{60.0, 120.0, 30.0, 0.0};
+  speed.addTerm("Fa", fast.clone());
+  speed.addTerm("VeryFa", makeHedged(Hedge::Very, fast));
+  const FuzzyVector f = speed.fuzzify(45.0);
+  EXPECT_DOUBLE_EQ(f[0], 0.5);
+  EXPECT_DOUBLE_EQ(f[1], 0.25);
+}
+
+}  // namespace
+}  // namespace facs::fuzzy

@@ -1,0 +1,117 @@
+#include "fuzzy/norms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace facs::fuzzy {
+namespace {
+
+const std::vector<double> kGrid{0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+
+TEST(TNorms, PointValues) {
+  EXPECT_DOUBLE_EQ(apply(TNorm::Minimum, 0.3, 0.7), 0.3);
+  EXPECT_DOUBLE_EQ(apply(TNorm::AlgebraicProduct, 0.3, 0.7), 0.21);
+  EXPECT_DOUBLE_EQ(apply(TNorm::BoundedDifference, 0.3, 0.7), 0.0);
+  EXPECT_NEAR(apply(TNorm::BoundedDifference, 0.8, 0.7), 0.5, 1e-12);
+}
+
+TEST(SNorms, PointValues) {
+  EXPECT_DOUBLE_EQ(apply(SNorm::Maximum, 0.3, 0.7), 0.7);
+  EXPECT_DOUBLE_EQ(apply(SNorm::AlgebraicSum, 0.3, 0.7), 0.79);
+  EXPECT_DOUBLE_EQ(apply(SNorm::BoundedSum, 0.3, 0.7), 1.0);
+  EXPECT_DOUBLE_EQ(apply(SNorm::BoundedSum, 0.3, 0.4), 0.7);
+}
+
+class TNormAxioms : public ::testing::TestWithParam<TNorm> {};
+
+TEST_P(TNormAxioms, IdentityCommutativityMonotonicityBounds) {
+  const TNorm n = GetParam();
+  for (const double a : kGrid) {
+    // 1 is the identity element.
+    EXPECT_NEAR(apply(n, a, 1.0), a, 1e-12);
+    EXPECT_NEAR(apply(n, 1.0, a), a, 1e-12);
+    // 0 annihilates.
+    EXPECT_NEAR(apply(n, a, 0.0), 0.0, 1e-12);
+    for (const double b : kGrid) {
+      const double ab = apply(n, a, b);
+      // Commutativity.
+      EXPECT_NEAR(ab, apply(n, b, a), 1e-12);
+      // Range and t-norm upper bound: T(a,b) <= min(a,b).
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, std::min(a, b) + 1e-12);
+      // Monotonicity in the first argument.
+      for (const double a2 : kGrid) {
+        if (a2 >= a) {
+          EXPECT_GE(apply(n, a2, b) + 1e-12, ab);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(TNormAxioms, Associativity) {
+  const TNorm n = GetParam();
+  for (const double a : kGrid) {
+    for (const double b : kGrid) {
+      for (const double c : kGrid) {
+        EXPECT_NEAR(apply(n, apply(n, a, b), c), apply(n, a, apply(n, b, c)),
+                    1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, TNormAxioms,
+                         ::testing::Values(TNorm::Minimum,
+                                           TNorm::AlgebraicProduct,
+                                           TNorm::BoundedDifference));
+
+class SNormAxioms : public ::testing::TestWithParam<SNorm> {};
+
+TEST_P(SNormAxioms, IdentityCommutativityMonotonicityBounds) {
+  const SNorm n = GetParam();
+  for (const double a : kGrid) {
+    // 0 is the identity element.
+    EXPECT_NEAR(apply(n, a, 0.0), a, 1e-12);
+    EXPECT_NEAR(apply(n, 0.0, a), a, 1e-12);
+    // 1 annihilates.
+    EXPECT_NEAR(apply(n, a, 1.0), 1.0, 1e-12);
+    for (const double b : kGrid) {
+      const double ab = apply(n, a, b);
+      EXPECT_NEAR(ab, apply(n, b, a), 1e-12);
+      // Range and s-norm lower bound: S(a,b) >= max(a,b).
+      EXPECT_LE(ab, 1.0);
+      EXPECT_GE(ab + 1e-12, std::max(a, b));
+    }
+  }
+}
+
+TEST_P(SNormAxioms, Associativity) {
+  const SNorm n = GetParam();
+  for (const double a : kGrid) {
+    for (const double b : kGrid) {
+      for (const double c : kGrid) {
+        EXPECT_NEAR(apply(n, apply(n, a, b), c), apply(n, a, apply(n, b, c)),
+                    1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SNormAxioms,
+                         ::testing::Values(SNorm::Maximum,
+                                           SNorm::AlgebraicSum,
+                                           SNorm::BoundedSum));
+
+TEST(NormNames, RoundTripStrings) {
+  EXPECT_EQ(toString(TNorm::Minimum), "min");
+  EXPECT_EQ(toString(TNorm::AlgebraicProduct), "prod");
+  EXPECT_EQ(toString(TNorm::BoundedDifference), "lukasiewicz");
+  EXPECT_EQ(toString(SNorm::Maximum), "max");
+  EXPECT_EQ(toString(SNorm::AlgebraicSum), "probor");
+  EXPECT_EQ(toString(SNorm::BoundedSum), "bsum");
+}
+
+}  // namespace
+}  // namespace facs::fuzzy

@@ -1,0 +1,135 @@
+#include "fuzzy/sugeno.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace facs::fuzzy {
+namespace {
+
+LinguisticVariable makeAxis(const std::string& name) {
+  LinguisticVariable v{name, Interval{0.0, 10.0}};
+  v.addTerm("lo", makeTriangle(0.0, 0.0, 10.0));
+  v.addTerm("hi", makeTriangle(10.0, 10.0, 0.0));
+  return v;
+}
+
+TEST(LinearConsequentTest, Evaluate) {
+  const LinearConsequent zero_order{5.0, {}};
+  const std::array<double, 2> in{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(zero_order.evaluate(in), 5.0);
+
+  const LinearConsequent first_order{1.0, {2.0, -0.5}};
+  EXPECT_DOUBLE_EQ(first_order.evaluate(in), 1.0 + 2.0 - 1.0);
+}
+
+TEST(SugenoEngine, ValidatesConstruction) {
+  EXPECT_THROW(SugenoEngine(""), std::invalid_argument);
+
+  SugenoEngine e{"tsk"};
+  e.addInput(makeAxis("x"));
+  EXPECT_THROW(e.addRule({"lo", "hi"}, {0.0, {}}), std::invalid_argument);
+  EXPECT_THROW(e.addRule({"nope"}, {0.0, {}}), std::invalid_argument);
+  EXPECT_THROW(e.addRule({"lo"}, {0.0, {1.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(e.addRule({"lo"}, {0.0, {}}, 0.0), std::invalid_argument);
+}
+
+TEST(SugenoEngine, InferRequiresInputsAndRules) {
+  SugenoEngine empty{"tsk"};
+  const std::array<double, 0> none{};
+  EXPECT_THROW((void)empty.infer(none), std::logic_error);
+
+  SugenoEngine no_rules{"tsk"};
+  no_rules.addInput(makeAxis("x"));
+  const std::array<double, 1> one{5.0};
+  EXPECT_THROW((void)no_rules.infer(one), std::logic_error);
+
+  SugenoEngine e{"tsk"};
+  e.addInput(makeAxis("x"));
+  e.addRule({"lo"}, {0.0, {}});
+  const std::array<double, 2> two{1.0, 2.0};
+  EXPECT_THROW((void)e.infer(two), std::invalid_argument);
+}
+
+TEST(SugenoEngine, ZeroOrderInterpolatesBetweenRuleOutputs) {
+  SugenoEngine e{"tsk"};
+  e.addInput(makeAxis("x"));
+  e.addRule({"lo"}, {0.0, {}});
+  e.addRule({"hi"}, {100.0, {}});
+
+  const std::array<double, 1> at0{0.0};
+  const std::array<double, 1> at5{5.0};
+  const std::array<double, 1> at10{10.0};
+  EXPECT_NEAR(e.infer(at0), 0.0, 1e-12);
+  EXPECT_NEAR(e.infer(at5), 50.0, 1e-12);
+  EXPECT_NEAR(e.infer(at10), 100.0, 1e-12);
+
+  // TSK interpolation over a 2-term ruler partition is exactly linear.
+  for (double x = 0.0; x <= 10.0; x += 0.5) {
+    const std::array<double, 1> in{x};
+    EXPECT_NEAR(e.infer(in), 10.0 * x, 1e-9) << "x=" << x;
+  }
+}
+
+TEST(SugenoEngine, FirstOrderConsequentsUseInputs) {
+  SugenoEngine e{"tsk"};
+  e.addInput(makeAxis("x"));
+  e.addInput(makeAxis("y"));
+  // output = x + 2y regardless of region (single wildcard rule).
+  e.addRule({"*", "*"}, {0.0, {1.0, 2.0}});
+  const std::array<double, 2> in{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(e.infer(in), 11.0);
+}
+
+TEST(SugenoEngine, WeightsBiasTheAverage) {
+  SugenoEngine heavy{"tsk"};
+  heavy.addInput(makeAxis("x"));
+  heavy.addRule({"lo"}, {0.0, {}}, 1.0);
+  heavy.addRule({"hi"}, {100.0, {}}, 0.25);
+  const std::array<double, 1> at5{5.0};
+  // Both terms fire at 0.5; weights 0.5 vs 0.125 -> (0 + 12.5)/0.625 = 20.
+  EXPECT_NEAR(heavy.infer(at5), 20.0, 1e-9);
+}
+
+TEST(SugenoEngine, NoFiredRuleFallsBackToZero) {
+  LinguisticVariable gappy{"x", Interval{0.0, 10.0}};
+  gappy.addTerm("left", makeTriangle(0.0, 0.0, 2.0));
+  SugenoEngine e{"tsk"};
+  e.addInput(std::move(gappy));
+  e.addRule({"left"}, {42.0, {}});
+  const std::array<double, 1> outside{9.0};
+  EXPECT_DOUBLE_EQ(e.infer(outside), 0.0);
+}
+
+TEST(SugenoEngine, ClampsInputsLikeMamdani) {
+  SugenoEngine e{"tsk"};
+  e.addInput(makeAxis("x"));
+  e.addRule({"lo"}, {0.0, {}});
+  e.addRule({"hi"}, {100.0, {}});
+  const std::array<double, 1> wild{25.0};
+  const std::array<double, 1> edge{10.0};
+  EXPECT_DOUBLE_EQ(e.infer(wild), e.infer(edge));
+}
+
+TEST(SugenoEngine, MinVersusProductConjunction) {
+  const auto build = [](TNorm norm) {
+    SugenoEngine e{"tsk", norm};
+    e.addInput(makeAxis("x"));
+    e.addInput(makeAxis("y"));
+    e.addRule({"lo", "lo"}, {0.0, {}});
+    e.addRule({"hi", "hi"}, {100.0, {}});
+    return e;
+  };
+  const SugenoEngine prod = build(TNorm::AlgebraicProduct);
+  const SugenoEngine min = build(TNorm::Minimum);
+  // Asymmetric point: product (0.7*0.3 vs 0.3*0.7) keeps symmetry, min
+  // (0.3 vs 0.3) too -> equal here; pick a point where they differ.
+  const std::array<double, 2> in{7.0, 4.0};
+  // prod: hi&hi = 0.7*0.4=0.28, lo&lo = 0.3*0.6=0.18 -> 100*28/46 = 60.87
+  // min:  hi&hi = 0.4, lo&lo = 0.3 -> 100*0.4/0.7 = 57.14
+  EXPECT_NEAR(prod.infer(in), 100.0 * 0.28 / 0.46, 1e-9);
+  EXPECT_NEAR(min.infer(in), 100.0 * 0.4 / 0.7, 1e-9);
+}
+
+}  // namespace
+}  // namespace facs::fuzzy

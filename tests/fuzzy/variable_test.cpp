@@ -1,0 +1,115 @@
+#include "fuzzy/variable.hpp"
+
+#include <gtest/gtest.h>
+
+namespace facs::fuzzy {
+namespace {
+
+LinguisticVariable makeSpeed() {
+  LinguisticVariable v{"S", Interval{0.0, 120.0}};
+  v.addTerm("Sl", makeTrapezoid(0.0, 15.0, 0.0, 15.0));
+  v.addTerm("M", makeTriangle(30.0, 15.0, 30.0));
+  v.addTerm("Fa", makeTrapezoid(60.0, 120.0, 30.0, 0.0));
+  return v;
+}
+
+TEST(Term, RequiresNameAndFunction) {
+  EXPECT_THROW(Term("", makeTriangle(0.0, 1.0, 1.0)), std::invalid_argument);
+  EXPECT_THROW(Term("x", nullptr), std::invalid_argument);
+}
+
+TEST(Term, CopyDeepCopiesMembership) {
+  Term a{"M", makeTriangle(30.0, 15.0, 30.0)};
+  Term b = a;
+  EXPECT_EQ(b.name(), "M");
+  EXPECT_DOUBLE_EQ(b.degree(30.0), 1.0);
+  EXPECT_NE(&a.mf(), &b.mf());
+
+  Term c{"other", makeTriangle(0.0, 1.0, 1.0)};
+  c = a;
+  EXPECT_EQ(c.name(), "M");
+  EXPECT_DOUBLE_EQ(c.degree(30.0), 1.0);
+}
+
+TEST(LinguisticVariable, RejectsBadUniverseOrName) {
+  EXPECT_THROW(LinguisticVariable("", Interval{0.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(LinguisticVariable("x", Interval{1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(LinguisticVariable("x", Interval{2.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(LinguisticVariable, RejectsDuplicateTermNames) {
+  LinguisticVariable v{"S", Interval{0.0, 1.0}};
+  v.addTerm("a", makeTriangle(0.5, 0.5, 0.5));
+  EXPECT_THROW(v.addTerm("a", makeTriangle(0.5, 0.5, 0.5)),
+               std::invalid_argument);
+}
+
+TEST(LinguisticVariable, TermLookup) {
+  const LinguisticVariable v = makeSpeed();
+  EXPECT_EQ(v.termCount(), 3u);
+  EXPECT_EQ(v.termIndex("Sl"), std::optional<std::size_t>{0});
+  EXPECT_EQ(v.termIndex("M"), std::optional<std::size_t>{1});
+  EXPECT_EQ(v.termIndex("Fa"), std::optional<std::size_t>{2});
+  EXPECT_EQ(v.termIndex("nope"), std::nullopt);
+  EXPECT_EQ(v.term(1).name(), "M");
+}
+
+TEST(LinguisticVariable, FuzzifyReturnsAllDegreesInOrder) {
+  const LinguisticVariable v = makeSpeed();
+  const FuzzyVector f = v.fuzzify(22.5);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f[0], 0.5);  // Slow: halfway down from plateau edge 15
+  EXPECT_DOUBLE_EQ(f[1], 0.5);  // Middle: halfway up to 30
+  EXPECT_DOUBLE_EQ(f[2], 0.0);  // Fast
+}
+
+TEST(LinguisticVariable, FuzzifyClampsToUniverse) {
+  const LinguisticVariable v = makeSpeed();
+  // A GPS glitch reporting 140 km/h must behave like 120 km/h.
+  EXPECT_EQ(v.fuzzify(140.0), v.fuzzify(120.0));
+  EXPECT_EQ(v.fuzzify(-5.0), v.fuzzify(0.0));
+}
+
+TEST(LinguisticVariable, WinningTerm) {
+  const LinguisticVariable v = makeSpeed();
+  EXPECT_EQ(v.winningTerm(5.0), 0u);
+  EXPECT_EQ(v.winningTerm(30.0), 1u);
+  EXPECT_EQ(v.winningTerm(100.0), 2u);
+  // Tie at 22.5 (Sl = M = 0.5) resolves to the earliest-declared term.
+  EXPECT_EQ(v.winningTerm(22.5), 0u);
+}
+
+TEST(LinguisticVariable, WinningTermThrowsWithoutTerms) {
+  const LinguisticVariable v{"empty", Interval{0.0, 1.0}};
+  EXPECT_THROW((void)v.winningTerm(0.5), std::logic_error);
+}
+
+TEST(LinguisticVariable, CoverageDetection) {
+  const LinguisticVariable speed = makeSpeed();
+  EXPECT_TRUE(speed.covers());
+
+  LinguisticVariable gappy{"g", Interval{0.0, 10.0}};
+  gappy.addTerm("low", makeTriangle(0.0, 0.0, 3.0));
+  gappy.addTerm("high", makeTriangle(10.0, 3.0, 0.0));  // hole in (3, 7)
+  EXPECT_FALSE(gappy.covers());
+}
+
+TEST(LinguisticVariable, CoverageWithMinimumDegree) {
+  LinguisticVariable v{"v", Interval{0.0, 10.0}};
+  v.addTerm("low", makeTriangle(0.0, 0.0, 10.0));
+  v.addTerm("high", makeTriangle(10.0, 10.0, 0.0));
+  EXPECT_TRUE(v.covers(0.0));
+  EXPECT_TRUE(v.covers(0.45));   // midpoint has degree 0.5 in both
+  EXPECT_FALSE(v.covers(0.55));  // but not more than 0.5
+}
+
+TEST(LinguisticVariable, CoversRejectsBadSampleCount) {
+  const LinguisticVariable v = makeSpeed();
+  EXPECT_THROW((void)v.covers(0.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace facs::fuzzy

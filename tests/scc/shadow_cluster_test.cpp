@@ -1,0 +1,195 @@
+#include "scc/shadow_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace facs::scc {
+namespace {
+
+using cellular::AdmissionContext;
+using cellular::CallRequest;
+using cellular::HexNetwork;
+using cellular::ServiceClass;
+using cellular::UserSnapshot;
+using cellular::Vec2;
+
+CallRequest makeRequest(cellular::CallId id, ServiceClass service,
+                        Vec2 position, double speed, double angle,
+                        cellular::CellId cell) {
+  CallRequest r;
+  r.call = id;
+  r.user = id;
+  r.service = service;
+  r.demand_bu = cellular::profileFor(service).demand_bu;
+  r.snapshot.position = position;
+  r.snapshot.speed_kmh = speed;
+  r.snapshot.angle_deg = angle;
+  r.snapshot.distance_km = position.norm();
+  r.target_cell = cell;
+  return r;
+}
+
+TEST(MotionFromSnapshot, InvertsAngleConvention) {
+  UserSnapshot s;
+  s.position = {-2.0, 0.0};
+  s.speed_kmh = 36.0;
+  s.angle_deg = 0.0;  // heading straight at the station
+  const mobility::MotionState m = motionFromSnapshot(s, {0.0, 0.0});
+  EXPECT_NEAR(m.heading_deg, 0.0, 1e-9);  // bearing to origin is 0 (east)
+
+  s.angle_deg = 90.0;  // station 90 deg right of travel -> heading north
+  EXPECT_NEAR(motionFromSnapshot(s, {0.0, 0.0}).heading_deg, 90.0, 1e-9);
+
+  s.angle_deg = 180.0;  // directly away -> heading west
+  EXPECT_NEAR(std::abs(motionFromSnapshot(s, {0.0, 0.0}).heading_deg), 180.0,
+              1e-9);
+}
+
+TEST(ShadowCluster, ConfigValidation) {
+  const HexNetwork net{1};
+  SccConfig bad;
+  bad.intervals = 0;
+  EXPECT_THROW(ShadowClusterController(net, bad), std::invalid_argument);
+  bad = {};
+  bad.interval_s = 0.0;
+  EXPECT_THROW(ShadowClusterController(net, bad), std::invalid_argument);
+  bad = {};
+  bad.threshold = 0.0;
+  EXPECT_THROW(ShadowClusterController(net, bad), std::invalid_argument);
+  bad = {};
+  bad.cluster_radius = -1;
+  EXPECT_THROW(ShadowClusterController(net, bad), std::invalid_argument);
+  bad = {};
+  bad.sigma_base_km = 0.0;
+  EXPECT_THROW(ShadowClusterController(net, bad), std::invalid_argument);
+  bad = {};
+  bad.mean_holding_s = 0.0;
+  EXPECT_THROW(ShadowClusterController(net, bad), std::invalid_argument);
+}
+
+TEST(ShadowCluster, EmptyNetworkAcceptsFirstCall) {
+  const HexNetwork net{1};
+  ShadowClusterController scc{net};
+  const AdmissionContext ctx{net.station(0), 0.0};
+  const auto d =
+      scc.decide(makeRequest(1, ServiceClass::Video, {1.0, 0.0}, 50.0, 0.0, 0),
+                 ctx);
+  EXPECT_TRUE(d.accept);
+  EXPECT_GT(d.score, 0.0);
+}
+
+TEST(ShadowCluster, TracksAdmittedCallsAndReleases) {
+  const HexNetwork net{1};
+  ShadowClusterController scc{net};
+  const AdmissionContext ctx{net.station(0), 0.0};
+  const CallRequest r =
+      makeRequest(1, ServiceClass::Voice, {1.0, 0.0}, 50.0, 0.0, 0);
+  EXPECT_EQ(scc.trackedCalls(), 0u);
+  scc.onAdmitted(r, ctx);
+  EXPECT_EQ(scc.trackedCalls(), 1u);
+  scc.onReleased(r, ctx);
+  EXPECT_EQ(scc.trackedCalls(), 0u);
+}
+
+TEST(ShadowCluster, ProjectedDemandDecaysOverHorizon) {
+  const HexNetwork net{1};
+  SccConfig cfg;
+  cfg.intervals = 4;
+  ShadowClusterController scc{net, cfg};
+  const AdmissionContext ctx{net.station(0), 0.0};
+  // A stationary video call in the centre cell.
+  scc.onAdmitted(makeRequest(1, ServiceClass::Video, {0.5, 0.0}, 0.0, 0.0, 0),
+                 ctx);
+  const DemandProfile p = scc.projectedDemand(0, 0.0);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_GT(p[0], 5.0);  // most of the 10 BU projected for the near future
+  for (std::size_t k = 1; k < p.size(); ++k) {
+    EXPECT_LT(p[k], p[k - 1]) << "no decay at interval " << k;
+  }
+}
+
+TEST(ShadowCluster, MovingCallShadowsTheDownstreamCell) {
+  const HexNetwork net{1, 10.0};
+  SccConfig cfg;
+  cfg.intervals = 3;
+  cfg.interval_s = 120.0;
+  cfg.mean_holding_s = 1e6;  // isolate the spatial projection
+  ShadowClusterController scc{net, cfg};
+  const AdmissionContext ctx{net.station(0), 0.0};
+
+  // Fast call heading due east out of the centre cell. Ring cells are laid
+  // out from the SW corner, so the eastern neighbour (axial +1,0) is id 3
+  // and the western one (axial -1,0) is id 6.
+  const cellular::CellId east = 3;
+  const cellular::CellId west = 6;
+  ASSERT_EQ(net.cell(east).coord, (cellular::HexCoord{1, 0}));
+  ASSERT_EQ(net.cell(west).coord, (cellular::HexCoord{-1, 0}));
+  CallRequest r = makeRequest(1, ServiceClass::Video, {5.0, 0.0}, 120.0,
+                              /*angle=*/180.0, 0);  // away from BS0 = east
+  scc.onAdmitted(r, ctx);
+
+  const DemandProfile east_profile = scc.projectedDemand(east, 0.0);
+  const DemandProfile west_profile = scc.projectedDemand(west, 0.0);
+  // The eastern neighbour sees a growing shadow; the western one almost none.
+  EXPECT_GT(east_profile.back(), west_profile.back() + 0.5);
+}
+
+TEST(ShadowCluster, SaturatedProjectionRejects) {
+  const HexNetwork net{0};  // single 40 BU cell
+  SccConfig cfg;
+  cfg.cluster_radius = 0;
+  cfg.mean_holding_s = 1e6;  // no decay: projections stay at full demand
+  cfg.sigma_base_km = 2.0;
+  ShadowClusterController scc{net, cfg};
+  const AdmissionContext ctx{net.station(0), 0.0};
+
+  // Fill the projection with four stationary 10-BU calls near the BS.
+  for (cellular::CallId id = 1; id <= 4; ++id) {
+    const auto r = makeRequest(id, ServiceClass::Video,
+                               {0.1 * static_cast<double>(id), 0.0}, 0.0, 0.0, 0);
+    EXPECT_TRUE(scc.decide(r, ctx).accept) << "call " << id;
+    scc.onAdmitted(r, ctx);
+  }
+  // The fifth video call no longer fits the projected budget.
+  const auto r5 =
+      makeRequest(5, ServiceClass::Video, {0.5, 0.0}, 0.0, 0.0, 0);
+  EXPECT_FALSE(scc.decide(r5, ctx).accept);
+}
+
+TEST(ShadowCluster, ThresholdScalesBudget) {
+  const HexNetwork net{0};
+  SccConfig tight;
+  tight.cluster_radius = 0;
+  tight.mean_holding_s = 1e6;
+  tight.threshold = 0.45;  // only 18 BU of projected budget
+  ShadowClusterController scc{net, tight};
+  const AdmissionContext ctx{net.station(0), 0.0};
+
+  const auto r1 = makeRequest(1, ServiceClass::Video, {0.2, 0.0}, 0.0, 0.0, 0);
+  EXPECT_TRUE(scc.decide(r1, ctx).accept);
+  scc.onAdmitted(r1, ctx);
+  const auto r2 = makeRequest(2, ServiceClass::Video, {0.3, 0.0}, 0.0, 0.0, 0);
+  EXPECT_FALSE(scc.decide(r2, ctx).accept);  // 20 BU budget already shadowed
+}
+
+TEST(ShadowCluster, HardCapacityStillEnforced) {
+  HexNetwork net{0};
+  SccConfig cfg;
+  cfg.cluster_radius = 0;
+  cfg.mean_holding_s = 1.0;  // decays so fast the projection sees room
+  cfg.interval_s = 60.0;
+  ShadowClusterController scc{net, cfg};
+  net.station(0).allocate(99, 35, true);
+  const AdmissionContext ctx{net.station(0), 0.0};
+  const auto r = makeRequest(1, ServiceClass::Video, {0.5, 0.0}, 0.0, 0.0, 0);
+  // Projection may look fine, but only 5 BU are actually free.
+  EXPECT_FALSE(scc.decide(r, ctx).accept);
+}
+
+TEST(ShadowCluster, NameIsScc) {
+  const HexNetwork net{0};
+  ShadowClusterController scc{net};
+  EXPECT_EQ(scc.name(), "SCC");
+}
+
+}  // namespace
+}  // namespace facs::scc

@@ -1,0 +1,135 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "cac/baselines.hpp"
+
+namespace facs::sim {
+namespace {
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_GT(s.ci95(), 0.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroSpread) {
+  RunningStat s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+}
+
+CurveSpec csCurve(const std::string& label) {
+  CurveSpec c;
+  c.label = label;
+  c.base.scenario.tracking_window_s = 0.0;
+  c.base.scenario.gps_error_m.reset();
+  c.make_controller = [](const cellular::HexNetwork&) {
+    return std::make_unique<cac::CompleteSharingController>();
+  };
+  return c;
+}
+
+TEST(Sweep, Validation) {
+  SweepSpec spec;
+  spec.xs = {};
+  EXPECT_THROW((void)runSweep(spec, {csCurve("a")}), std::invalid_argument);
+  spec.xs = {10};
+  spec.replications = 0;
+  EXPECT_THROW((void)runSweep(spec, {csCurve("a")}), std::invalid_argument);
+}
+
+TEST(Sweep, ShapesAndDeterminism) {
+  SweepSpec spec;
+  spec.title = "t";
+  spec.xs = {5, 20, 60};
+  spec.replications = 3;
+  const SweepResult r1 = runSweep(spec, {csCurve("cs")});
+  ASSERT_EQ(r1.curves.size(), 1u);
+  ASSERT_EQ(r1.curves[0].points.size(), 3u);
+  EXPECT_EQ(r1.curves[0].points[1].x, 20);
+  EXPECT_EQ(r1.curves[0].points[0].replications, 3);
+
+  const SweepResult r2 = runSweep(spec, {csCurve("cs")});
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(r1.curves[0].points[i].mean,
+                     r2.curves[0].points[i].mean);
+  }
+}
+
+TEST(Sweep, CommonRandomNumbersAcrossCurves) {
+  // Identical policies under CRN must produce identical curves.
+  SweepSpec spec;
+  spec.xs = {15, 40};
+  spec.replications = 2;
+  const SweepResult r = runSweep(spec, {csCurve("a"), csCurve("b")});
+  for (std::size_t i = 0; i < r.curves[0].points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r.curves[0].points[i].mean, r.curves[1].points[i].mean);
+  }
+}
+
+TEST(Sweep, AcceptanceDeclinesWithLoad) {
+  SweepSpec spec;
+  spec.xs = {5, 120};
+  spec.replications = 3;
+  const SweepResult r = runSweep(spec, {csCurve("cs")});
+  EXPECT_GT(r.curves[0].points[0].mean, r.curves[0].points[1].mean);
+}
+
+TEST(Sweep, OtherMeasuresExtract) {
+  SweepSpec spec;
+  spec.xs = {40};
+  spec.replications = 2;
+  const SweepResult blocking =
+      runSweep(spec, {csCurve("cs")}, Measure::BlockingProbability);
+  const SweepResult util =
+      runSweep(spec, {csCurve("cs")}, Measure::MeanUtilization);
+  EXPECT_GE(blocking.curves[0].points[0].mean, 0.0);
+  EXPECT_LE(blocking.curves[0].points[0].mean, 1.0);
+  EXPECT_GE(util.curves[0].points[0].mean, 0.0);
+  EXPECT_LE(util.curves[0].points[0].mean, 1.0);
+}
+
+TEST(Rendering, TableContainsLabelsAndRows) {
+  SweepSpec spec;
+  spec.title = "Demo sweep";
+  spec.xs = {5, 10};
+  spec.replications = 2;
+  const SweepResult r = runSweep(spec, {csCurve("policy-x")});
+  std::ostringstream os;
+  printTable(os, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Demo sweep"), std::string::npos);
+  EXPECT_NE(out.find("policy-x"), std::string::npos);
+  EXPECT_NE(out.find("+/-"), std::string::npos);
+  EXPECT_NE(out.find('5'), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+}
+
+TEST(Rendering, CsvHasHeaderAndOneRowPerX) {
+  SweepSpec spec;
+  spec.xs = {5, 10, 15};
+  spec.replications = 2;
+  const SweepResult r = runSweep(spec, {csCurve("cs")});
+  std::ostringstream os;
+  printCsv(os, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("cs_mean,cs_sd"), std::string::npos);
+  int lines = 0;
+  for (const char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);  // header + 3 rows
+}
+
+}  // namespace
+}  // namespace facs::sim

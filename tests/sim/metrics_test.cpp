@@ -1,0 +1,68 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace facs::sim {
+namespace {
+
+using cellular::ServiceClass;
+
+TEST(Metrics, EmptyRunIsNeutral) {
+  const Metrics m;
+  EXPECT_DOUBLE_EQ(m.percentAccepted(), 100.0);  // x=0 plots at the top
+  EXPECT_DOUBLE_EQ(m.blockingProbability(), 0.0);
+  EXPECT_DOUBLE_EQ(m.droppingProbability(), 0.0);
+  EXPECT_DOUBLE_EQ(m.meanUtilization(), 0.0);
+}
+
+TEST(Metrics, PercentAccepted) {
+  Metrics m;
+  m.new_requests = 80;
+  m.new_accepted = 60;
+  m.new_blocked = 20;
+  EXPECT_DOUBLE_EQ(m.percentAccepted(), 75.0);
+  EXPECT_DOUBLE_EQ(m.blockingProbability(), 0.25);
+}
+
+TEST(Metrics, DroppingProbability) {
+  Metrics m;
+  m.handoff_requests = 10;
+  m.handoff_accepted = 9;
+  m.handoff_dropped = 1;
+  EXPECT_DOUBLE_EQ(m.droppingProbability(), 0.1);
+}
+
+TEST(Metrics, MeanUtilization) {
+  Metrics m;
+  m.busy_bu_seconds = 20.0 * 100.0;  // 20 BU busy for 100 s
+  m.observed_span_s = 100.0;
+  m.total_capacity_bu = 40;
+  EXPECT_DOUBLE_EQ(m.meanUtilization(), 0.5);
+}
+
+TEST(Metrics, PerClassAcceptance) {
+  Metrics m;
+  m.class_requests[static_cast<std::size_t>(ServiceClass::Video)] = 4;
+  m.class_accepted[static_cast<std::size_t>(ServiceClass::Video)] = 1;
+  EXPECT_DOUBLE_EQ(m.percentAcceptedForClass(ServiceClass::Video), 25.0);
+  EXPECT_DOUBLE_EQ(m.percentAcceptedForClass(ServiceClass::Text), 100.0);
+}
+
+TEST(Metrics, SummaryMentionsKeyNumbers) {
+  Metrics m;
+  m.new_requests = 10;
+  m.new_accepted = 7;
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("7/10"), std::string::npos);
+  EXPECT_NE(s.find("70"), std::string::npos);
+}
+
+TEST(Metrics, SummaryIncludesHandoffsOnlyWhenPresent) {
+  Metrics m;
+  EXPECT_EQ(m.summary().find("handoff"), std::string::npos);
+  m.handoff_requests = 1;
+  EXPECT_NE(m.summary().find("handoff"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace facs::sim

@@ -1,0 +1,144 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mobility/gps.hpp"
+
+namespace facs::sim {
+namespace {
+
+using cellular::Vec2;
+
+TEST(DrawRequest, RespectsFixedSpeedAndDistance) {
+  ScenarioParams s;
+  s.speed_min_kmh = 30.0;
+  s.speed_max_kmh = 30.0;
+  s.distance_min_km = 7.0;
+  s.distance_max_km = 7.0;
+  Rng rng = makeRng(1);
+  for (int i = 0; i < 100; ++i) {
+    const RequestPlan plan = drawRequest(s, {0.0, 0.0}, 0, rng);
+    EXPECT_DOUBLE_EQ(plan.initial.speed_kmh, 30.0);
+    EXPECT_NEAR(plan.initial.position_km.norm(), 7.0, 1e-9);
+    EXPECT_EQ(plan.target_cell, 0u);
+  }
+}
+
+TEST(DrawRequest, RangesAreRespected) {
+  ScenarioParams s;
+  s.speed_min_kmh = 10.0;
+  s.speed_max_kmh = 50.0;
+  s.distance_min_km = 2.0;
+  s.distance_max_km = 8.0;
+  Rng rng = makeRng(2);
+  for (int i = 0; i < 500; ++i) {
+    const RequestPlan plan = drawRequest(s, {0.0, 0.0}, 0, rng);
+    EXPECT_GE(plan.initial.speed_kmh, 10.0);
+    EXPECT_LE(plan.initial.speed_kmh, 50.0);
+    EXPECT_GE(plan.initial.position_km.norm(), 2.0 - 1e-9);
+    EXPECT_LE(plan.initial.position_km.norm(), 8.0 + 1e-9);
+  }
+}
+
+TEST(DrawRequest, RejectsInvertedRanges) {
+  ScenarioParams s;
+  s.speed_min_kmh = 50.0;
+  s.speed_max_kmh = 10.0;
+  Rng rng = makeRng(3);
+  EXPECT_THROW((void)drawRequest(s, {0.0, 0.0}, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(DrawRequest, ExactAngleProducesThatDeviation) {
+  ScenarioParams s;
+  s.angle_mean_deg = 50.0;
+  s.angle_sigma_deg = 0.0;
+  Rng rng = makeRng(4);
+  for (int i = 0; i < 50; ++i) {
+    const RequestPlan plan = drawRequest(s, {0.0, 0.0}, 0, rng);
+    const auto snap =
+        mobility::snapshotFromTruth(plan.initial, {0.0, 0.0});
+    EXPECT_NEAR(snap.angle_deg, 50.0, 1e-9);
+  }
+}
+
+TEST(DrawRequest, AngleSpreadCentersOnMean) {
+  ScenarioParams s;
+  s.angle_mean_deg = 0.0;
+  s.angle_sigma_deg = 20.0;
+  Rng rng = makeRng(5);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const RequestPlan plan = drawRequest(s, {0.0, 0.0}, 0, rng);
+    const auto snap =
+        mobility::snapshotFromTruth(plan.initial, {0.0, 0.0});
+    sum += snap.angle_deg;
+    sum_sq += snap.angle_deg * snap.angle_deg;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 1.5);
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 20.0, 1.5);
+}
+
+TEST(DrawRequest, ServiceMixFollowsScenario) {
+  ScenarioParams s;
+  s.mix = cellular::TrafficMix{0.0, 0.0, 1.0};
+  Rng rng = makeRng(6);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(drawRequest(s, {0.0, 0.0}, 0, rng).service,
+              cellular::ServiceClass::Video);
+  }
+}
+
+TEST(Presets, Fig7FixesSpeedOnly) {
+  const ScenarioParams s = fig7Scenario(60.0);
+  EXPECT_DOUBLE_EQ(s.speed_min_kmh, 60.0);
+  EXPECT_DOUBLE_EQ(s.speed_max_kmh, 60.0);
+  EXPECT_GT(s.tracking_window_s, 0.0);  // drift is the figure's mechanism
+  EXPECT_DOUBLE_EQ(s.distance_min_km, 0.0);
+  EXPECT_DOUBLE_EQ(s.distance_max_km, 10.0);
+}
+
+TEST(Presets, Fig8FixesAngleExactly) {
+  const ScenarioParams s = fig8Scenario(50.0);
+  EXPECT_DOUBLE_EQ(s.angle_mean_deg, 50.0);
+  EXPECT_DOUBLE_EQ(s.angle_sigma_deg, 0.0);
+  EXPECT_DOUBLE_EQ(s.tracking_window_s, 0.0);
+  EXPECT_FALSE(s.gps_error_m.has_value());
+  EXPECT_DOUBLE_EQ(s.speed_min_kmh, 0.0);
+  EXPECT_DOUBLE_EQ(s.speed_max_kmh, 120.0);
+}
+
+TEST(Presets, Fig9FixesDistanceExactly) {
+  const ScenarioParams s = fig9Scenario(3.0);
+  EXPECT_DOUBLE_EQ(s.distance_min_km, 3.0);
+  EXPECT_DOUBLE_EQ(s.distance_max_km, 3.0);
+  EXPECT_DOUBLE_EQ(s.tracking_window_s, 0.0);
+}
+
+TEST(Presets, Fig10IsTheMixedDefault) {
+  const ScenarioParams s = fig10Scenario();
+  EXPECT_DOUBLE_EQ(s.speed_min_kmh, 0.0);
+  EXPECT_DOUBLE_EQ(s.speed_max_kmh, 120.0);
+  EXPECT_DOUBLE_EQ(s.mix.fraction(cellular::ServiceClass::Text), 0.60);
+}
+
+TEST(DrawRequest, DeterministicForSameSeed) {
+  const ScenarioParams s = fig10Scenario();
+  Rng a = makeRng(9);
+  Rng b = makeRng(9);
+  for (int i = 0; i < 20; ++i) {
+    const RequestPlan pa = drawRequest(s, {0.0, 0.0}, 0, a);
+    const RequestPlan pb = drawRequest(s, {0.0, 0.0}, 0, b);
+    EXPECT_EQ(pa.initial.position_km, pb.initial.position_km);
+    EXPECT_DOUBLE_EQ(pa.initial.speed_kmh, pb.initial.speed_kmh);
+    EXPECT_DOUBLE_EQ(pa.initial.heading_deg, pb.initial.heading_deg);
+    EXPECT_EQ(pa.service, pb.service);
+  }
+}
+
+}  // namespace
+}  // namespace facs::sim

@@ -1,0 +1,58 @@
+/// \file facs_cli.cpp
+/// Operator command line for the FACS simulator: run any policy on any
+/// scenario, single runs or replicated sweeps. See --help.
+
+#include <iostream>
+
+#include "cli/cli.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace facs;
+  try {
+    const sim::CliOptions options =
+        sim::parseCli({argv + 1, argv + argc});
+    if (options.help) {
+      std::cout << sim::cliUsage();
+      return 0;
+    }
+
+    if (!options.sweep_xs.empty()) {
+      sim::SweepSpec sweep;
+      sweep.title = std::string{"facs_cli sweep ("} +
+                    std::string{toString(options.policy)} + ")";
+      sweep.xs = options.sweep_xs;
+      sweep.replications = options.replications;
+
+      sim::CurveSpec curve;
+      curve.label = std::string{toString(options.policy)};
+      curve.base = options.config;
+      curve.make_controller = sim::makeFactory(options);
+      const sim::SweepResult result = sim::runSweep(sweep, {curve});
+      if (options.csv) {
+        sim::printCsv(std::cout, result);
+      } else {
+        sim::printTable(std::cout, result);
+      }
+      return 0;
+    }
+
+    const sim::Metrics metrics =
+        sim::runSimulation(options.config, sim::makeFactory(options));
+    std::cout << "policy: " << toString(options.policy) << "\n"
+              << metrics.summary() << "\n"
+              << "percent-accepted: " << metrics.percentAccepted() << "\n"
+              << "blocking-probability: " << metrics.blockingProbability()
+              << "\n"
+              << "dropping-probability: " << metrics.droppingProbability()
+              << "\n"
+              << "mean-utilization: " << metrics.meanUtilization() << "\n";
+    return 0;
+  } catch (const sim::CliError& e) {
+    std::cerr << "facs_cli: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "facs_cli: " << e.what() << "\n";
+    return 1;
+  }
+}
