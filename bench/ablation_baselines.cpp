@@ -19,49 +19,15 @@ int main(int argc, char** argv) {
   base.scenario = sim::fig10Scenario();
   base.arrival_window_s = 600.0 / 7.0;
 
+  // Every policy in the registry, by spec string.
   std::vector<sim::CurveSpec> curves;
-
-  sim::CurveSpec facs_curve;
-  facs_curve.label = "FACS";
-  facs_curve.base = base;
-  facs_curve.make_controller = bench::facsFactory();
-  curves.push_back(facs_curve);
-
-  sim::CurveSpec scc_curve;
-  scc_curve.label = "SCC";
-  scc_curve.base = base;
-  scc_curve.make_controller = bench::sccFactory();
-  curves.push_back(scc_curve);
-
-  sim::CurveSpec cs_curve;
-  cs_curve.label = "CS";
-  cs_curve.base = base;
-  cs_curve.make_controller = bench::csFactory();
-  curves.push_back(cs_curve);
-
-  sim::CurveSpec gc_curve;
-  gc_curve.label = "Guard(10)";
-  gc_curve.base = base;
-  gc_curve.make_controller = bench::guardFactory(10);
-  curves.push_back(gc_curve);
-
-  sim::CurveSpec mt_curve;
-  mt_curve.label = "MultiThr";
-  mt_curve.base = base;
-  mt_curve.make_controller = bench::multiThresholdFactory({38, 30, 20});
-  curves.push_back(mt_curve);
-
-  sim::CurveSpec sir_curve;
-  sir_curve.label = "SIR";
-  sir_curve.base = base;
-  sir_curve.make_controller = bench::sirFactory();
-  curves.push_back(sir_curve);
-
-  sim::CurveSpec rsv_curve;
-  rsv_curve.label = "PredRsv";
-  rsv_curve.base = base;
-  rsv_curve.make_controller = bench::predictiveRsvFactory();
-  curves.push_back(rsv_curve);
+  curves.push_back(bench::curve("FACS", base, "facs"));
+  curves.push_back(bench::curve("SCC", base, "scc"));
+  curves.push_back(bench::curve("CS", base, "cs"));
+  curves.push_back(bench::curve("Guard(10)", base, "guard:10"));
+  curves.push_back(bench::curve("MultiThr", base, "threshold:38,30,20"));
+  curves.push_back(bench::curve("SIR", base, "sir"));
+  curves.push_back(bench::curve("PredRsv", base, "rsv"));
 
   const sim::SweepResult result = sim::runSweep(sweep, curves);
   return bench::emit(argc, argv, result,

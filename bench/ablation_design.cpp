@@ -29,33 +29,14 @@ sim::SweepSpec spec(const std::string& title) {
 }
 
 void operatorAblation(int argc, char** argv) {
+  // The facs registry entry exposes the operator family as ops=minmax
+  // (paper Mamdani), ops=prod (Larsen product/probor) and ops=luk
+  // (Lukasiewicz conjunction).
   std::vector<sim::CurveSpec> curves;
-
-  sim::CurveSpec mamdani;
-  mamdani.label = "min/max+centroid";
-  mamdani.base = baseConfig();
-  mamdani.make_controller = bench::facsFactory();
-  curves.push_back(mamdani);
-
-  core::FacsConfig prod;
-  prod.flc1.conjunction = fuzzy::TNorm::AlgebraicProduct;
-  prod.flc1.implication = fuzzy::TNorm::AlgebraicProduct;
-  prod.flc1.aggregation = fuzzy::SNorm::AlgebraicSum;
-  prod.flc2 = prod.flc1;
-  sim::CurveSpec larsen;
-  larsen.label = "prod/probor";
-  larsen.base = baseConfig();
-  larsen.make_controller = bench::facsFactory(prod);
-  curves.push_back(larsen);
-
-  core::FacsConfig luk;
-  luk.flc1.conjunction = fuzzy::TNorm::BoundedDifference;
-  luk.flc2.conjunction = fuzzy::TNorm::BoundedDifference;
-  sim::CurveSpec lukasiewicz;
-  lukasiewicz.label = "lukasiewicz-and";
-  lukasiewicz.base = baseConfig();
-  lukasiewicz.make_controller = bench::facsFactory(luk);
-  curves.push_back(lukasiewicz);
+  curves.push_back(bench::curve("min/max+centroid", baseConfig(), "facs"));
+  curves.push_back(bench::curve("prod/probor", baseConfig(), "facs:ops=prod"));
+  curves.push_back(
+      bench::curve("lukasiewicz-and", baseConfig(), "facs:ops=luk"));
 
   (void)bench::emit(argc, argv,
                     sim::runSweep(spec("Ablation 1 - inference operators"),
@@ -66,20 +47,9 @@ void operatorAblation(int argc, char** argv) {
 
 void defuzzifierAblation(int argc, char** argv) {
   std::vector<sim::CurveSpec> curves;
-  const std::pair<const char*, fuzzy::Defuzzifier> variants[] = {
-      {"centroid", fuzzy::Defuzzifier::Centroid},
-      {"bisector", fuzzy::Defuzzifier::Bisector},
-      {"mom", fuzzy::Defuzzifier::MeanOfMax},
-  };
-  for (const auto& [name, method] : variants) {
-    core::FacsConfig cfg;
-    cfg.flc1.defuzzifier = method;
-    cfg.flc2.defuzzifier = method;
-    sim::CurveSpec c;
-    c.label = name;
-    c.base = baseConfig();
-    c.make_controller = bench::facsFactory(cfg);
-    curves.push_back(std::move(c));
+  for (const char* name : {"centroid", "bisector", "mom"}) {
+    curves.push_back(bench::curve(name, baseConfig(),
+                                  std::string{"facs:defuzz="} + name));
   }
   (void)bench::emit(argc, argv,
                     sim::runSweep(spec("Ablation 2 - defuzzifier"), curves),
@@ -90,13 +60,9 @@ void defuzzifierAblation(int argc, char** argv) {
 void thresholdAblation(int argc, char** argv) {
   std::vector<sim::CurveSpec> curves;
   for (const double tau : {-0.25, 0.0, 0.25, 0.5}) {
-    core::FacsConfig cfg;
-    cfg.accept_threshold = tau;
-    sim::CurveSpec c;
-    c.label = "tau=" + std::to_string(tau).substr(0, 5);
-    c.base = baseConfig();
-    c.make_controller = bench::facsFactory(cfg);
-    curves.push_back(std::move(c));
+    const std::string tau_text = std::to_string(tau).substr(0, 5);
+    curves.push_back(
+        bench::curve("tau=" + tau_text, baseConfig(), "facs:tau=" + tau_text));
   }
   (void)bench::emit(argc, argv,
                     sim::runSweep(spec("Ablation 3 - acceptance threshold"),
@@ -112,7 +78,7 @@ void gpsErrorAblation(int argc, char** argv) {
     c.label = "gps=" + std::to_string(static_cast<int>(err_m)) + "m";
     c.base = baseConfig();
     c.base.scenario.gps_error_m = err_m;
-    c.make_controller = bench::facsFactory();
+    c.make_controller = bench::policy("facs");
     curves.push_back(std::move(c));
   }
   (void)bench::emit(argc, argv,
@@ -129,7 +95,7 @@ void trackingWindowAblation(int argc, char** argv) {
     c.label = "window=" + std::to_string(static_cast<int>(window_s)) + "s";
     c.base = baseConfig();
     c.base.scenario.tracking_window_s = window_s;
-    c.make_controller = bench::facsFactory();
+    c.make_controller = bench::policy("facs");
     curves.push_back(std::move(c));
   }
   (void)bench::emit(argc, argv,

@@ -10,6 +10,7 @@
 /// whatever still fits its projections.
 
 #include <cstdlib>
+#include <sstream>
 
 #include "figure_common.hpp"
 
@@ -40,23 +41,17 @@ int main(int argc, char** argv) {
   // per-cell offered load matches the single-cell figures (600 s / 7).
   base.arrival_window_s = 600.0 / 7.0;
 
-  sim::CurveSpec facs_curve;
-  facs_curve.label = "FACS";
-  facs_curve.base = base;
-  facs_curve.make_controller = bench::facsFactory();
+  const sim::CurveSpec facs_curve = bench::curve("FACS", base, "facs");
 
-  sim::CurveSpec scc_curve;
-  scc_curve.label = "SCC";
-  scc_curve.base = base;
-  scc::SccConfig scc_cfg;
-  // Reserve a survivability margin for projected handoffs: this is what
-  // costs SCC acceptance at light load relative to FACS.
-  scc_cfg.threshold = flagOr(argc, argv, "--scc-theta", 0.85);
-  scc_cfg.sigma_base_km = flagOr(argc, argv, "--scc-sigma", 8.0);
-  scc_cfg.sigma_growth_km = flagOr(argc, argv, "--scc-growth", 0.0);
-  scc_cfg.intervals =
-      static_cast<int>(flagOr(argc, argv, "--scc-intervals", 3.0));
-  scc_curve.make_controller = bench::sccFactory(scc_cfg);
+  // Reserve a survivability margin for projected handoffs (theta < 1): this
+  // is what costs SCC acceptance at light load relative to FACS.
+  std::ostringstream scc_spec;
+  scc_spec << "scc:theta=" << flagOr(argc, argv, "--scc-theta", 0.85)
+           << ",sigma=" << flagOr(argc, argv, "--scc-sigma", 8.0)
+           << ",growth=" << flagOr(argc, argv, "--scc-growth", 0.0)
+           << ",intervals="
+           << static_cast<int>(flagOr(argc, argv, "--scc-intervals", 3.0));
+  const sim::CurveSpec scc_curve = bench::curve("SCC", base, scc_spec.str());
 
   const sim::SweepResult result =
       sim::runSweep(sweep, {facs_curve, scc_curve});

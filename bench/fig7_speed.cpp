@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
     sim::CurveSpec c;
     c.label = std::to_string(static_cast<int>(speed)) + "km/h";
     c.base.scenario = sim::fig7Scenario(speed);
-    c.make_controller = bench::facsFactory();
+    c.make_controller = bench::policy("facs");
     curves.push_back(std::move(c));
   }
 

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
     sim::CurveSpec c;
     c.label = "angle=" + std::to_string(static_cast<int>(angle));
     c.base.scenario = sim::fig8Scenario(angle);
-    c.make_controller = bench::facsFactory();
+    c.make_controller = bench::policy("facs");
     curves.push_back(std::move(c));
   }
 

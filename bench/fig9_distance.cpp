@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
     sim::CurveSpec c;
     c.label = std::to_string(static_cast<int>(km)) + "km";
     c.base.scenario = sim::fig9Scenario(km);
-    c.make_controller = bench::facsFactory();
+    c.make_controller = bench::policy("facs");
     curves.push_back(std::move(c));
   }
 

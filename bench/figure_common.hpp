@@ -1,7 +1,7 @@
 #pragma once
 /// \file figure_common.hpp
-/// Shared plumbing for the figure-reproduction benches: controller
-/// factories, the paper's default sweep axes, and output-mode handling
+/// Shared plumbing for the figure-reproduction benches: registry-backed
+/// policy lookup, the paper's default sweep axes, and output-mode handling
 /// (aligned table by default, CSV with --csv).
 
 #include <cstring>
@@ -9,77 +9,27 @@
 #include <string>
 #include <vector>
 
-#include "cac/baselines.hpp"
-#include "cac/predictive_reservation.hpp"
-#include "cac/sir_controller.hpp"
-#include "core/facs.hpp"
-#include "scc/shadow_cluster.hpp"
+#include "cellular/policy_registry.hpp"
 #include "sim/experiment.hpp"
+#include "sim/scenario_catalog.hpp"
 
 namespace facs::bench {
 
-/// SirController bundled with the radio model it consults (the bench
-/// factories hand out self-contained controllers).
-class StandaloneSirController final : public cellular::AdmissionController {
- public:
-  explicit StandaloneSirController(const cellular::HexNetwork& net,
-                                   cac::SirThresholds thresholds = {})
-      : radio_{net}, inner_{radio_, thresholds} {}
-
-  [[nodiscard]] std::string name() const override { return inner_.name(); }
-  [[nodiscard]] cellular::AdmissionDecision decide(
-      const cellular::CallRequest& request,
-      const cellular::AdmissionContext& context) override {
-    return inner_.decide(request, context);
-  }
-
- private:
-  cellular::RadioModel radio_;
-  cac::SirController inner_;
-};
-
-inline sim::ControllerFactory facsFactory(core::FacsConfig config = {}) {
-  return [config](const cellular::HexNetwork&) {
-    return std::make_unique<core::FacsController>(config);
-  };
+/// Controller factory from a policy-registry spec (e.g. "facs",
+/// "guard:10", "facs:tau=0.25,ops=prod"). Every bench goes through this —
+/// no bench constructs a concrete controller.
+inline sim::ControllerFactory policy(const std::string& spec) {
+  return cellular::PolicyRegistry::global().makeFactory(spec);
 }
 
-inline sim::ControllerFactory sccFactory(scc::SccConfig config = {}) {
-  return [config](const cellular::HexNetwork& net) {
-    return std::make_unique<scc::ShadowClusterController>(net, config);
-  };
-}
-
-inline sim::ControllerFactory csFactory() {
-  return [](const cellular::HexNetwork&) {
-    return std::make_unique<cac::CompleteSharingController>();
-  };
-}
-
-inline sim::ControllerFactory guardFactory(cellular::BandwidthUnits guard) {
-  return [guard](const cellular::HexNetwork&) {
-    return std::make_unique<cac::GuardChannelController>(guard);
-  };
-}
-
-inline sim::ControllerFactory multiThresholdFactory(
-    std::array<cellular::BandwidthUnits, cellular::kServiceClassCount> t) {
-  return [t](const cellular::HexNetwork&) {
-    return std::make_unique<cac::MultiThresholdController>(t);
-  };
-}
-
-inline sim::ControllerFactory sirFactory() {
-  return [](const cellular::HexNetwork& net) {
-    return std::make_unique<StandaloneSirController>(net);
-  };
-}
-
-inline sim::ControllerFactory predictiveRsvFactory(
-    cac::PredictiveReservationConfig config = {}) {
-  return [config](const cellular::HexNetwork& net) {
-    return std::make_unique<cac::PredictiveReservationController>(net, config);
-  };
+/// A labelled curve on a catalogued or custom base config.
+inline sim::CurveSpec curve(std::string label, const sim::SimulationConfig& base,
+                            const std::string& policy_spec) {
+  sim::CurveSpec c;
+  c.label = std::move(label);
+  c.base = base;
+  c.make_controller = policy(policy_spec);
+  return c;
 }
 
 /// The paper's x-axis: 0-100 requesting connections.

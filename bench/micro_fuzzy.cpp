@@ -7,13 +7,29 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <memory>
 
+#include "cellular/network.hpp"
+#include "cellular/policy_registry.hpp"
 #include "core/facs.hpp"
 #include "fuzzy/fdl.hpp"
 
 namespace {
 
 using namespace facs;
+
+/// FACS controller by registry spec, downcast for the FACS-specific
+/// `evaluate()` benchmarks (only the registry constructs controllers).
+std::unique_ptr<core::FacsController> facsFromRegistry(
+    const std::string& spec) {
+  const cellular::HexNetwork net{0};
+  std::unique_ptr<cellular::AdmissionController> controller =
+      cellular::PolicyRegistry::global().makeController(spec, net);
+  auto* typed = dynamic_cast<core::FacsController*>(controller.get());
+  if (typed == nullptr) throw std::logic_error("spec is not a FACS policy");
+  controller.release();
+  return std::unique_ptr<core::FacsController>{typed};
+}
 
 void BM_Flc1Inference(benchmark::State& state) {
   const fuzzy::MamdaniEngine flc1 = core::buildFlc1();
@@ -42,7 +58,7 @@ void BM_Flc2Inference(benchmark::State& state) {
 BENCHMARK(BM_Flc2Inference);
 
 void BM_FacsEvaluate(benchmark::State& state) {
-  const core::FacsController facs;
+  const auto facs = facsFromRegistry("facs");
   cellular::UserSnapshot user;
   user.speed_kmh = 45.0;
   user.angle_deg = 20.0;
@@ -50,7 +66,7 @@ void BM_FacsEvaluate(benchmark::State& state) {
   double cs = 0.0;
   for (auto _ : state) {
     cs = cs < 40.0 ? cs + 1.0 : 0.0;
-    benchmark::DoNotOptimize(facs.evaluate(user, 5.0, cs));
+    benchmark::DoNotOptimize(facs->evaluate(user, 5.0, cs));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -58,16 +74,14 @@ BENCHMARK(BM_FacsEvaluate);
 
 /// Defuzzification resolution is the main latency knob: sweep it.
 void BM_FacsEvaluateResolution(benchmark::State& state) {
-  core::FacsConfig cfg;
-  cfg.flc1.resolution = static_cast<int>(state.range(0));
-  cfg.flc2.resolution = static_cast<int>(state.range(0));
-  const core::FacsController facs{cfg};
+  const auto facs = facsFromRegistry(
+      "facs:res=" + std::to_string(state.range(0)));
   cellular::UserSnapshot user;
   user.speed_kmh = 45.0;
   user.angle_deg = 20.0;
   user.distance_km = 4.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(facs.evaluate(user, 5.0, 17.0));
+    benchmark::DoNotOptimize(facs->evaluate(user, 5.0, 17.0));
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -1,19 +1,18 @@
 /// \file micro_sim.cpp
 /// Microbenchmarks of the simulation substrate: event-queue throughput,
-/// whole-run latency per policy, and SCC's decision cost as the number of
-/// tracked shadows grows.
+/// whole-run latency per policy, the per-decision cost of the opt-in
+/// rationale API, and SCC's decision cost as the number of tracked shadows
+/// grows. All controllers come from the policy registry.
 
 #include <benchmark/benchmark.h>
 
-#include "cac/baselines.hpp"
-#include "core/facs.hpp"
-#include "scc/shadow_cluster.hpp"
+#include "figure_common.hpp"
 #include "sim/event_queue.hpp"
-#include "sim/simulator.hpp"
 
 namespace {
 
 using namespace facs;
+using bench::policy;
 
 void BM_EventQueuePushPop(benchmark::State& state) {
   sim::EventQueue<int> q;
@@ -44,9 +43,7 @@ sim::SimulationConfig benchConfig(int requests) {
 
 void BM_SimulationRunFacs(benchmark::State& state) {
   const auto cfg = benchConfig(static_cast<int>(state.range(0)));
-  const auto factory = [](const cellular::HexNetwork&) {
-    return std::make_unique<core::FacsController>();
-  };
+  const auto factory = policy("facs");
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim::runSimulation(cfg, factory));
   }
@@ -57,9 +54,7 @@ BENCHMARK(BM_SimulationRunFacs)->Arg(25)->Arg(100);
 
 void BM_SimulationRunCs(benchmark::State& state) {
   const auto cfg = benchConfig(static_cast<int>(state.range(0)));
-  const auto factory = [](const cellular::HexNetwork&) {
-    return std::make_unique<cac::CompleteSharingController>();
-  };
+  const auto factory = policy("cs");
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim::runSimulation(cfg, factory));
   }
@@ -72,19 +67,61 @@ void BM_SimulationWithGpsTracking(benchmark::State& state) {
   sim::SimulationConfig cfg = benchConfig(50);
   cfg.scenario.tracking_window_s = 30.0;
   cfg.scenario.gps_error_m = 10.0;
-  const auto factory = [](const cellular::HexNetwork&) {
-    return std::make_unique<core::FacsController>();
-  };
+  const auto factory = policy("facs");
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim::runSimulation(cfg, factory));
   }
 }
 BENCHMARK(BM_SimulationWithGpsTracking);
 
+/// The decision hot path with rationale off (the simulator's mode: no
+/// string is built) vs on (the dashboard/debug mode). The gap is the cost
+/// the opt-in API removed from every simulated decision.
+template <bool kExplain>
+void BM_DecideRationale(benchmark::State& state, const std::string& spec) {
+  const cellular::HexNetwork net{0};
+  const auto controller = policy(spec)(net);
+  cellular::CallRequest request;
+  request.call = 1;
+  request.service = cellular::ServiceClass::Voice;
+  request.demand_bu = 5;
+  request.snapshot = {45.0, 20.0, 4.0, {4.0, 0.0}};
+  request.target_cell = 0;
+  const cellular::AdmissionContext ctx{net.station(0), 0.0, kExplain};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller->decide(request, ctx));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_FacsDecideNoExplain(benchmark::State& state) {
+  BM_DecideRationale<false>(state, "facs");
+}
+BENCHMARK(BM_FacsDecideNoExplain);
+void BM_FacsDecideExplain(benchmark::State& state) {
+  BM_DecideRationale<true>(state, "facs");
+}
+BENCHMARK(BM_FacsDecideExplain);
+void BM_CsDecideNoExplain(benchmark::State& state) {
+  BM_DecideRationale<false>(state, "cs");
+}
+BENCHMARK(BM_CsDecideNoExplain);
+void BM_CsDecideExplain(benchmark::State& state) {
+  BM_DecideRationale<true>(state, "cs");
+}
+BENCHMARK(BM_CsDecideExplain);
+void BM_GuardDecideNoExplain(benchmark::State& state) {
+  BM_DecideRationale<false>(state, "guard:8");
+}
+BENCHMARK(BM_GuardDecideNoExplain);
+void BM_GuardDecideExplain(benchmark::State& state) {
+  BM_DecideRationale<true>(state, "guard:8");
+}
+BENCHMARK(BM_GuardDecideExplain);
+
 /// SCC decision cost is O(tracked shadows x cluster cells x intervals).
 void BM_SccDecideVsTrackedCalls(benchmark::State& state) {
   const cellular::HexNetwork net{2};
-  scc::ShadowClusterController scc{net};
+  const auto scc = policy("scc")(net);
   const int tracked = static_cast<int>(state.range(0));
   for (int i = 0; i < tracked; ++i) {
     cellular::CallRequest r;
@@ -94,7 +131,7 @@ void BM_SccDecideVsTrackedCalls(benchmark::State& state) {
     r.snapshot.position = {static_cast<double>(i % 10), 0.0};
     r.snapshot.speed_kmh = 30.0;
     r.target_cell = 0;
-    scc.onAdmitted(r, {net.station(0), 0.0});
+    scc->onAdmitted(r, {net.station(0), 0.0});
   }
   cellular::CallRequest probe;
   probe.call = 100000;
@@ -103,7 +140,7 @@ void BM_SccDecideVsTrackedCalls(benchmark::State& state) {
   probe.snapshot.position = {1.0, 1.0};
   probe.target_cell = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(scc.decide(probe, {net.station(0), 0.0}));
+    benchmark::DoNotOptimize(scc->decide(probe, {net.station(0), 0.0}));
   }
   state.SetItemsProcessed(state.iterations());
 }

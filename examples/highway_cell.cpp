@@ -1,15 +1,14 @@
 /// \file highway_cell.cpp
 /// Multi-cell scenario: a 7-cell cluster of small cells over a highway
-/// corridor. Fast vehicles hand over constantly; the interesting metric is
-/// the dropping probability, and how much a handoff-priority policy
-/// (guard channels, or FACS's future-work handoff bias) buys.
+/// corridor (catalog scenario "highway"). Fast vehicles hand over
+/// constantly; the interesting metric is the dropping probability, and how
+/// much a handoff-priority policy (guard channels, or FACS's future-work
+/// handoff bias, spec "facs:handoff=0.4") buys.
 
 #include <iomanip>
 #include <iostream>
 
-#include "cac/baselines.hpp"
-#include "core/facs.hpp"
-#include "sim/simulator.hpp"
+#include "sim/scenario_catalog.hpp"
 
 int main() {
   using namespace facs;
@@ -17,50 +16,26 @@ int main() {
   std::cout << "Highway corridor: handoff behaviour across a 7-cell "
                "cluster\n\n";
 
-  sim::SimulationConfig cfg;
-  cfg.rings = 1;
-  cfg.cell_radius_km = 2.0;  // micro-cells: crossings every couple minutes
-  cfg.total_requests = 150;
-  cfg.arrival_window_s = 400.0;
-  cfg.enable_handoffs = true;
-  cfg.mobility_update_s = 5.0;
-  cfg.seed = 7;
-  cfg.scenario.speed_min_kmh = 70.0;
-  cfg.scenario.speed_max_kmh = 130.0;
-  cfg.scenario.angle_sigma_deg = 30.0;
-  cfg.scenario.distance_min_km = 0.0;
-  cfg.scenario.distance_max_km = 2.0;
-  cfg.scenario.tracking_window_s = 10.0;
-  cfg.scenario.gps_fix_period_s = 2.0;
-  cfg.scenario.turn.sigma_max_deg = 10.0;  // cars follow the road
-
   struct Policy {
     const char* label;
-    sim::ControllerFactory factory;
+    const char* spec;
   };
-  core::FacsConfig handoff_priority;
-  handoff_priority.handoff_bias = 0.4;  // the paper's future-work knob
-
   const Policy policies[] = {
-      {"CS", [](const cellular::HexNetwork&) {
-         return std::make_unique<cac::CompleteSharingController>();
-       }},
-      {"Guard(8)", [](const cellular::HexNetwork&) {
-         return std::make_unique<cac::GuardChannelController>(8);
-       }},
-      {"FACS", [](const cellular::HexNetwork&) {
-         return std::make_unique<core::FacsController>();
-       }},
-      {"FACS+handoff-bias", [handoff_priority](const cellular::HexNetwork&) {
-         return std::make_unique<core::FacsController>(handoff_priority);
-       }},
+      {"CS", "cs"},
+      {"Guard(8)", "guard:8"},
+      {"FACS", "facs"},
+      // The paper's future-work knob: prioritize handoffs by lowering tau.
+      {"FACS+handoff-bias", "facs:handoff=0.4"},
   };
 
   std::cout << std::left << std::setw(20) << "policy" << std::setw(10)
             << "accept%" << std::setw(12) << "handoffs" << std::setw(10)
             << "drop-p" << "util" << "\n";
   for (const Policy& p : policies) {
-    const sim::Metrics m = sim::runSimulation(cfg, p.factory);
+    const sim::Metrics m = sim::SimulationBuilder::scenario("highway")
+                               .seed(7)
+                               .policy(p.spec)
+                               .run();
     std::cout << std::left << std::setw(20) << p.label << std::fixed
               << std::setprecision(1) << std::setw(10) << m.percentAccepted()
               << std::setw(12) << m.handoff_requests << std::setprecision(3)

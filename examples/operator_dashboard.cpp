@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "cellular/policy_registry.hpp"
 #include "core/facs.hpp"
 #include "fuzzy/fdl.hpp"
 #include "scc/shadow_cluster.hpp"
@@ -55,7 +56,14 @@ void printTrace(const fuzzy::MamdaniEngine& engine,
 }  // namespace
 
 int main() {
-  const core::FacsController facs;
+  // Both controllers come from the policy registry; the dashboard downcasts
+  // to reach the policy-specific introspection surfaces (fuzzy engine
+  // traces, SCC demand projection) that sit below AdmissionController.
+  const cellular::PolicyRegistry& registry = cellular::PolicyRegistry::global();
+  const cellular::HexNetwork single_cell{0};
+  const std::unique_ptr<cellular::AdmissionController> facs_controller =
+      registry.makeController("facs", single_cell);
+  const auto& facs = dynamic_cast<const core::FacsController&>(*facs_controller);
 
   // The request under the microscope: a 30 km/h user 6 km out, drifting
   // 40 degrees off the bearing to the BS, asking for a video channel while
@@ -84,7 +92,9 @@ int main() {
   // cell of a 7-cell cluster that already tracks two mobiles.
   std::cout << "=== SCC projection for the same cell ===\n\n";
   const cellular::HexNetwork net{1};
-  scc::ShadowClusterController scc{net};
+  const std::unique_ptr<cellular::AdmissionController> scc_controller =
+      registry.makeController("scc", net);
+  auto& scc = dynamic_cast<scc::ShadowClusterController&>(*scc_controller);
   cellular::CallRequest ongoing;
   ongoing.call = 1;
   ongoing.service = cellular::ServiceClass::Video;

@@ -1,22 +1,30 @@
 /// \file quickstart.cpp
 /// Five-minute tour of the FACS public API:
-///   1. build the controller (FLC1 + FLC2 with the paper's rule bases);
+///   1. look the controller up in the policy registry;
 ///   2. evaluate admission requests from raw GPS measurements;
 ///   3. plug the controller into a base station ledger;
-///   4. run a small end-to-end simulation.
+///   4. run a small end-to-end simulation from the scenario catalog.
 
 #include <iostream>
 
+#include "cellular/policy_registry.hpp"
 #include "core/facs.hpp"
-#include "sim/simulator.hpp"
+#include "sim/scenario_catalog.hpp"
 
 int main() {
   using namespace facs;
 
-  // 1. The controller. Default configuration = the paper's design:
+  // 1. The controller, by registry spec. "facs" is the paper's design:
   //    min/max Mamdani inference, centroid defuzzification, accept iff the
-  //    crisp A/R value is positive.
-  core::FacsController facs;
+  //    crisp A/R value is positive. (Try "facs:tau=0.25" or "guard:8" —
+  //    facs_cli --list-policies shows everything.)
+  const cellular::HexNetwork net{0};
+  std::unique_ptr<cellular::AdmissionController> controller =
+      cellular::PolicyRegistry::global().makeController("facs", net);
+
+  // FACS-specific introspection (the fuzzy engines) lives below the
+  // AdmissionController interface; downcast for the tour.
+  auto& facs = dynamic_cast<core::FacsController&>(*controller);
   std::cout << "Controller: " << facs.name() << " (" << facs.flc1().name()
             << ": " << facs.flc1().rules().size() << " rules, "
             << facs.flc2().name() << ": " << facs.flc2().rules().size()
@@ -45,7 +53,9 @@ int main() {
   }
 
   // 3. The same controller behind the AdmissionController interface, with a
-  //    real bandwidth ledger enforcing the capacity invariant.
+  //    real bandwidth ledger enforcing the capacity invariant. `explain`
+  //    opts into the rationale string — production decisions skip it (and
+  //    its allocation) entirely, and read the ReasonCode instead.
   cellular::BaseStation station{0, cellular::kPaperCellCapacityBu};
   cellular::CallRequest request;
   request.call = 1;
@@ -53,9 +63,9 @@ int main() {
   request.demand_bu = 5;
   request.snapshot = candidates[0].snapshot;
   const cellular::AdmissionDecision d =
-      facs.decide(request, {station, /*now_s=*/0.0});
+      controller->decide(request, {station, /*now_s=*/0.0, /*explain=*/true});
   std::cout << "\nLedger-backed decision: " << (d.accept ? "admit" : "deny")
-            << " (" << d.rationale << ")\n";
+            << " [" << toString(d.reason) << "] (" << d.rationale << ")\n";
   if (d.accept) {
     station.allocate(request.call, request.demand_bu, /*real_time=*/true);
     std::cout << "Station now: " << station.occupiedBu() << "/"
@@ -63,15 +73,15 @@ int main() {
               << ", NRTC=" << station.nrtc() << ")\n";
   }
 
-  // 4. A complete simulated experiment: 60 mixed connections offered to one
-  //    40 BU cell, users tracked by (synthetic) GPS before each decision.
-  sim::SimulationConfig cfg;
-  cfg.total_requests = 60;
-  cfg.seed = 2026;
+  // 4. A complete simulated experiment: the paper's single 40 BU cell
+  //    offered 60 mixed connections, users tracked by (synthetic) GPS
+  //    before each decision — one fluent chain over the scenario catalog.
   const sim::Metrics metrics =
-      sim::runSimulation(cfg, [](const cellular::HexNetwork&) {
-        return std::make_unique<core::FacsController>();
-      });
+      sim::SimulationBuilder::scenario("paper-single-cell")
+          .requests(60)
+          .seed(2026)
+          .policy("facs")
+          .run();
   std::cout << "\nSimulation: " << metrics.summary() << "\n";
   std::cout << "Percent accepted: " << metrics.percentAccepted() << "%\n";
   return 0;

@@ -1,61 +1,41 @@
 /// \file stadium_event.cpp
-/// Flash-crowd scenario: a match ends and tens of thousands of mostly
-/// stationary users light up one cell. Uses Poisson arrivals with a
-/// warm-up so the numbers describe the saturated steady state, and
-/// contrasts three philosophies: pack greedily (CS), protect handoffs
-/// (predictive reservation) and protect ongoing QoS (FACS). Also shows
-/// the Erlang-B sanity line for the equivalent single-class load.
+/// Flash-crowd scenario (catalog "stadium-burst"): a match ends and
+/// thousands of mostly stationary users light up one cell. Uses Poisson
+/// arrivals with a warm-up so the numbers describe the saturated steady
+/// state, and contrasts three philosophies: pack greedily (CS), protect
+/// handoffs (predictive reservation) and protect ongoing QoS (FACS). Also
+/// shows the Erlang-B sanity line for the equivalent single-class load.
 
 #include <iomanip>
 #include <iostream>
 
-#include "cac/baselines.hpp"
-#include "cac/predictive_reservation.hpp"
-#include "core/facs.hpp"
 #include "sim/erlang.hpp"
-#include "sim/simulator.hpp"
+#include "sim/scenario_catalog.hpp"
 
 int main() {
   using namespace facs;
 
   std::cout << "Stadium event: saturated single cell, steady-state view\n\n";
 
-  sim::SimulationConfig cfg;
-  cfg.total_requests = 3000;
-  cfg.arrival_window_s = 3000.0;  // ~1 request/s against a 40 BU cell
-  cfg.arrivals = sim::ArrivalProcess::Poisson;
-  cfg.warmup_s = 600.0;           // measure after the crowd has built up
-  cfg.seed = 42;
-  cfg.scenario.speed_min_kmh = 0.0;
-  cfg.scenario.speed_max_kmh = 6.0;    // people on foot
-  cfg.scenario.angle_sigma_deg = 90.0; // milling around
-  cfg.scenario.distance_min_km = 0.0;
-  cfg.scenario.distance_max_km = 2.0;  // everyone is near the stadium mast
-  cfg.scenario.tracking_window_s = 10.0;
-  cfg.scenario.gps_fix_period_s = 5.0;
-  cfg.scenario.mix = cellular::TrafficMix{0.7, 0.25, 0.05};  // texting crowd
+  const sim::SimulationConfig cfg =
+      sim::ScenarioCatalog::global().at("stadium-burst").config;
 
   struct Policy {
     const char* label;
-    sim::ControllerFactory factory;
+    const char* spec;
   };
   const Policy policies[] = {
-      {"CS", [](const cellular::HexNetwork&) {
-         return std::make_unique<cac::CompleteSharingController>();
-       }},
-      {"PredictiveRsv", [](const cellular::HexNetwork& net) {
-         return std::make_unique<cac::PredictiveReservationController>(net);
-       }},
-      {"FACS", [](const cellular::HexNetwork&) {
-         return std::make_unique<core::FacsController>();
-       }},
+      {"CS", "cs"},
+      {"PredictiveRsv", "rsv"},
+      {"FACS", "facs"},
   };
 
   std::cout << std::left << std::setw(16) << "policy" << std::setw(10)
             << "accept%" << std::setw(10) << "block-p" << std::setw(10)
             << "util" << std::setw(10) << "video%" << "text%" << "\n";
   for (const Policy& p : policies) {
-    const sim::Metrics m = sim::runSimulation(cfg, p.factory);
+    const sim::Metrics m =
+        sim::SimulationBuilder{cfg}.seed(42).policy(p.spec).run();
     std::cout << std::left << std::setw(16) << p.label << std::fixed
               << std::setprecision(1) << std::setw(10) << m.percentAccepted()
               << std::setprecision(3) << std::setw(10)

@@ -3,14 +3,14 @@
 /// requesters are pedestrians whose direction is hard to predict, plus a
 /// vehicular minority. Compares FACS against Complete Sharing on
 /// acceptance, per-class fairness and utilization as the lunch-hour load
-/// ramps up.
+/// ramps up. The population comes from the scenario catalog
+/// ("urban-walkers"); the policies come from the registry.
 
 #include <iomanip>
 #include <iostream>
+#include <string>
 
-#include "cac/baselines.hpp"
-#include "core/facs.hpp"
-#include "sim/experiment.hpp"
+#include "sim/scenario_catalog.hpp"
 
 int main() {
   using namespace facs;
@@ -18,42 +18,21 @@ int main() {
   std::cout << "Urban walkers: pedestrian-heavy cell, FACS vs Complete "
                "Sharing\n\n";
 
-  // Pedestrian-dominated population: slow, erratic, mostly short text and
-  // voice sessions; a tenth of the users are vehicles passing through.
-  sim::ScenarioParams rush;
-  rush.speed_min_kmh = 2.0;
-  rush.speed_max_kmh = 25.0;      // walkers and cyclists
-  rush.angle_sigma_deg = 45.0;    // downtown grid: nobody walks straight
-  rush.turn.sigma_max_deg = 60.0; // window shopping
-  rush.mix = cellular::TrafficMix{0.50, 0.40, 0.10};
-
-  sim::SimulationConfig base;
-  base.scenario = rush;
-  base.arrival_window_s = 600.0;
-
-  const auto facs_factory = [](const cellular::HexNetwork&) {
-    return std::make_unique<core::FacsController>();
-  };
-  const auto cs_factory = [](const cellular::HexNetwork&) {
-    return std::make_unique<cac::CompleteSharingController>();
-  };
-
   std::cout << std::left << std::setw(8) << "load" << std::setw(10)
             << "policy" << std::setw(10) << "accept%" << std::setw(10)
             << "text%" << std::setw(10) << "voice%" << std::setw(10)
             << "video%" << "util" << "\n";
 
   for (const int load : {20, 60, 120}) {
-    for (const bool use_facs : {true, false}) {
-      sim::SimulationConfig cfg = base;
-      cfg.total_requests = load;
-      cfg.seed = 99;
-      const sim::Metrics m =
-          sim::runSimulation(cfg, use_facs ? sim::ControllerFactory{facs_factory}
-                                           : sim::ControllerFactory{cs_factory});
+    for (const char* policy : {"facs", "cs"}) {
+      const sim::Metrics m = sim::SimulationBuilder::scenario("urban-walkers")
+                                 .requests(load)
+                                 .seed(99)
+                                 .policy(policy)
+                                 .run();
       std::cout << std::left << std::setw(8) << load << std::setw(10)
-                << (use_facs ? "FACS" : "CS") << std::fixed
-                << std::setprecision(1) << std::setw(10)
+                << (std::string{policy} == "facs" ? "FACS" : "CS")
+                << std::fixed << std::setprecision(1) << std::setw(10)
                 << m.percentAccepted() << std::setw(10)
                 << m.percentAcceptedForClass(cellular::ServiceClass::Text)
                 << std::setw(10)

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "cellular/policy_registry.hpp"
+
 namespace facs::cac {
 
 using cellular::AdmissionContext;
@@ -61,12 +63,17 @@ AdmissionDecision PredictiveReservationController::decide(
 
   AdmissionDecision d;
   d.accept = accept;
+  d.reason = accept      ? cellular::ReasonCode::Admitted
+             : fits_hard ? cellular::ReasonCode::ReservedForHandoff
+                         : cellular::ReasonCode::NoCapacity;
   d.score = accept ? 1.0 : -1.0;
-  std::ostringstream os;
-  os << (request.is_handoff ? "handoff" : "new") << " free="
-     << context.station.freeBu() << " reserved=" << reserved
-     << " need=" << request.demand_bu;
-  d.rationale = os.str();
+  if (context.explain) {
+    std::ostringstream os;
+    os << (request.is_handoff ? "handoff" : "new") << " free="
+       << context.station.freeBu() << " reserved=" << reserved
+       << " need=" << request.demand_bu;
+    d.rationale = os.str();
+  }
   return d;
 }
 
@@ -96,5 +103,38 @@ void PredictiveReservationController::onReleased(
   }
   reservations_.erase(it);
 }
+
+// ------------------------------------------------------------------------
+namespace {
+
+using cellular::PolicyRegistrar;
+using cellular::PolicySpec;
+
+const PolicyRegistrar register_rsv{
+    {"rsv",
+     "Predictive reservation (Yu & Leung 2001): each mobile's velocity "
+     "reserves bandwidth in its predicted next cell.",
+     "rsv[:FRACTION][,frac=F,minspeed=KMH]  (fraction in [0,1], default "
+     "0.5)"},
+    [](const PolicySpec& spec) -> cellular::ControllerFactory {
+      spec.expectOnly(1, {"frac", "minspeed"});
+      PredictiveReservationConfig cfg;
+      cfg.reservation_fraction =
+          spec.numberFor("frac", spec.numberAt(0, cfg.reservation_fraction));
+      cfg.min_speed_kmh = spec.numberFor("minspeed", cfg.min_speed_kmh);
+      if (cfg.reservation_fraction < 0.0 || cfg.reservation_fraction > 1.0) {
+        throw cellular::PolicySpecError(
+            "policy 'rsv': reservation fraction must be in [0, 1]");
+      }
+      if (cfg.min_speed_kmh < 0.0) {
+        throw cellular::PolicySpecError(
+            "policy 'rsv': minimum speed must be >= 0");
+      }
+      return [cfg](const cellular::HexNetwork& net) {
+        return std::make_unique<PredictiveReservationController>(net, cfg);
+      };
+    }};
+
+}  // namespace
 
 }  // namespace facs::cac

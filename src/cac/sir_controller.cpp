@@ -1,13 +1,18 @@
 #include "cac/sir_controller.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
+
+#include "cellular/network.hpp"
+#include "cellular/policy_registry.hpp"
 
 namespace facs::cac {
 
 using cellular::AdmissionContext;
 using cellular::AdmissionDecision;
 using cellular::CallRequest;
+using cellular::ReasonCode;
 
 SirController::SirController(const cellular::RadioModel& radio,
                              SirThresholds thresholds)
@@ -23,13 +28,69 @@ AdmissionDecision SirController::decide(const CallRequest& request,
 
   AdmissionDecision d;
   d.accept = clean_enough && fits;
+  d.reason = d.accept         ? ReasonCode::Admitted
+             : !clean_enough  ? ReasonCode::SinrTooLow
+                              : ReasonCode::NoCapacity;
   // Confidence: SINR margin scaled into [-1, 1] over a 10 dB window.
   d.score = std::clamp((sinr_db - needed_db) / 10.0, -1.0, 1.0);
-  std::ostringstream os;
-  os << "sinr=" << sinr_db << "dB need=" << needed_db << "dB";
-  if (!fits) os << " (no free BU)";
-  d.rationale = os.str();
+  if (context.explain) {
+    std::ostringstream os;
+    os << "sinr=" << sinr_db << "dB need=" << needed_db << "dB";
+    if (!fits) os << " (no free BU)";
+    d.rationale = os.str();
+  }
   return d;
 }
+
+// ------------------------------------------------------------------------
+namespace {
+
+using cellular::PolicyRegistrar;
+using cellular::PolicySpec;
+
+/// SirController bundled with the radio model it consults, so the registry
+/// can hand out self-contained controllers (the inner controller holds a
+/// reference into this wrapper).
+class StandaloneSirController final : public cellular::AdmissionController {
+ public:
+  explicit StandaloneSirController(const cellular::HexNetwork& net,
+                                   SirThresholds thresholds)
+      : radio_{net}, inner_{radio_, thresholds} {}
+
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+  [[nodiscard]] AdmissionDecision decide(
+      const CallRequest& request, const AdmissionContext& context) override {
+    return inner_.decide(request, context);
+  }
+
+ private:
+  cellular::RadioModel radio_;
+  SirController inner_;
+};
+
+const PolicyRegistrar register_sir{
+    {"sir",
+     "SIR-based CAC: admit only when downlink SINR clears a per-class "
+     "threshold and the bandwidth fits.",
+     "sir[:T_text,T_voice,T_video]  (min SINR dB, default -3,1,5)"},
+    [](const PolicySpec& spec) -> cellular::ControllerFactory {
+      spec.expectOnly(cellular::kServiceClassCount, {});
+      if (!spec.positional().empty() &&
+          spec.positionalCount() != cellular::kServiceClassCount) {
+        throw cellular::PolicySpecError(
+            "policy 'sir': expects exactly " +
+            std::to_string(cellular::kServiceClassCount) +
+            " SINR thresholds (text, voice, video)");
+      }
+      SirThresholds thresholds;
+      for (std::size_t i = 0; i < spec.positionalCount(); ++i) {
+        thresholds.min_sinr_db[i] = spec.numberAt(i, thresholds.min_sinr_db[i]);
+      }
+      return [thresholds](const cellular::HexNetwork& net) {
+        return std::make_unique<StandaloneSirController>(net, thresholds);
+      };
+    }};
+
+}  // namespace
 
 }  // namespace facs::cac

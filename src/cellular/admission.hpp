@@ -4,7 +4,9 @@
 /// Shadow Cluster Concept baseline (src/scc) and the classic policies
 /// (src/cac) all implement this; the simulator (src/sim) consumes it.
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "cellular/basestation.hpp"
 #include "cellular/call.hpp"
@@ -15,16 +17,66 @@ namespace facs::cellular {
 struct AdmissionContext {
   const BaseStation& station;  ///< Ledger of the target cell.
   double now_s = 0.0;          ///< Simulation clock.
+  /// Opt-in diagnostics: when set, policies fill
+  /// AdmissionDecision::rationale with a human-readable explanation. Off by
+  /// default because rationale strings allocate — the simulator makes
+  /// millions of decisions and reads only `accept`/`reason`; dashboards and
+  /// examples flip this on for the requests they display.
+  bool explain = false;
 };
+
+/// Machine-readable outcome of a decision: *why* a request was admitted or
+/// denied, without parsing rationale text. Always set, explain or not.
+enum class ReasonCode : std::uint8_t {
+  Admitted = 0,        ///< Accepted; capacity and policy criteria met.
+  NoCapacity,          ///< The hard ledger cannot fit the demand.
+  GuardReserved,       ///< Blocked by a guard band held for handoffs.
+  OverClassThreshold,  ///< Occupancy above the request's class cutoff.
+  FuzzyReject,         ///< FACS: crisp A/R at or below the threshold tau.
+  ProjectedOverload,   ///< SCC: projected demand exceeds survivability.
+  LeavesCoverage,      ///< SCC: predicted to exit coverage within horizon.
+  SinrTooLow,          ///< SIR below the per-class admission threshold.
+  ReservedForHandoff,  ///< Blocked by outstanding handoff reservations.
+};
+
+[[nodiscard]] constexpr std::string_view toString(ReasonCode r) noexcept {
+  switch (r) {
+    case ReasonCode::Admitted:
+      return "admitted";
+    case ReasonCode::NoCapacity:
+      return "no-capacity";
+    case ReasonCode::GuardReserved:
+      return "guard-reserved";
+    case ReasonCode::OverClassThreshold:
+      return "over-class-threshold";
+    case ReasonCode::FuzzyReject:
+      return "fuzzy-reject";
+    case ReasonCode::ProjectedOverload:
+      return "projected-overload";
+    case ReasonCode::LeavesCoverage:
+      return "leaves-coverage";
+    case ReasonCode::SinrTooLow:
+      return "sinr-too-low";
+    case ReasonCode::ReservedForHandoff:
+      return "reserved-for-handoff";
+  }
+  return "admitted";
+}
 
 /// Outcome of one admission decision.
 struct AdmissionDecision {
   bool accept = false;
+  /// Machine-readable outcome; `Admitted` iff accept. The default matches
+  /// the default accept = false (fail safe: a half-initialized decision
+  /// reads as a denial, never as a spurious admission).
+  ReasonCode reason = ReasonCode::NoCapacity;
   /// Policy-specific confidence in [-1, 1]; for FACS this is the
   /// defuzzified A/R value, for others a coarse mapping. Negative = reject
   /// leaning, positive = accept leaning.
   double score = 0.0;
-  /// Short human-readable rationale for logs/dashboards.
+  /// Human-readable rationale for logs/dashboards. Only populated when the
+  /// decision was made with AdmissionContext::explain set; empty (and
+  /// allocation-free) on the hot path.
   std::string rationale;
 };
 

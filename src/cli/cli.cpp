@@ -1,28 +1,11 @@
 #include "cli/cli.hpp"
 
+#include <optional>
 #include <sstream>
 
-#include "cac/baselines.hpp"
-#include "core/facs.hpp"
-#include "scc/shadow_cluster.hpp"
+#include "cellular/policy_registry.hpp"
 
 namespace facs::sim {
-
-std::string_view toString(PolicyChoice p) noexcept {
-  switch (p) {
-    case PolicyChoice::Facs:
-      return "facs";
-    case PolicyChoice::Scc:
-      return "scc";
-    case PolicyChoice::CompleteSharing:
-      return "cs";
-    case PolicyChoice::GuardChannel:
-      return "guard";
-    case PolicyChoice::MultiThreshold:
-      return "threshold";
-  }
-  return "facs";
-}
 
 namespace {
 
@@ -71,14 +54,15 @@ std::vector<int> parseIntList(const std::string& value,
   return out;
 }
 
-PolicyChoice parsePolicy(const std::string& value) {
-  if (value == "facs") return PolicyChoice::Facs;
-  if (value == "scc") return PolicyChoice::Scc;
-  if (value == "cs") return PolicyChoice::CompleteSharing;
-  if (value == "guard") return PolicyChoice::GuardChannel;
-  if (value == "threshold") return PolicyChoice::MultiThreshold;
-  throw CliError("unknown policy '" + value +
-                 "' (facs|scc|cs|guard|threshold)");
+/// Validates a policy spec against the registry at parse time, so a typo
+/// fails before any simulation starts.
+std::string parsePolicySpec(const std::string& value) {
+  try {
+    (void)cellular::PolicyRegistry::global().makeFactory(value);
+  } catch (const cellular::PolicySpecError& e) {
+    throw CliError(e.what());
+  }
+  return value;
 }
 
 }  // namespace
@@ -91,12 +75,36 @@ CliOptions parseCli(const std::vector<std::string>& args) {
     return args[++i];
   };
 
+  // The scenario is the base the other flags override, so resolve it first
+  // regardless of where it appears on the command line. Every occurrence is
+  // validated; the last one wins.
+  for (std::size_t j = 0; j + 1 < args.size(); ++j) {
+    if (args[j] == "--scenario") {
+      try {
+        opt.scenario = args[j + 1];
+        opt.config = ScenarioCatalog::global().at(opt.scenario).config;
+      } catch (const ScenarioError& e) {
+        throw CliError(e.what());
+      }
+    }
+  }
+
+  // Legacy shorthands, folded into the policy spec after the loop.
+  std::optional<int> guard_bu;
+  std::optional<double> facs_threshold;
+
   for (; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--help" || a == "-h") {
       opt.help = true;
+    } else if (a == "--list-policies") {
+      opt.list_policies = true;
+    } else if (a == "--list-scenarios") {
+      opt.list_scenarios = true;
     } else if (a == "--policy") {
-      opt.policy = parsePolicy(next(a));
+      opt.policy = parsePolicySpec(next(a));
+    } else if (a == "--scenario") {
+      (void)next(a);  // already applied above
     } else if (a == "--requests") {
       opt.config.total_requests = parseInt(next(a), a);
     } else if (a == "--window") {
@@ -135,31 +143,55 @@ CliOptions parseCli(const std::vector<std::string>& args) {
     } else if (a == "--handoffs") {
       opt.config.enable_handoffs = true;
     } else if (a == "--guard-bu") {
-      opt.guard_bu = parseInt(next(a), a);
+      guard_bu = parseInt(next(a), a);
     } else if (a == "--facs-threshold") {
-      opt.facs_threshold = parseDouble(next(a), a);
+      facs_threshold = parseDouble(next(a), a);
     } else if (a == "--sweep") {
       opt.sweep_xs = parseIntList(next(a), a);
     } else if (a == "--reps") {
       opt.replications = parseInt(next(a), a);
+    } else if (a == "--threads") {
+      opt.threads = parseInt(next(a), a);
     } else if (a == "--csv") {
       opt.csv = true;
     } else {
       throw CliError("unknown flag '" + a + "' (try --help)");
     }
   }
+
+  // Legacy shorthands: `--policy guard --guard-bu 12` means `guard:12`,
+  // `--policy facs --facs-threshold 0.25` means `facs:0.25`. They only
+  // apply to a bare spec — an explicit parameterized spec wins.
+  if (guard_bu && opt.policy == "guard") {
+    opt.policy = parsePolicySpec("guard:" + std::to_string(*guard_bu));
+  }
+  if (facs_threshold && opt.policy == "facs") {
+    std::ostringstream os;
+    os << "facs:tau=" << *facs_threshold;
+    opt.policy = parsePolicySpec(os.str());
+  }
   return opt;
 }
 
 std::string cliUsage() {
-  return R"(facs_cli - run FACS / baseline call-admission simulations
+  std::ostringstream os;
+  os << R"(facs_cli - run FACS / baseline call-admission simulations
 
 usage: facs_cli [flags]
 
-policy:
-  --policy facs|scc|cs|guard|threshold   admission policy (default facs)
-  --guard-bu N          guard channels for --policy guard (default 8)
-  --facs-threshold T    FACS acceptance threshold tau (default 0)
+policy (--policy SPEC, default "facs"):
+  A spec is a registered policy name plus optional inline parameters:
+  "facs", "guard:8", "threshold:38,30,20", "facs:tau=0.25,ops=prod".
+  Registered policies:
+)" << cellular::PolicyRegistry::global().describeAll()
+     << R"(  --guard-bu N          legacy shorthand for --policy guard:N
+  --facs-threshold T    legacy shorthand for --policy facs:tau=T
+  --list-policies       print the policy registry and exit
+
+scenario (--scenario NAME overrides the defaults below, then flags
+override the scenario):
+)" << ScenarioCatalog::global().describeAll()
+     << R"(  --list-scenarios      print the scenario catalog and exit
 
 workload:
   --requests N          requesting connections (default 50)
@@ -183,40 +215,18 @@ run:
   --seed N              RNG seed (default 1)
   --sweep X1,X2,...     sweep total_requests and print a table
   --reps N              replications per sweep point (default 5)
+  --threads N           sweep worker threads (default: hardware)
   --csv                 CSV output for sweeps
 )";
+  return os.str();
 }
 
 ControllerFactory makeFactory(const CliOptions& options) {
-  switch (options.policy) {
-    case PolicyChoice::Facs: {
-      core::FacsConfig cfg;
-      cfg.accept_threshold = options.facs_threshold;
-      return [cfg](const cellular::HexNetwork&) {
-        return std::make_unique<core::FacsController>(cfg);
-      };
-    }
-    case PolicyChoice::Scc:
-      return [](const cellular::HexNetwork& net) {
-        return std::make_unique<scc::ShadowClusterController>(net);
-      };
-    case PolicyChoice::CompleteSharing:
-      return [](const cellular::HexNetwork&) {
-        return std::make_unique<cac::CompleteSharingController>();
-      };
-    case PolicyChoice::GuardChannel: {
-      const cellular::BandwidthUnits guard = options.guard_bu;
-      return [guard](const cellular::HexNetwork&) {
-        return std::make_unique<cac::GuardChannelController>(guard);
-      };
-    }
-    case PolicyChoice::MultiThreshold:
-      return [](const cellular::HexNetwork&) {
-        return std::make_unique<cac::MultiThresholdController>(
-            std::array<cellular::BandwidthUnits, 3>{38, 30, 20});
-      };
+  try {
+    return cellular::PolicyRegistry::global().makeFactory(options.policy);
+  } catch (const cellular::PolicySpecError& e) {
+    throw CliError(e.what());
   }
-  throw CliError("unhandled policy");
 }
 
 }  // namespace facs::sim

@@ -1,41 +1,39 @@
 #pragma once
 /// \file cli.hpp
 /// Command-line front end for the simulator: parses `facs_cli` style
-/// arguments into a SimulationConfig plus a policy selection, so operators
-/// can run any scenario/policy combination without recompiling. Kept in
-/// the library (rather than the tool's main.cpp) so the parsing logic is
+/// arguments into a SimulationConfig plus a policy spec, so operators can
+/// run any scenario/policy combination without recompiling. Kept in the
+/// library (rather than the tool's main.cpp) so the parsing logic is
 /// unit-testable.
+///
+/// Policies are resolved through `cellular::PolicyRegistry` and scenarios
+/// through `ScenarioCatalog`, so anything registered anywhere in the
+/// process is immediately runnable from the command line.
 
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "sim/scenario_catalog.hpp"
 #include "sim/simulator.hpp"
 
 namespace facs::sim {
 
-/// Which admission policy the run should use.
-enum class PolicyChoice {
-  Facs,
-  Scc,
-  CompleteSharing,
-  GuardChannel,
-  MultiThreshold,
-};
-
-[[nodiscard]] std::string_view toString(PolicyChoice p) noexcept;
-
 /// Fully parsed command line.
 struct CliOptions {
   SimulationConfig config{};
-  PolicyChoice policy = PolicyChoice::Facs;
-  cellular::BandwidthUnits guard_bu = 8;  ///< For --policy guard.
-  double facs_threshold = 0.0;            ///< For --policy facs.
+  /// Registry policy spec, e.g. "facs", "guard:8", "facs:tau=0.25".
+  std::string policy = "facs";
+  /// Catalog scenario the config was based on ("" = paper defaults).
+  std::string scenario;
   bool csv = false;
   bool help = false;
+  bool list_policies = false;
+  bool list_scenarios = false;
   /// When set, run a sweep over these request counts instead of one run.
   std::vector<int> sweep_xs;
   int replications = 5;
+  /// Worker threads for sweeps (0 = one per hardware thread).
+  int threads = 0;
 };
 
 /// Error with the offending argument attached.
@@ -48,23 +46,27 @@ class CliError : public std::runtime_error {
 /// Parses argv (excluding argv[0]).
 ///
 /// Supported flags:
-///   --policy facs|scc|cs|guard|threshold
+///   --policy SPEC       --scenario NAME
+///   --list-policies     --list-scenarios
 ///   --requests N        --window SECONDS       --seed N
 ///   --rings N           --cell-radius KM       --capacity BU
 ///   --speed MIN[:MAX]   --angle MEAN[:SIGMA]   --distance MIN[:MAX]
 ///   --tracking-window S --gps-error M          --no-gps
 ///   --poisson           --warmup S             --handoffs
-///   --guard-bu N        --facs-threshold T
-///   --sweep X1,X2,...   --reps N               --csv
+///   --guard-bu N        --facs-threshold T     (legacy spec shorthands)
+///   --sweep X1,X2,...   --reps N               --threads N    --csv
 ///   --help
 ///
-/// \throws CliError on unknown flags, missing values or malformed numbers.
+/// \throws CliError on unknown flags, missing values, malformed numbers,
+///         unknown policies or unknown scenarios.
 [[nodiscard]] CliOptions parseCli(const std::vector<std::string>& args);
 
-/// Usage text for --help.
+/// Usage text for --help. Policy and scenario sections are generated from
+/// the live registry/catalog.
 [[nodiscard]] std::string cliUsage();
 
-/// Builds the controller factory selected by \p options.
+/// Builds the controller factory for \p options via the policy registry.
+/// \throws CliError on a malformed or unknown policy spec.
 [[nodiscard]] ControllerFactory makeFactory(const CliOptions& options);
 
 }  // namespace facs::sim

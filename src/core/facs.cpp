@@ -3,6 +3,8 @@
 #include <array>
 #include <sstream>
 
+#include "cellular/policy_registry.hpp"
+
 namespace facs::core {
 
 std::string_view toString(SoftDecision d) noexcept {
@@ -71,12 +73,93 @@ cellular::AdmissionDecision FacsController::decide(
 
   cellular::AdmissionDecision decision;
   decision.accept = eval.accept && fits;
+  decision.reason = decision.accept ? cellular::ReasonCode::Admitted
+                    : eval.accept   ? cellular::ReasonCode::NoCapacity
+                                    : cellular::ReasonCode::FuzzyReject;
   decision.score = eval.ar;
-  std::ostringstream os;
-  os << "cv=" << eval.cv << " ar=" << eval.ar << " soft=" << toString(eval.soft);
-  if (eval.accept && !fits) os << " (no free BU)";
-  decision.rationale = os.str();
+  if (context.explain) {
+    std::ostringstream os;
+    os << "cv=" << eval.cv << " ar=" << eval.ar
+       << " soft=" << toString(eval.soft);
+    if (eval.accept && !fits) os << " (no free BU)";
+    decision.rationale = os.str();
+  }
   return decision;
 }
+
+// ------------------------------------------------------------------------
+namespace {
+
+using cellular::PolicyRegistrar;
+using cellular::PolicySpec;
+using cellular::PolicySpecError;
+
+/// Operator-family shorthand used by the design ablations: `ops=minmax`
+/// (the paper's min/max Mamdani), `ops=prod` (Larsen product/probor) or
+/// `ops=luk` (Lukasiewicz conjunction).
+void applyOperatorFamily(FacsConfig& cfg, const std::string& ops) {
+  if (ops == "minmax") return;
+  if (ops == "prod") {
+    for (fuzzy::EngineConfig* e : {&cfg.flc1, &cfg.flc2}) {
+      e->conjunction = fuzzy::TNorm::AlgebraicProduct;
+      e->implication = fuzzy::TNorm::AlgebraicProduct;
+      e->aggregation = fuzzy::SNorm::AlgebraicSum;
+    }
+    return;
+  }
+  if (ops == "luk") {
+    cfg.flc1.conjunction = fuzzy::TNorm::BoundedDifference;
+    cfg.flc2.conjunction = fuzzy::TNorm::BoundedDifference;
+    return;
+  }
+  throw PolicySpecError("policy 'facs': unknown ops '" + ops +
+                        "' (minmax|prod|luk)");
+}
+
+fuzzy::Defuzzifier parseDefuzzifier(const std::string& name) {
+  if (name == "centroid") return fuzzy::Defuzzifier::Centroid;
+  if (name == "bisector") return fuzzy::Defuzzifier::Bisector;
+  if (name == "mom") return fuzzy::Defuzzifier::MeanOfMax;
+  if (name == "som") return fuzzy::Defuzzifier::SmallestOfMax;
+  if (name == "lom") return fuzzy::Defuzzifier::LargestOfMax;
+  throw PolicySpecError("policy 'facs': unknown defuzzifier '" + name +
+                        "' (centroid|bisector|mom|som|lom)");
+}
+
+const PolicyRegistrar register_facs{
+    {"facs",
+     "The paper's Fuzzy Admission Control System (FLC1 prediction cascaded "
+     "into FLC2 admission).",
+     "facs[:TAU][,tau=T,handoff=H,priority=P,ops=minmax|prod|luk,"
+     "defuzz=centroid|bisector|mom|som|lom,res=N]"},
+    [](const PolicySpec& spec) -> cellular::ControllerFactory {
+      spec.expectOnly(1, {"tau", "handoff", "priority", "ops", "defuzz",
+                          "res"});
+      FacsConfig cfg;
+      cfg.accept_threshold = spec.numberFor("tau", spec.numberAt(0, 0.0));
+      cfg.handoff_bias = spec.numberFor("handoff", cfg.handoff_bias);
+      cfg.priority_bias = spec.numberFor("priority", cfg.priority_bias);
+      applyOperatorFamily(cfg, spec.keywordFor("ops", "minmax"));
+      if (spec.hasKey("defuzz")) {
+        const fuzzy::Defuzzifier d =
+            parseDefuzzifier(spec.keywordFor("defuzz", "centroid"));
+        cfg.flc1.defuzzifier = d;
+        cfg.flc2.defuzzifier = d;
+      }
+      if (spec.hasKey("res")) {
+        const int res = spec.intFor("res", 1001);
+        if (res < 2) {
+          throw PolicySpecError(
+              "policy 'facs': defuzzification resolution must be >= 2");
+        }
+        cfg.flc1.resolution = res;
+        cfg.flc2.resolution = res;
+      }
+      return [cfg](const cellular::HexNetwork&) {
+        return std::make_unique<FacsController>(cfg);
+      };
+    }};
+
+}  // namespace
 
 }  // namespace facs::core

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "cellular/policy_registry.hpp"
+
 namespace facs::scc {
 
 using cellular::AdmissionContext;
@@ -27,27 +29,35 @@ mobility::MotionState motionFromSnapshot(
   return m;
 }
 
+namespace {
+
+void validateConfig(const SccConfig& config) {
+  if (config.intervals < 1) {
+    throw std::invalid_argument("SCC horizon must span >= 1 interval");
+  }
+  if (!(config.interval_s > 0.0)) {
+    throw std::invalid_argument("SCC interval length must be positive");
+  }
+  if (!(config.threshold > 0.0)) {
+    throw std::invalid_argument("SCC survivability threshold must be positive");
+  }
+  if (config.cluster_radius < 0) {
+    throw std::invalid_argument("SCC cluster radius must be >= 0");
+  }
+  if (!(config.sigma_base_km > 0.0) || config.sigma_growth_km < 0.0) {
+    throw std::invalid_argument("SCC spread parameters must be positive");
+  }
+  if (!(config.mean_holding_s > 0.0)) {
+    throw std::invalid_argument("SCC mean holding time must be positive");
+  }
+}
+
+}  // namespace
+
 ShadowClusterController::ShadowClusterController(
     const cellular::HexNetwork& network, SccConfig config)
     : network_{network}, config_{config} {
-  if (config_.intervals < 1) {
-    throw std::invalid_argument("SCC horizon must span >= 1 interval");
-  }
-  if (!(config_.interval_s > 0.0)) {
-    throw std::invalid_argument("SCC interval length must be positive");
-  }
-  if (!(config_.threshold > 0.0)) {
-    throw std::invalid_argument("SCC survivability threshold must be positive");
-  }
-  if (config_.cluster_radius < 0) {
-    throw std::invalid_argument("SCC cluster radius must be >= 0");
-  }
-  if (!(config_.sigma_base_km > 0.0) || config_.sigma_growth_km < 0.0) {
-    throw std::invalid_argument("SCC spread parameters must be positive");
-  }
-  if (!(config_.mean_holding_s > 0.0)) {
-    throw std::invalid_argument("SCC mean holding time must be positive");
-  }
+  validateConfig(config_);
 }
 
 std::vector<CellId> ShadowClusterController::cluster(CellId center) const {
@@ -125,8 +135,11 @@ AdmissionDecision ShadowClusterController::decide(
       if (!network_.cellAt(predicted)) {
         AdmissionDecision denial;
         denial.accept = false;
+        denial.reason = cellular::ReasonCode::LeavesCoverage;
         denial.score = -1.0;
-        denial.rationale = "predicted to leave coverage within the horizon";
+        if (context.explain) {
+          denial.rationale = "predicted to leave coverage within the horizon";
+        }
         return denial;
       }
     }
@@ -151,15 +164,20 @@ AdmissionDecision ShadowClusterController::decide(
   const bool fits = context.station.canFit(request.demand_bu);
   AdmissionDecision decision;
   decision.accept = worst_headroom >= 0.0 && fits;
+  decision.reason = decision.accept ? cellular::ReasonCode::Admitted
+                    : fits          ? cellular::ReasonCode::ProjectedOverload
+                                    : cellular::ReasonCode::NoCapacity;
   // Coarse confidence: headroom as a fraction of one cell's budget.
   const double budget =
       config_.threshold * static_cast<double>(context.station.capacityBu());
   decision.score = std::clamp(worst_headroom / budget, -1.0, 1.0);
-  std::ostringstream os;
-  os << "worst-headroom=" << worst_headroom << " BU over " << config_.intervals
-     << " intervals";
-  if (!fits) os << " (no free BU)";
-  decision.rationale = os.str();
+  if (context.explain) {
+    std::ostringstream os;
+    os << "worst-headroom=" << worst_headroom << " BU over "
+       << config_.intervals << " intervals";
+    if (!fits) os << " (no free BU)";
+    decision.rationale = os.str();
+  }
   return decision;
 }
 
@@ -180,5 +198,43 @@ void ShadowClusterController::onReleased(const CallRequest& request,
                                          const AdmissionContext& /*context*/) {
   shadows_.erase(request.call);
 }
+
+// ------------------------------------------------------------------------
+namespace {
+
+using cellular::PolicyRegistrar;
+using cellular::PolicySpec;
+
+const PolicyRegistrar register_scc{
+    {"scc",
+     "Shadow Cluster Concept (Levine et al. 1997): probabilistic demand "
+     "projection over neighbouring cells.",
+     "scc[:THETA][,theta=T,sigma=S,growth=G,intervals=N,interval-s=S,"
+     "radius=R,holding=S,coverage=0|1]"},
+    [](const PolicySpec& spec) -> cellular::ControllerFactory {
+      spec.expectOnly(1, {"theta", "sigma", "growth", "intervals",
+                          "interval-s", "radius", "holding", "coverage"});
+      SccConfig cfg;
+      cfg.threshold = spec.numberFor("theta", spec.numberAt(0, cfg.threshold));
+      cfg.sigma_base_km = spec.numberFor("sigma", cfg.sigma_base_km);
+      cfg.sigma_growth_km = spec.numberFor("growth", cfg.sigma_growth_km);
+      cfg.intervals = spec.intFor("intervals", cfg.intervals);
+      cfg.interval_s = spec.numberFor("interval-s", cfg.interval_s);
+      cfg.cluster_radius = spec.intFor("radius", cfg.cluster_radius);
+      cfg.mean_holding_s = spec.numberFor("holding", cfg.mean_holding_s);
+      cfg.require_coverage =
+          spec.intFor("coverage", cfg.require_coverage ? 1 : 0) != 0;
+      try {
+        validateConfig(cfg);  // fail at parse time, not mid-run
+      } catch (const std::invalid_argument& e) {
+        throw cellular::PolicySpecError(std::string{"policy 'scc': "} +
+                                        e.what());
+      }
+      return [cfg](const cellular::HexNetwork& net) {
+        return std::make_unique<ShadowClusterController>(net, cfg);
+      };
+    }};
+
+}  // namespace
 
 }  // namespace facs::scc

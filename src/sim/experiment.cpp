@@ -1,10 +1,15 @@
 #include "sim/experiment.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <exception>
 #include <iomanip>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 namespace facs::sim {
 
@@ -41,6 +46,14 @@ double extract(const Metrics& m, Measure measure) {
   return m.percentAccepted();
 }
 
+/// Replication seed: depends only on (base_seed, rep), never on the curve,
+/// so curves share common random numbers — the standard variance-reduction
+/// device for policy comparisons.
+std::uint64_t replicationSeed(std::uint64_t base_seed, int rep) {
+  return splitmix64(base_seed +
+                    std::uint64_t{0x51ED2701} * static_cast<std::uint64_t>(rep));
+}
+
 }  // namespace
 
 SweepResult runSweep(const SweepSpec& sweep,
@@ -52,27 +65,74 @@ SweepResult runSweep(const SweepSpec& sweep,
     throw std::invalid_argument("sweep needs >= 1 replication");
   }
 
+  // Every (curve, x, replication) combination is an independent simulation:
+  // the seed scheme above makes the runs order-free, so they fan out over a
+  // small thread pool. Determinism is preserved by writing each run's
+  // extracted measure into its own slot and folding the Welford accumulator
+  // serially, in replication order, after all runs finish — the parallel
+  // path is bit-identical to the serial one.
+  const std::size_t reps = static_cast<std::size_t>(sweep.replications);
+  const std::size_t per_curve = sweep.xs.size() * reps;
+  const std::size_t total = curves.size() * per_curve;
+  std::vector<double> values(total, 0.0);
+
+  const auto runTask = [&](std::size_t task) {
+    const std::size_t c = task / per_curve;
+    const std::size_t xi = (task % per_curve) / reps;
+    const int rep = static_cast<int>(task % reps);
+    SimulationConfig cfg = curves[c].base;
+    cfg.total_requests = sweep.xs[xi];
+    cfg.seed = replicationSeed(sweep.base_seed, rep);
+    values[task] =
+        extract(runSimulation(cfg, curves[c].make_controller), measure);
+  };
+
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t workers =
+      std::min(total, static_cast<std::size_t>(
+                          sweep.threads > 0 ? sweep.threads : hardware));
+  if (workers <= 1) {
+    for (std::size_t task = 0; task < total; ++task) runTask(task);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        while (!failed.load(std::memory_order_relaxed)) {
+          const std::size_t task = next.fetch_add(1, std::memory_order_relaxed);
+          if (task >= total) return;
+          try {
+            runTask(task);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock{error_mutex};
+            if (!first_error) first_error = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
   SweepResult result;
   result.spec = sweep;
   result.curves.reserve(curves.size());
-
-  for (const CurveSpec& curve : curves) {
+  for (std::size_t c = 0; c < curves.size(); ++c) {
     CurveResult cr;
-    cr.label = curve.label;
-    for (const int x : sweep.xs) {
+    cr.label = curves[c].label;
+    for (std::size_t xi = 0; xi < sweep.xs.size(); ++xi) {
       RunningStat stat;
-      for (int rep = 0; rep < sweep.replications; ++rep) {
-        SimulationConfig cfg = curve.base;
-        cfg.total_requests = x;
-        // Common random numbers across curves: the seed depends only on
-        // (base_seed, rep), never on the curve.
-        cfg.seed = splitmix64(
-            sweep.base_seed +
-            std::uint64_t{0x51ED2701} * static_cast<std::uint64_t>(rep));
-        stat.add(extract(runSimulation(cfg, curve.make_controller), measure));
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        stat.add(values[c * per_curve + xi * reps + rep]);
       }
-      cr.points.push_back({x, stat.mean(), stat.stddev(), stat.ci95(),
-                           stat.count()});
+      cr.points.push_back(
+          {sweep.xs[xi], stat.mean(), stat.stddev(), stat.ci95(),
+           stat.count()});
     }
     result.curves.push_back(std::move(cr));
   }

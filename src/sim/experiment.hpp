@@ -33,6 +33,8 @@ class RunningStat {
 struct CurveSpec {
   std::string label;
   SimulationConfig base;  ///< total_requests and seed are overridden per point.
+  /// Invoked concurrently from the sweep's worker threads; registry-built
+  /// factories (stateless closures over value-captured configs) are safe.
   ControllerFactory make_controller;
 };
 
@@ -44,6 +46,11 @@ struct SweepSpec {
   std::vector<int> xs;       ///< Values of total_requests to simulate.
   int replications = 10;     ///< Independent seeds per point.
   std::uint64_t base_seed = 42;
+  /// Worker threads for the (curve, x, replication) grid. 0 = one per
+  /// hardware thread, 1 = serial. Results are bit-identical for any value:
+  /// replications are independent (the seed depends only on (base_seed,
+  /// rep)) and are accumulated in replication order after all runs finish.
+  int threads = 0;
 };
 
 /// Which metric a sweep extracts from each run.

@@ -1,0 +1,137 @@
+#pragma once
+/// \file scenario_catalog.hpp
+/// Declarative scenario API: a catalog of named, documented workload
+/// scenarios (the paper's single-cell evaluation plus the stress scenarios
+/// the examples explore) and a fluent SimulationBuilder that composes a
+/// catalog entry with per-run overrides into a validated SimulationConfig.
+///
+/// Typical use:
+///
+///     const sim::Metrics m = sim::SimulationBuilder::scenario("highway")
+///                                .requests(200)
+///                                .seed(7)
+///                                .policy("guard:8")
+///                                .run();
+///
+/// Scenario names are listed by `facs_cli --list-scenarios` or
+/// `ScenarioCatalog::global().describeAll()`.
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace facs::sim {
+
+/// Raised for an unknown scenario name.
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// A named, documented simulation setup.
+struct ScenarioSpec {
+  std::string name;     ///< Catalog key, e.g. "urban-walkers".
+  std::string summary;  ///< One line for --list-scenarios.
+  SimulationConfig config;
+};
+
+/// The read-only catalog of built-in scenarios:
+///
+///   paper-single-cell     the paper's Section 4 evaluation cell
+///   urban-walkers         pedestrian-heavy downtown cell (paper Section 4)
+///   highway               7 micro-cells over a fast corridor, handoffs on
+///   stadium-burst         flash crowd, Poisson arrivals, steady state
+///   poisson-steady-state  the paper's cell driven to steady state
+class ScenarioCatalog {
+ public:
+  [[nodiscard]] static const ScenarioCatalog& global();
+
+  [[nodiscard]] bool contains(std::string_view name) const noexcept;
+  /// Sorted names of every catalogued scenario.
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// \throws ScenarioError when \p name is not catalogued.
+  [[nodiscard]] const ScenarioSpec& at(std::string_view name) const;
+  /// Multi-line human-readable dump of every entry (--list-scenarios).
+  [[nodiscard]] std::string describeAll() const;
+
+ private:
+  ScenarioCatalog();
+  std::map<std::string, ScenarioSpec, std::less<>> entries_;
+};
+
+/// Fluent composition of a scenario base with per-run overrides. Every
+/// setter returns *this, so calls chain; build() validates the final
+/// configuration, and run() executes it with the selected policy.
+class SimulationBuilder {
+ public:
+  /// Starts from the paper's defaults (equivalent to "paper-single-cell").
+  SimulationBuilder() = default;
+  /// Starts from an existing configuration.
+  explicit SimulationBuilder(SimulationConfig base)
+      : config_{std::move(base)} {}
+  /// Starts from a catalogued scenario. \throws ScenarioError when unknown.
+  [[nodiscard]] static SimulationBuilder scenario(std::string_view name);
+
+  /// \name Run shape
+  ///@{
+  SimulationBuilder& requests(int n);
+  SimulationBuilder& arrivalWindow(double seconds);
+  SimulationBuilder& poissonArrivals(bool on = true);
+  SimulationBuilder& warmup(double seconds);
+  SimulationBuilder& seed(std::uint64_t seed);
+  ///@}
+
+  /// \name Network shape
+  ///@{
+  SimulationBuilder& rings(int rings);
+  SimulationBuilder& cellRadiusKm(double km);
+  SimulationBuilder& capacityBu(cellular::BandwidthUnits bu);
+  SimulationBuilder& handoffs(bool on = true);
+  SimulationBuilder& mobilityUpdate(double seconds);
+  ///@}
+
+  /// \name User population
+  ///@{
+  SimulationBuilder& speedKmh(double lo, double hi);
+  SimulationBuilder& angleDeg(double mean, double sigma);
+  SimulationBuilder& distanceKm(double lo, double hi);
+  SimulationBuilder& trackingWindow(double seconds);
+  SimulationBuilder& gpsErrorM(double metres);
+  SimulationBuilder& noGps();
+  SimulationBuilder& trafficMix(const cellular::TrafficMix& mix);
+  SimulationBuilder& scenarioParams(const ScenarioParams& params);
+  ///@}
+
+  /// Selects the admission policy by registry spec (default "facs").
+  /// Validated eagerly: \throws cellular::PolicySpecError on a bad spec.
+  SimulationBuilder& policy(std::string_view spec);
+
+  /// The composed configuration without validation (for inspection).
+  [[nodiscard]] const SimulationConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const std::string& policySpec() const noexcept {
+    return policy_spec_;
+  }
+
+  /// The composed, validated configuration.
+  /// \throws std::invalid_argument on a nonsensical combination.
+  [[nodiscard]] SimulationConfig build() const;
+
+  /// Controller factory for the selected policy spec.
+  [[nodiscard]] ControllerFactory factory() const;
+
+  /// build() + factory() + runSimulation in one call.
+  [[nodiscard]] Metrics run() const;
+
+ private:
+  SimulationConfig config_{};
+  std::string policy_spec_ = "facs";
+};
+
+}  // namespace facs::sim

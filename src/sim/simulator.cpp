@@ -41,31 +41,6 @@ struct ActiveCall {
   std::shared_ptr<mobility::SpeedDependentTurn> model;
 };
 
-void validate(const SimulationConfig& cfg) {
-  if (cfg.total_requests < 0) {
-    throw std::invalid_argument("total_requests must be >= 0");
-  }
-  if (!(cfg.arrival_window_s > 0.0)) {
-    throw std::invalid_argument("arrival window must be positive");
-  }
-  if (cfg.warmup_s < 0.0) {
-    throw std::invalid_argument("warmup must be >= 0");
-  }
-  if (cfg.enable_handoffs && !(cfg.mobility_update_s > 0.0)) {
-    throw std::invalid_argument("mobility update period must be positive");
-  }
-  const ScenarioParams& s = cfg.scenario;
-  if (s.tracking_window_s < 0.0) {
-    throw std::invalid_argument("tracking window must be >= 0");
-  }
-  if (s.tracking_window_s > 0.0 &&
-      (!(s.gps_fix_period_s > 0.0) ||
-       s.gps_fix_period_s > s.tracking_window_s)) {
-    throw std::invalid_argument(
-        "GPS fix period must be in (0, tracking_window]");
-  }
-}
-
 class Run {
  public:
   Run(const SimulationConfig& cfg, const ControllerFactory& make_controller)
@@ -355,9 +330,34 @@ class Run {
 
 }  // namespace
 
+void validateConfig(const SimulationConfig& cfg) {
+  if (cfg.total_requests < 0) {
+    throw std::invalid_argument("total_requests must be >= 0");
+  }
+  if (!(cfg.arrival_window_s > 0.0)) {
+    throw std::invalid_argument("arrival window must be positive");
+  }
+  if (cfg.warmup_s < 0.0) {
+    throw std::invalid_argument("warmup must be >= 0");
+  }
+  if (cfg.enable_handoffs && !(cfg.mobility_update_s > 0.0)) {
+    throw std::invalid_argument("mobility update period must be positive");
+  }
+  const ScenarioParams& s = cfg.scenario;
+  if (s.tracking_window_s < 0.0) {
+    throw std::invalid_argument("tracking window must be >= 0");
+  }
+  if (s.tracking_window_s > 0.0 &&
+      (!(s.gps_fix_period_s > 0.0) ||
+       s.gps_fix_period_s > s.tracking_window_s)) {
+    throw std::invalid_argument(
+        "GPS fix period must be in (0, tracking_window]");
+  }
+}
+
 Metrics runSimulation(const SimulationConfig& config,
                       const ControllerFactory& make_controller) {
-  validate(config);
+  validateConfig(config);
   Run run{config, make_controller};
   return run.execute();
 }

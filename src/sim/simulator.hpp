@@ -10,6 +10,7 @@
 
 #include "cellular/admission.hpp"
 #include "cellular/network.hpp"
+#include "cellular/policy_registry.hpp"
 #include "sim/metrics.hpp"
 #include "sim/workload.hpp"
 
@@ -55,10 +56,15 @@ struct SimulationConfig {
 };
 
 /// Builds a fresh admission controller for a run. Receives the network so
-/// topology-aware policies (SCC) can hold a reference to it.
-using ControllerFactory =
-    std::function<std::unique_ptr<cellular::AdmissionController>(
-        const cellular::HexNetwork&)>;
+/// topology-aware policies (SCC) can hold a reference to it. Obtain one
+/// from `cellular::PolicyRegistry::global().makeFactory("facs")` (or any
+/// other registered spec) rather than constructing controllers by hand.
+using ControllerFactory = cellular::ControllerFactory;
+
+/// Checks a configuration for nonsensical values (negative request counts,
+/// empty arrival windows, inverted GPS windows, ...).
+/// \throws std::invalid_argument describing the first problem found.
+void validateConfig(const SimulationConfig& config);
 
 /// Runs one simulation to completion and returns its metrics.
 ///

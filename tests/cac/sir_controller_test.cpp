@@ -72,9 +72,10 @@ TEST(SirController, StillRequiresBandwidth) {
   net.station(0).allocate(99, 35, true);  // 5 BU free
   const RadioModel radio{net};
   SirController sir{radio};
-  const AdmissionContext ctx{net.station(0), 0.0};
+  const AdmissionContext ctx{net.station(0), 0.0, /*explain=*/true};
   const auto d = sir.decide(request(ServiceClass::Video, {0.5, 0.0}), ctx);
   EXPECT_FALSE(d.accept);  // SINR fine, bandwidth not
+  EXPECT_EQ(d.reason, cellular::ReasonCode::NoCapacity);
   EXPECT_NE(d.rationale.find("no free BU"), std::string::npos);
 }
 

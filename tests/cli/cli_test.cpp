@@ -2,28 +2,85 @@
 
 #include <gtest/gtest.h>
 
+#include "cellular/policy_registry.hpp"
+
 namespace facs::sim {
 namespace {
 
 TEST(Cli, DefaultsWhenEmpty) {
   const CliOptions opt = parseCli({});
-  EXPECT_EQ(opt.policy, PolicyChoice::Facs);
+  EXPECT_EQ(opt.policy, "facs");
+  EXPECT_TRUE(opt.scenario.empty());
   EXPECT_EQ(opt.config.total_requests, 50);
   EXPECT_FALSE(opt.csv);
   EXPECT_FALSE(opt.help);
+  EXPECT_FALSE(opt.list_policies);
+  EXPECT_FALSE(opt.list_scenarios);
   EXPECT_TRUE(opt.sweep_xs.empty());
 }
 
-TEST(Cli, ParsesPolicies) {
-  EXPECT_EQ(parseCli({"--policy", "facs"}).policy, PolicyChoice::Facs);
-  EXPECT_EQ(parseCli({"--policy", "scc"}).policy, PolicyChoice::Scc);
-  EXPECT_EQ(parseCli({"--policy", "cs"}).policy,
-            PolicyChoice::CompleteSharing);
-  EXPECT_EQ(parseCli({"--policy", "guard"}).policy,
-            PolicyChoice::GuardChannel);
-  EXPECT_EQ(parseCli({"--policy", "threshold"}).policy,
-            PolicyChoice::MultiThreshold);
+TEST(Cli, AcceptsEveryRegisteredPolicy) {
+  for (const std::string& name : cellular::PolicyRegistry::global().names()) {
+    EXPECT_EQ(parseCli({"--policy", name}).policy, name) << name;
+  }
   EXPECT_THROW((void)parseCli({"--policy", "nope"}), CliError);
+}
+
+TEST(Cli, AcceptsParameterizedPolicySpecs) {
+  EXPECT_EQ(parseCli({"--policy", "guard:12"}).policy, "guard:12");
+  EXPECT_EQ(parseCli({"--policy", "facs:tau=0.25,ops=prod"}).policy,
+            "facs:tau=0.25,ops=prod");
+  EXPECT_EQ(parseCli({"--policy", "threshold:38,30,20"}).policy,
+            "threshold:38,30,20");
+  // Malformed parameters fail at parse time.
+  EXPECT_THROW((void)parseCli({"--policy", "guard:abc"}), CliError);
+  EXPECT_THROW((void)parseCli({"--policy", "facs:tua=0.2"}), CliError);
+}
+
+TEST(Cli, LegacyShorthandsFoldIntoTheSpec) {
+  EXPECT_EQ(parseCli({"--policy", "guard", "--guard-bu", "12"}).policy,
+            "guard:12");
+  EXPECT_EQ(parseCli({"--policy", "facs", "--facs-threshold", "0.25"}).policy,
+            "facs:tau=0.25");
+  // An explicit parameterized spec wins over the shorthand.
+  EXPECT_EQ(parseCli({"--policy", "guard:4", "--guard-bu", "12"}).policy,
+            "guard:4");
+  // Shorthands for another policy are ignored.
+  EXPECT_EQ(parseCli({"--policy", "cs", "--guard-bu", "12"}).policy, "cs");
+}
+
+TEST(Cli, ScenarioSetsTheBaseConfig) {
+  const CliOptions opt = parseCli({"--scenario", "highway"});
+  EXPECT_EQ(opt.scenario, "highway");
+  EXPECT_EQ(opt.config.rings, 1);
+  EXPECT_TRUE(opt.config.enable_handoffs);
+  EXPECT_DOUBLE_EQ(opt.config.cell_radius_km, 2.0);
+  EXPECT_THROW((void)parseCli({"--scenario", "mars-base"}), CliError);
+}
+
+TEST(Cli, FlagsOverrideTheScenarioRegardlessOfOrder) {
+  // --scenario is resolved first even when it appears after the override.
+  const CliOptions opt =
+      parseCli({"--requests", "7", "--scenario", "highway", "--rings", "2"});
+  EXPECT_EQ(opt.config.total_requests, 7);
+  EXPECT_EQ(opt.config.rings, 2);
+  EXPECT_DOUBLE_EQ(opt.config.cell_radius_km, 2.0);  // from the scenario
+}
+
+TEST(Cli, RepeatedScenarioLastWinsAndAllAreValidated) {
+  const CliOptions opt =
+      parseCli({"--scenario", "highway", "--scenario", "urban-walkers"});
+  EXPECT_EQ(opt.scenario, "urban-walkers");
+  EXPECT_EQ(opt.config.rings, 0);  // urban-walkers, not highway
+  // A bogus later occurrence must not slip through.
+  EXPECT_THROW(
+      (void)parseCli({"--scenario", "highway", "--scenario", "mars-base"}),
+      CliError);
+}
+
+TEST(Cli, ListFlags) {
+  EXPECT_TRUE(parseCli({"--list-policies"}).list_policies);
+  EXPECT_TRUE(parseCli({"--list-scenarios"}).list_scenarios);
 }
 
 TEST(Cli, ParsesWorkloadFlags) {
@@ -57,32 +114,39 @@ TEST(Cli, SingleValueRangesAndExactAngle) {
   EXPECT_DOUBLE_EQ(opt.config.scenario.distance_min_km, 7.0);
 }
 
-TEST(Cli, NetworkAndPolicyKnobs) {
+TEST(Cli, NetworkKnobs) {
   const CliOptions opt = parseCli({"--rings", "2", "--cell-radius", "2.5",
                                    "--capacity", "80", "--handoffs",
-                                   "--guard-bu", "12", "--facs-threshold",
-                                   "0.25", "--no-gps"});
+                                   "--no-gps"});
   EXPECT_EQ(opt.config.rings, 2);
   EXPECT_DOUBLE_EQ(opt.config.cell_radius_km, 2.5);
   EXPECT_EQ(opt.config.capacity_bu, 80);
   EXPECT_TRUE(opt.config.enable_handoffs);
-  EXPECT_EQ(opt.guard_bu, 12);
-  EXPECT_DOUBLE_EQ(opt.facs_threshold, 0.25);
   EXPECT_FALSE(opt.config.scenario.gps_error_m.has_value());
 }
 
 TEST(Cli, SweepAndOutput) {
-  const CliOptions opt =
-      parseCli({"--sweep", "10,50,100", "--reps", "3", "--csv"});
+  const CliOptions opt = parseCli(
+      {"--sweep", "10,50,100", "--reps", "3", "--threads", "2", "--csv"});
   EXPECT_EQ(opt.sweep_xs, (std::vector<int>{10, 50, 100}));
   EXPECT_EQ(opt.replications, 3);
+  EXPECT_EQ(opt.threads, 2);
   EXPECT_TRUE(opt.csv);
 }
 
 TEST(Cli, HelpFlag) {
   EXPECT_TRUE(parseCli({"--help"}).help);
   EXPECT_TRUE(parseCli({"-h"}).help);
-  EXPECT_NE(cliUsage().find("--policy"), std::string::npos);
+  const std::string usage = cliUsage();
+  EXPECT_NE(usage.find("--policy"), std::string::npos);
+  EXPECT_NE(usage.find("--scenario"), std::string::npos);
+  // The usage text is generated from the live registry and catalog.
+  for (const std::string& name : cellular::PolicyRegistry::global().names()) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+  }
+  for (const std::string& name : ScenarioCatalog::global().names()) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+  }
 }
 
 TEST(Cli, Errors) {
@@ -91,16 +155,17 @@ TEST(Cli, Errors) {
   EXPECT_THROW((void)parseCli({"--requests", "ten"}), CliError); // not a number
   EXPECT_THROW((void)parseCli({"--requests", "1.5"}), CliError); // not an int
   EXPECT_THROW((void)parseCli({"--sweep", ","}), CliError);      // empty list
+  EXPECT_THROW((void)parseCli({"--policy"}), CliError);          // missing value
 }
 
 TEST(Cli, FactoriesProduceWorkingControllers) {
-  for (const char* policy : {"facs", "scc", "cs", "guard", "threshold"}) {
-    const CliOptions opt = parseCli({"--policy", policy});
+  for (const std::string& name : cellular::PolicyRegistry::global().names()) {
+    const CliOptions opt = parseCli({"--policy", name});
     const ControllerFactory factory = makeFactory(opt);
     const cellular::HexNetwork net{1};
     const auto controller = factory(net);
-    ASSERT_NE(controller, nullptr) << policy;
-    EXPECT_FALSE(controller->name().empty()) << policy;
+    ASSERT_NE(controller, nullptr) << name;
+    EXPECT_FALSE(controller->name().empty()) << name;
   }
 }
 
@@ -111,12 +176,12 @@ TEST(Cli, EndToEndRunWithParsedConfig) {
   EXPECT_EQ(m.new_requests, 30);
 }
 
-TEST(Cli, PolicyNamesRoundTrip) {
-  EXPECT_EQ(toString(PolicyChoice::Facs), "facs");
-  EXPECT_EQ(toString(PolicyChoice::Scc), "scc");
-  EXPECT_EQ(toString(PolicyChoice::CompleteSharing), "cs");
-  EXPECT_EQ(toString(PolicyChoice::GuardChannel), "guard");
-  EXPECT_EQ(toString(PolicyChoice::MultiThreshold), "threshold");
+TEST(Cli, EndToEndRunFromScenario) {
+  CliOptions opt =
+      parseCli({"--scenario", "urban-walkers", "--policy", "guard:8",
+                "--requests", "25", "--tracking-window", "0", "--no-gps"});
+  const Metrics m = runSimulation(opt.config, makeFactory(opt));
+  EXPECT_EQ(m.new_requests, 25);
 }
 
 }  // namespace

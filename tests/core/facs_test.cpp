@@ -156,11 +156,22 @@ TEST(FacsController, DecideHonoursLedgerCapacity) {
   EXPECT_LE(voice.score, 1.0);
 }
 
-TEST(FacsController, DecideRationaleMentionsStages) {
+TEST(FacsController, DecideRationaleIsOptIn) {
   FacsController facs;
   BaseStation bs{0, 40};
-  const AdmissionContext ctx{bs, 0.0};
-  const auto d = facs.decide(makeRequest(idealUser(), ServiceClass::Text), ctx);
+
+  // Hot path (explain off): no rationale text, only the reason code.
+  const AdmissionContext fast_ctx{bs, 0.0};
+  const auto fast =
+      facs.decide(makeRequest(idealUser(), ServiceClass::Text), fast_ctx);
+  EXPECT_TRUE(fast.accept);
+  EXPECT_EQ(fast.reason, cellular::ReasonCode::Admitted);
+  EXPECT_TRUE(fast.rationale.empty());
+
+  // Explain mode: rationale names both fuzzy stages.
+  const AdmissionContext explain_ctx{bs, 0.0, /*explain=*/true};
+  const auto d =
+      facs.decide(makeRequest(idealUser(), ServiceClass::Text), explain_ctx);
   EXPECT_TRUE(d.accept);
   EXPECT_NE(d.rationale.find("cv="), std::string::npos);
   EXPECT_NE(d.rationale.find("ar="), std::string::npos);

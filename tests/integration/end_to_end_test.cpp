@@ -92,7 +92,7 @@ class ThrowingController final : public cellular::AdmissionController {
   [[nodiscard]] cellular::AdmissionDecision decide(
       const cellular::CallRequest&, const cellular::AdmissionContext&) override {
     if (--fuse_ <= 0) throw std::runtime_error("controller exploded");
-    return {true, 1.0, "ok"};
+    return {true, cellular::ReasonCode::Admitted, 1.0, "ok"};
   }
 
  private:
@@ -118,7 +118,8 @@ class LyingController final : public cellular::AdmissionController {
       const cellular::CallRequest& request,
       const cellular::AdmissionContext& context) override {
     // Accept exactly when it does NOT fit.
-    return {!context.station.canFit(request.demand_bu), 0.0, "lie"};
+    return {!context.station.canFit(request.demand_bu),
+            cellular::ReasonCode::Admitted, 0.0, "lie"};
   }
 };
 

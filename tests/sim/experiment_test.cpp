@@ -77,6 +77,40 @@ TEST(Sweep, CommonRandomNumbersAcrossCurves) {
   }
 }
 
+TEST(Sweep, ParallelIsBitIdenticalToSerial) {
+  // The parallel path must not perturb results: same tasks, same seeds,
+  // same (serial, ordered) Welford accumulation.
+  SweepSpec serial;
+  serial.xs = {5, 20, 60};
+  serial.replications = 4;
+  serial.threads = 1;
+  SweepSpec parallel = serial;
+  parallel.threads = 4;
+
+  const std::vector<CurveSpec> curves{csCurve("a"), csCurve("b")};
+  const SweepResult r1 = runSweep(serial, curves);
+  const SweepResult r2 = runSweep(parallel, curves);
+  ASSERT_EQ(r1.curves.size(), r2.curves.size());
+  for (std::size_t c = 0; c < r1.curves.size(); ++c) {
+    ASSERT_EQ(r1.curves[c].points.size(), r2.curves[c].points.size());
+    for (std::size_t i = 0; i < r1.curves[c].points.size(); ++i) {
+      EXPECT_EQ(r1.curves[c].points[i].mean, r2.curves[c].points[i].mean);
+      EXPECT_EQ(r1.curves[c].points[i].stddev, r2.curves[c].points[i].stddev);
+      EXPECT_EQ(r1.curves[c].points[i].ci95, r2.curves[c].points[i].ci95);
+    }
+  }
+}
+
+TEST(Sweep, ParallelPropagatesWorkerExceptions) {
+  SweepSpec spec;
+  spec.xs = {5, 10, 15, 20};
+  spec.replications = 4;
+  spec.threads = 4;
+  CurveSpec broken = csCurve("broken");
+  broken.base.arrival_window_s = -1.0;  // rejected by validateConfig
+  EXPECT_THROW((void)runSweep(spec, {broken}), std::invalid_argument);
+}
+
 TEST(Sweep, AcceptanceDeclinesWithLoad) {
   SweepSpec spec;
   spec.xs = {5, 120};

@@ -1,0 +1,129 @@
+#include "sim/scenario_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cellular/policy_registry.hpp"
+
+namespace facs::sim {
+namespace {
+
+TEST(ScenarioCatalog, BuiltinScenariosAreCatalogued) {
+  const ScenarioCatalog& catalog = ScenarioCatalog::global();
+  const std::vector<std::string> names = catalog.names();
+  for (const char* expected :
+       {"paper-single-cell", "urban-walkers", "highway", "stadium-burst",
+        "poisson-steady-state"}) {
+    EXPECT_TRUE(catalog.contains(expected)) << expected;
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end());
+    EXPECT_FALSE(catalog.at(expected).summary.empty()) << expected;
+    EXPECT_NE(catalog.describeAll().find(expected), std::string::npos);
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(ScenarioCatalog, EveryScenarioValidates) {
+  for (const std::string& name : ScenarioCatalog::global().names()) {
+    EXPECT_NO_THROW(validateConfig(ScenarioCatalog::global().at(name).config))
+        << name;
+  }
+}
+
+TEST(ScenarioCatalog, PaperScenarioMatchesPaperDefaults) {
+  const SimulationConfig& cfg =
+      ScenarioCatalog::global().at("paper-single-cell").config;
+  EXPECT_EQ(cfg.rings, 0);
+  EXPECT_EQ(cfg.capacity_bu, cellular::kPaperCellCapacityBu);
+  EXPECT_DOUBLE_EQ(cfg.cell_radius_km, 10.0);
+}
+
+TEST(ScenarioCatalog, UnknownScenarioThrows) {
+  EXPECT_THROW((void)ScenarioCatalog::global().at("mars-base"), ScenarioError);
+  EXPECT_THROW((void)SimulationBuilder::scenario("mars-base"), ScenarioError);
+}
+
+TEST(SimulationBuilder, OverridesComposeOnScenarioBase) {
+  const SimulationConfig cfg = SimulationBuilder::scenario("highway")
+                                   .requests(42)
+                                   .seed(9)
+                                   .capacityBu(64)
+                                   .speedKmh(80.0, 90.0)
+                                   .trackingWindow(5.0)
+                                   .gpsErrorM(25.0)
+                                   .build();
+  // Overrides applied...
+  EXPECT_EQ(cfg.total_requests, 42);
+  EXPECT_EQ(cfg.seed, 9u);
+  EXPECT_EQ(cfg.capacity_bu, 64);
+  EXPECT_DOUBLE_EQ(cfg.scenario.speed_min_kmh, 80.0);
+  EXPECT_DOUBLE_EQ(cfg.scenario.tracking_window_s, 5.0);
+  ASSERT_TRUE(cfg.scenario.gps_error_m.has_value());
+  EXPECT_DOUBLE_EQ(*cfg.scenario.gps_error_m, 25.0);
+  // ...while the scenario base shows through everywhere else.
+  EXPECT_EQ(cfg.rings, 1);
+  EXPECT_TRUE(cfg.enable_handoffs);
+  EXPECT_DOUBLE_EQ(cfg.cell_radius_km, 2.0);
+}
+
+TEST(SimulationBuilder, BuildValidates) {
+  EXPECT_THROW((void)SimulationBuilder{}.requests(-1).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)SimulationBuilder{}.arrivalWindow(0.0).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)SimulationBuilder{}.trackingWindow(-1.0).build(),
+               std::invalid_argument);
+}
+
+TEST(SimulationBuilder, PolicySpecValidatedEagerly) {
+  EXPECT_THROW((void)SimulationBuilder{}.policy("nope"),
+               cellular::PolicySpecError);
+  EXPECT_THROW((void)SimulationBuilder{}.policy("guard:-3"),
+               cellular::PolicySpecError);
+  EXPECT_NO_THROW((void)SimulationBuilder{}.policy("guard:8"));
+}
+
+TEST(SimulationBuilder, RunExecutesTheComposedSimulation) {
+  const Metrics m = SimulationBuilder{}
+                        .requests(30)
+                        .trackingWindow(0.0)
+                        .noGps()
+                        .seed(3)
+                        .policy("cs")
+                        .run();
+  EXPECT_EQ(m.new_requests, 30);
+}
+
+TEST(SimulationBuilder, RunIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    return SimulationBuilder::scenario("urban-walkers")
+        .requests(40)
+        .seed(seed)
+        .policy("facs")
+        .run()
+        .percentAccepted();
+  };
+  EXPECT_DOUBLE_EQ(run(5), run(5));
+}
+
+TEST(SimulationBuilder, CatalogEntriesRunUnderEveryPolicy) {
+  // Smoke: the whole catalog x a few registry specs. Scale the heavier
+  // scenarios down so this stays a unit test.
+  for (const std::string& scenario : ScenarioCatalog::global().names()) {
+    for (const char* policy : {"facs", "cs", "guard:8"}) {
+      const Metrics m = SimulationBuilder::scenario(scenario)
+                            .requests(20)
+                            .arrivalWindow(120.0)
+                            .warmup(0.0)
+                            .trackingWindow(0.0)
+                            .noGps()
+                            .seed(1)
+                            .policy(policy)
+                            .run();
+      EXPECT_EQ(m.new_requests, 20) << scenario << "/" << policy;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace facs::sim

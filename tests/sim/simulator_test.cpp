@@ -27,7 +27,7 @@ class RejectAll final : public cellular::AdmissionController {
   [[nodiscard]] std::string name() const override { return "RejectAll"; }
   [[nodiscard]] cellular::AdmissionDecision decide(
       const cellular::CallRequest&, const cellular::AdmissionContext&) override {
-    return {false, -1.0, "no"};
+    return {false, cellular::ReasonCode::NoCapacity, -1.0, "no"};
   }
 };
 
@@ -38,7 +38,7 @@ class AcceptAll final : public cellular::AdmissionController {
   [[nodiscard]] std::string name() const override { return "AcceptAll"; }
   [[nodiscard]] cellular::AdmissionDecision decide(
       const cellular::CallRequest&, const cellular::AdmissionContext&) override {
-    return {true, 1.0, "yes"};
+    return {true, cellular::ReasonCode::Admitted, 1.0, "yes"};
   }
 };
 

@@ -1,9 +1,11 @@
 /// \file facs_cli.cpp
-/// Operator command line for the FACS simulator: run any policy on any
-/// scenario, single runs or replicated sweeps. See --help.
+/// Operator command line for the FACS simulator: run any registered policy
+/// on any catalogued scenario, single runs or replicated sweeps. See
+/// --help, --list-policies and --list-scenarios.
 
 #include <iostream>
 
+#include "cellular/policy_registry.hpp"
 #include "cli/cli.hpp"
 #include "sim/experiment.hpp"
 
@@ -16,16 +18,27 @@ int main(int argc, char** argv) {
       std::cout << sim::cliUsage();
       return 0;
     }
+    if (options.list_policies) {
+      std::cout << "registered policies:\n"
+                << cellular::PolicyRegistry::global().describeAll();
+      return 0;
+    }
+    if (options.list_scenarios) {
+      std::cout << "catalogued scenarios:\n"
+                << sim::ScenarioCatalog::global().describeAll();
+      return 0;
+    }
 
     if (!options.sweep_xs.empty()) {
       sim::SweepSpec sweep;
-      sweep.title = std::string{"facs_cli sweep ("} +
-                    std::string{toString(options.policy)} + ")";
+      sweep.title = "facs_cli sweep (" + options.policy + ")";
       sweep.xs = options.sweep_xs;
       sweep.replications = options.replications;
+      sweep.threads = options.threads;
+      sweep.base_seed = options.config.seed;
 
       sim::CurveSpec curve;
-      curve.label = std::string{toString(options.policy)};
+      curve.label = options.policy;
       curve.base = options.config;
       curve.make_controller = sim::makeFactory(options);
       const sim::SweepResult result = sim::runSweep(sweep, {curve});
@@ -39,8 +52,11 @@ int main(int argc, char** argv) {
 
     const sim::Metrics metrics =
         sim::runSimulation(options.config, sim::makeFactory(options));
-    std::cout << "policy: " << toString(options.policy) << "\n"
-              << metrics.summary() << "\n"
+    std::cout << "policy: " << options.policy << "\n";
+    if (!options.scenario.empty()) {
+      std::cout << "scenario: " << options.scenario << "\n";
+    }
+    std::cout << metrics.summary() << "\n"
               << "percent-accepted: " << metrics.percentAccepted() << "\n"
               << "blocking-probability: " << metrics.blockingProbability()
               << "\n"
