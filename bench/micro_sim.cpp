@@ -118,7 +118,9 @@ void BM_GuardDecideExplain(benchmark::State& state) {
 }
 BENCHMARK(BM_GuardDecideExplain);
 
-/// SCC decision cost is O(tracked shadows x cluster cells x intervals).
+/// SCC decision cost must stay flat as tracked shadows grow: decide()
+/// reads the incremental per-cell demand accumulators (updated on call
+/// arrival/departure/handoff) instead of re-integrating every shadow.
 void BM_SccDecideVsTrackedCalls(benchmark::State& state) {
   const cellular::HexNetwork net{2};
   const auto scc = policy("scc")(net);
@@ -144,7 +146,33 @@ void BM_SccDecideVsTrackedCalls(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_SccDecideVsTrackedCalls)->Arg(8)->Arg(64)->Arg(256);
+BENCHMARK(BM_SccDecideVsTrackedCalls)->Arg(8)->Arg(64)->Arg(256)->Arg(2048);
+
+/// Whole sharded runs on a multi-cell scenario (the wall-clock scaling
+/// study lives in multi_cell_scaling; this pins the per-event overhead of
+/// the barrier machinery at shards=1 vs a small fan-out).
+void BM_ShardedRunMultiCell(benchmark::State& state) {
+  sim::SimulationConfig cfg;
+  cfg.rings = 1;
+  cfg.cell_radius_km = 2.0;
+  cfg.total_requests = 200;
+  cfg.arrival_window_s = 400.0;
+  cfg.enable_handoffs = true;
+  cfg.mobility_update_s = 5.0;
+  cfg.seed = 5;
+  cfg.scenario.tracking_window_s = 0.0;
+  cfg.scenario.gps_error_m.reset();
+  cfg.scenario.speed_min_kmh = 40.0;
+  cfg.scenario.speed_max_kmh = 100.0;
+  cfg.scenario.distance_max_km = 2.0;
+  cfg.shards = static_cast<int>(state.range(0));
+  const auto factory = policy("facs");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::runSimulation(cfg, factory));
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.total_requests);
+}
+BENCHMARK(BM_ShardedRunMultiCell)->Arg(1)->Arg(4);
 
 }  // namespace
 

@@ -106,7 +106,7 @@ int main() {
   ongoing.snapshot = {15.0, -60.0, 5.0, {0.0, 5.0}};
   scc.onAdmitted(ongoing, {net.station(0), 0.0});
 
-  const scc::DemandProfile profile = scc.projectedDemand(0, 0.0);
+  const scc::DemandProfile profile = scc.projectedDemand(0);
   for (std::size_t k = 0; k < profile.size(); ++k) {
     std::cout << "  interval " << k << ": projected demand "
               << profile[k] << " BU of " << net.station(0).capacityBu()

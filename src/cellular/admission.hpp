@@ -4,9 +4,13 @@
 /// Shadow Cluster Concept baseline (src/scc) and the classic policies
 /// (src/cac) all implement this; the simulator (src/sim) consumes it.
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <string_view>
+#include <type_traits>
 
 #include "cellular/basestation.hpp"
 #include "cellular/call.hpp"
@@ -63,6 +67,62 @@ enum class ReasonCode : std::uint8_t {
   return "admitted";
 }
 
+/// Fixed-capacity inline text for decision rationales. Trivially copyable
+/// (no heap, no move machinery), so returning an AdmissionDecision by value
+/// costs a plain memcpy whether or not a rationale was written — the
+/// explain-off hot path no longer pays even an empty std::string's move.
+/// Overlong text is truncated at kCapacity; rationales are one-line
+/// diagnostics, never data.
+class ReasonText {
+ public:
+  static constexpr std::size_t kCapacity = 119;
+  static constexpr std::size_t npos = std::string_view::npos;
+
+  constexpr ReasonText() noexcept = default;
+  // Implicit converting constructors (plus the defaulted copy assignment)
+  // let call sites keep writing `decision.rationale = os.str()` or a
+  // string literal, exactly as when rationale was a std::string.
+  ReasonText(std::string_view text) noexcept { assign(text); }  // NOLINT
+  ReasonText(const char* text) noexcept                         // NOLINT
+      : ReasonText{std::string_view{text}} {}
+  ReasonText(const std::string& text) noexcept                  // NOLINT
+      : ReasonText{std::string_view{text}} {}
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// NUL-terminated (the buffer always holds a terminator).
+  [[nodiscard]] const char* c_str() const noexcept { return text_; }
+  [[nodiscard]] std::string_view view() const noexcept {
+    return {text_, size_};
+  }
+  operator std::string_view() const noexcept { return view(); }  // NOLINT
+
+  /// std::string-compatible search, so call sites can keep comparing
+  /// against std::string::npos.
+  [[nodiscard]] std::size_t find(std::string_view needle) const noexcept {
+    return view().find(needle);
+  }
+
+  friend bool operator==(const ReasonText& a, const ReasonText& b) noexcept {
+    return a.view() == b.view();
+  }
+
+ private:
+  void assign(std::string_view text) noexcept {
+    size_ = std::min(text.size(), kCapacity);
+    std::copy_n(text.data(), size_, text_);
+    text_[size_] = '\0';
+  }
+
+  char text_[kCapacity + 1] = {};
+  std::uint8_t size_ = 0;
+};
+static_assert(ReasonText::kCapacity <= 255, "size_ is a uint8_t");
+
+inline std::ostream& operator<<(std::ostream& os, const ReasonText& text) {
+  return os << text.view();
+}
+
 /// Outcome of one admission decision.
 struct AdmissionDecision {
   bool accept = false;
@@ -75,10 +135,12 @@ struct AdmissionDecision {
   /// leaning, positive = accept leaning.
   double score = 0.0;
   /// Human-readable rationale for logs/dashboards. Only populated when the
-  /// decision was made with AdmissionContext::explain set; empty (and
-  /// allocation-free) on the hot path.
-  std::string rationale;
+  /// decision was made with AdmissionContext::explain set; empty on the
+  /// hot path, and allocation-free either way.
+  ReasonText rationale;
 };
+static_assert(std::is_trivially_copyable_v<AdmissionDecision>,
+              "decide() returns by value on the hot path; keep it memcpy-able");
 
 /// Abstract CAC policy (stateful: policies may track per-cell bookkeeping).
 ///

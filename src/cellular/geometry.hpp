@@ -79,7 +79,12 @@ struct HexCoord {
 [[nodiscard]] HexCoord pointToHex(Vec2 p, double cell_radius_km) noexcept;
 
 /// All hexes within \p rings grid hops of the origin, origin first, then by
-/// increasing ring; count is 1 + 3*rings*(rings+1).
+/// increasing ring; count is hexDiskCellCount(rings).
 [[nodiscard]] std::vector<HexCoord> hexDisk(int rings);
+
+/// Number of cells in a hexDisk of \p rings: the centred hexagonal numbers.
+[[nodiscard]] constexpr int hexDiskCellCount(int rings) noexcept {
+  return 1 + 3 * rings * (rings + 1);
+}
 
 }  // namespace facs::cellular

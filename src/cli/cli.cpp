@@ -142,6 +142,14 @@ CliOptions parseCli(const std::vector<std::string>& args) {
       opt.config.warmup_s = parseDouble(next(a), a);
     } else if (a == "--handoffs") {
       opt.config.enable_handoffs = true;
+    } else if (a == "--shards") {
+      const int shards = parseInt(next(a), a);
+      if (shards < 1 || shards > kMaxShards) {
+        throw CliError("flag --shards: must be in [1, " +
+                       std::to_string(kMaxShards) + "], got " +
+                       std::to_string(shards));
+      }
+      opt.config.shards = shards;
     } else if (a == "--guard-bu") {
       guard_bu = parseInt(next(a), a);
     } else if (a == "--facs-threshold") {
@@ -213,9 +221,12 @@ network:
 
 run:
   --seed N              RNG seed (default 1)
+  --shards N            worker shards for one run (default from scenario;
+                        results are bit-identical at any shard count)
   --sweep X1,X2,...     sweep total_requests and print a table
   --reps N              replications per sweep point (default 5)
-  --threads N           sweep worker threads (default: hardware)
+  --threads N           sweep worker threads (default: hardware); sweeps
+                        budget threads*shards against the machine
   --csv                 CSV output for sweeps
 )";
   return os.str();

@@ -53,6 +53,7 @@ class CliError : public std::runtime_error {
 ///   --speed MIN[:MAX]   --angle MEAN[:SIGMA]   --distance MIN[:MAX]
 ///   --tracking-window S --gps-error M          --no-gps
 ///   --poisson           --warmup S             --handoffs
+///   --shards N          (worker shards; bit-identical at any count)
 ///   --guard-bu N        --facs-threshold T     (legacy spec shorthands)
 ///   --sweep X1,X2,...   --reps N               --threads N    --csv
 ///   --help

@@ -58,32 +58,33 @@ ShadowClusterController::ShadowClusterController(
     const cellular::HexNetwork& network, SccConfig config)
     : network_{network}, config_{config} {
   validateConfig(config_);
-}
-
-std::vector<CellId> ShadowClusterController::cluster(CellId center) const {
-  std::vector<CellId> out;
-  const cellular::HexCoord c = network_.cell(center).coord;
-  for (const cellular::Cell& cell : network_.cells()) {
-    if (cellular::hexDistance(c, cell.coord) <= config_.cluster_radius) {
-      out.push_back(cell.id);
+  demand_.assign(network_.cellCount() *
+                     static_cast<std::size_t>(config_.intervals),
+                 0.0);
+  clusters_.resize(network_.cellCount());
+  for (const cellular::Cell& center : network_.cells()) {
+    for (const cellular::Cell& cell : network_.cells()) {
+      if (cellular::hexDistance(center.coord, cell.coord) <=
+          config_.cluster_radius) {
+        clusters_[static_cast<std::size_t>(center.id)].push_back(cell.id);
+      }
     }
   }
-  return out;
 }
 
 double ShadowClusterController::contribution(const Shadow& shadow, CellId cell,
-                                             int k, double now_s) const {
-  // Position is projected from the moment the kinematics were captured
-  // (they go stale between handoffs); activity decay is memoryless, so it
-  // only depends on how far into the future we look.
+                                             int k) const {
+  // Position is projected from the shadow's last report (admission or
+  // handoff — when the original scheme's inter-BS messages refresh it);
+  // activity decay is memoryless, so it only depends on how far into the
+  // future we look.
   const double mid_of_interval_s = (k + 0.5) * config_.interval_s;
-  const double tau_pos_s = (now_s - shadow.since_s) + mid_of_interval_s;
   const double p_active = std::exp(-mid_of_interval_s / config_.mean_holding_s);
 
   const Vec2 predicted =
       shadow.state.position_km +
       cellular::headingVector(shadow.state.heading_deg) *
-          (shadow.state.speed_kmh / 3600.0 * tau_pos_s);
+          (shadow.state.speed_kmh / 3600.0 * mid_of_interval_s);
 
   const double sigma_km =
       config_.sigma_base_km + config_.sigma_growth_km * k;
@@ -96,15 +97,21 @@ double ShadowClusterController::contribution(const Shadow& shadow, CellId cell,
   return shadow.demand_bu * p_active * spatial;
 }
 
-DemandProfile ShadowClusterController::projectedDemand(CellId cell,
-                                                       double now_s) const {
+void ShadowClusterController::applyShadow(const Shadow& shadow, double sign) {
+  for (const cellular::Cell& cell : network_.cells()) {
+    for (int k = 0; k < config_.intervals; ++k) {
+      demand_[static_cast<std::size_t>(cell.id) *
+                  static_cast<std::size_t>(config_.intervals) +
+              static_cast<std::size_t>(k)] +=
+          sign * contribution(shadow, cell.id, k);
+    }
+  }
+}
+
+DemandProfile ShadowClusterController::projectedDemand(CellId cell) const {
   DemandProfile profile(static_cast<std::size_t>(config_.intervals), 0.0);
   for (int k = 0; k < config_.intervals; ++k) {
-    double total = 0.0;
-    for (const auto& [id, shadow] : shadows_) {
-      total += contribution(shadow, cell, k, now_s);
-    }
-    profile[static_cast<std::size_t>(k)] = total;
+    profile[static_cast<std::size_t>(k)] = demandAt(cell, k);
   }
   return profile;
 }
@@ -121,7 +128,6 @@ AdmissionDecision ShadowClusterController::decide(
   tentative.state =
       motionFromSnapshot(request.snapshot, network_.cell(center).center);
   tentative.demand_bu = static_cast<double>(request.demand_bu);
-  tentative.since_s = context.now_s;
 
   // A shadow cluster can only guarantee QoS inside the network: a mobile
   // predicted to exit coverage within the horizon is denied outright.
@@ -146,17 +152,17 @@ AdmissionDecision ShadowClusterController::decide(
   }
 
   // Every cell of the tentative shadow cluster must be able to support the
-  // projected demand over the whole horizon.
+  // projected demand over the whole horizon. Existing demand is the
+  // incremental per-BS accumulator — an O(1) read per (cell, interval), so
+  // the decision cost is flat in the number of tracked calls.
   double worst_headroom = std::numeric_limits<double>::infinity();
-  for (const CellId cell : cluster(center)) {
+  for (const CellId cell : clusters_[static_cast<std::size_t>(center)]) {
     const double budget =
         config_.threshold *
         static_cast<double>(network_.station(cell).capacityBu());
-    const DemandProfile existing = projectedDemand(cell, context.now_s);
     for (int k = 0; k < config_.intervals; ++k) {
       const double projected =
-          existing[static_cast<std::size_t>(k)] +
-          contribution(tentative, cell, k, context.now_s);
+          demandAt(cell, k) + contribution(tentative, cell, k);
       worst_headroom = std::min(worst_headroom, budget - projected);
     }
   }
@@ -189,14 +195,22 @@ void ShadowClusterController::onAdmitted(const CallRequest& request,
   shadow.state =
       motionFromSnapshot(request.snapshot, network_.cell(center).center);
   shadow.demand_bu = static_cast<double>(request.demand_bu);
-  shadow.since_s = context.now_s;
-  // Handoffs refresh the kinematics of an already-tracked call.
-  shadows_[request.call] = shadow;
+  // Handoffs refresh the kinematics of an already-tracked call: retract
+  // the stale shadow from the accumulators before casting the new one.
+  const auto [it, inserted] = shadows_.try_emplace(request.call, shadow);
+  if (!inserted) {
+    applyShadow(it->second, -1.0);
+    it->second = shadow;
+  }
+  applyShadow(shadow, +1.0);
 }
 
 void ShadowClusterController::onReleased(const CallRequest& request,
                                          const AdmissionContext& /*context*/) {
-  shadows_.erase(request.call);
+  const auto it = shadows_.find(request.call);
+  if (it == shadows_.end()) return;
+  applyShadow(it->second, -1.0);
+  shadows_.erase(it);
 }
 
 // ------------------------------------------------------------------------

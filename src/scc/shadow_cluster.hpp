@@ -64,6 +64,16 @@ using DemandProfile = std::vector<double>;  // index = interval k
 /// target base station); a production SCC would refresh these via the
 /// inter-BS message system the paper describes, which a later snapshot
 /// update through onAdmitted() of the next handoff approximates.
+///
+/// Demand bookkeeping is incremental: every base station keeps a running
+/// per-interval sum of the shadows currently cast over it, updated on call
+/// arrival (onAdmitted), departure (onReleased) and handoff (the refreshing
+/// onAdmitted), exactly like the original scheme's BS-side accumulation of
+/// mobiles' probability vectors. decide() therefore reads projected demand
+/// as an O(cluster x intervals) lookup — flat in the number of tracked
+/// calls — instead of re-integrating every shadow per decision. Each
+/// shadow's projection is anchored at its last report (admission or
+/// handoff), which is when the original algorithm's messages update it.
 class ShadowClusterController final : public cellular::AdmissionController {
  public:
   /// \param network the cell layout (not owned; must outlive the controller).
@@ -82,9 +92,10 @@ class ShadowClusterController final : public cellular::AdmissionController {
                   const cellular::AdmissionContext& context) override;
 
   /// Projected demand profile of one cell from all currently tracked
-  /// mobiles (exposed for tests and the operator-dashboard example).
-  [[nodiscard]] DemandProfile projectedDemand(cellular::CellId cell,
-                                              double now_s) const;
+  /// mobiles (exposed for tests and the operator-dashboard example). An
+  /// O(intervals) copy of the incremental cache; each shadow's projection
+  /// is anchored at its last report.
+  [[nodiscard]] DemandProfile projectedDemand(cellular::CellId cell) const;
 
   /// Number of mobiles currently exerting a shadow.
   [[nodiscard]] std::size_t trackedCalls() const noexcept {
@@ -94,26 +105,37 @@ class ShadowClusterController final : public cellular::AdmissionController {
   [[nodiscard]] const SccConfig& config() const noexcept { return config_; }
 
  private:
-  /// Per-call shadow source: last known kinematics + demand.
+  /// Per-call shadow source: last reported kinematics + demand.
   struct Shadow {
     mobility::MotionState state;
     double demand_bu = 0.0;
-    double since_s = 0.0;  ///< When the kinematics were captured.
   };
 
   /// Probability-weighted demand contribution of one shadow to one cell at
-  /// interval k, evaluated \p now_s.
+  /// interval k, anchored at the shadow's capture instant.
   [[nodiscard]] double contribution(const Shadow& shadow,
-                                    cellular::CellId cell, int k,
-                                    double now_s) const;
+                                    cellular::CellId cell, int k) const;
 
-  /// Cells within cluster_radius of \p center.
-  [[nodiscard]] std::vector<cellular::CellId> cluster(
-      cellular::CellId center) const;
+  /// Adds (sign +1) or retracts (sign -1) one shadow's contribution from
+  /// every station's demand accumulator — the incremental cache update.
+  void applyShadow(const Shadow& shadow, double sign);
+
+  [[nodiscard]] double demandAt(cellular::CellId cell, int k) const noexcept {
+    return demand_[static_cast<std::size_t>(cell) *
+                       static_cast<std::size_t>(config_.intervals) +
+                   static_cast<std::size_t>(k)];
+  }
 
   const cellular::HexNetwork& network_;
   SccConfig config_;
   std::unordered_map<cellular::CallId, Shadow> shadows_;
+  /// Running per-(cell, interval) demand sums over all tracked shadows —
+  /// what each BS would hold after accumulating every mobile's probability
+  /// vector. Row-major: cell * intervals + k.
+  std::vector<double> demand_;
+  /// Precomputed cluster membership (cells within cluster_radius), so the
+  /// decide() hot path never allocates.
+  std::vector<std::vector<cellular::CellId>> clusters_;
 };
 
 /// Reconstructs a mobile's motion state from an admission snapshot taken

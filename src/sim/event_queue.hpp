@@ -51,6 +51,16 @@ class EventQueue {
     return e;
   }
 
+  /// Pops the earliest event only if it precedes \p horizon_s — the
+  /// primitive of tick-windowed draining: a shard consumes its local events
+  /// strictly before the barrier and leaves the rest for later windows.
+  [[nodiscard]] std::optional<Entry> popBefore(double horizon_s) {
+    if (heap_.empty() || !(heap_.top().time_s < horizon_s)) {
+      return std::nullopt;
+    }
+    return pop();
+  }
+
   /// Clock: the time of the most recently popped event.
   [[nodiscard]] double now() const noexcept { return last_popped_s_; }
 

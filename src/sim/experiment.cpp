@@ -1,5 +1,6 @@
 #include "sim/experiment.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <exception>
@@ -87,10 +88,19 @@ SweepResult runSweep(const SweepSpec& sweep,
         extract(runSimulation(cfg, curves[c].make_controller), measure);
   };
 
+  // Auto thread count divides the machine by the widest per-run shard
+  // fan-out, so a sweep of sharded runs does not oversubscribe cores.
+  // An explicit threads value is honoured verbatim.
+  int max_shards = 1;
+  for (const CurveSpec& c : curves) {
+    max_shards = std::max(max_shards, std::max(1, c.base.shards));
+  }
   const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned auto_workers =
+      std::max(1u, hardware / static_cast<unsigned>(max_shards));
   const std::size_t workers =
       std::min(total, static_cast<std::size_t>(
-                          sweep.threads > 0 ? sweep.threads : hardware));
+                          sweep.threads > 0 ? sweep.threads : auto_workers));
   if (workers <= 1) {
     for (std::size_t task = 0; task < total; ++task) runTask(task);
   } else {

@@ -46,10 +46,14 @@ struct SweepSpec {
   std::vector<int> xs;       ///< Values of total_requests to simulate.
   int replications = 10;     ///< Independent seeds per point.
   std::uint64_t base_seed = 42;
-  /// Worker threads for the (curve, x, replication) grid. 0 = one per
-  /// hardware thread, 1 = serial. Results are bit-identical for any value:
-  /// replications are independent (the seed depends only on (base_seed,
-  /// rep)) and are accumulated in replication order after all runs finish.
+  /// Worker threads for the (curve, x, replication) grid. 0 = auto: one
+  /// per hardware thread, divided by the largest SimulationConfig::shards
+  /// of any curve so sweep workers times per-run shards stays within the
+  /// machine (each run may itself fan out over its shard pool). 1 =
+  /// serial. An explicit value is taken as-is. Results are bit-identical
+  /// for any value: replications are independent (the seed depends only on
+  /// (base_seed, rep)) and are accumulated in replication order after all
+  /// runs finish — and each run is itself shard-count-invariant.
   int threads = 0;
 };
 

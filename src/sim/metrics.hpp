@@ -5,6 +5,7 @@
 /// CAC quality measures (blocking, dropping, utilization).
 
 #include <array>
+#include <cstdint>
 #include <string>
 
 #include "cellular/traffic.hpp"
@@ -33,6 +34,11 @@ struct Metrics {
   double busy_bu_seconds = 0.0;   ///< Integral of occupied BU over time.
   double observed_span_s = 0.0;   ///< Simulated span the integral covers.
   cellular::BandwidthUnits total_capacity_bu = 0;
+
+  /// Simulation events the engine processed (decisions, releases, mobility
+  /// steps, handoffs) — the numerator of the events/sec scaling figure.
+  /// Identical for a given (config, seed) at every shard count.
+  std::uint64_t engine_events = 0;
 
   /// The paper's y-axis: accepted / requesting new connections, in percent.
   /// 100 when no request was made (an empty x=0 point plots at the top).

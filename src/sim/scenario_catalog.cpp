@@ -20,13 +20,21 @@ ScenarioSpec urbanWalkers() {
   ScenarioSpec s;
   s.name = "urban-walkers";
   s.summary =
-      "Downtown cell at lunch hour: slow erratic pedestrians plus a "
-      "vehicular minority; the paper's hard-to-predict population.";
+      "Downtown micro-cell cluster at lunch hour: slow erratic pedestrians "
+      "plus a vehicular minority drifting between 7 small cells; the "
+      "paper's hard-to-predict population, sharded per cell group.";
+  s.config.rings = 1;               // a block of 7 downtown micro-cells
+  s.config.cell_radius_km = 1.5;
+  s.config.enable_handoffs = true;  // window shoppers do cross streets
+  s.config.mobility_update_s = 10.0;
+  s.config.shards = 4;
   s.config.total_requests = 60;
   s.config.arrival_window_s = 600.0;
   s.config.scenario.speed_min_kmh = 2.0;
   s.config.scenario.speed_max_kmh = 25.0;   // walkers and cyclists
   s.config.scenario.angle_sigma_deg = 45.0; // downtown grid: nobody walks straight
+  s.config.scenario.distance_min_km = 0.0;
+  s.config.scenario.distance_max_km = 1.5;  // spawn inside the home cell
   s.config.scenario.turn.sigma_max_deg = 60.0;  // window shopping
   s.config.scenario.mix = cellular::TrafficMix{0.50, 0.40, 0.10};
   return s;
@@ -59,17 +67,23 @@ ScenarioSpec stadiumBurst() {
   ScenarioSpec s;
   s.name = "stadium-burst";
   s.summary =
-      "Flash crowd after a match: thousands of near-stationary users onto "
-      "one cell, Poisson arrivals, warm-up excluded (steady state).";
+      "Flash crowd after a match: thousands of near-stationary users over "
+      "the stadium cell and its 6 precinct cells, Poisson arrivals, "
+      "warm-up excluded (steady state); the sharded engine's stress load.";
+  s.config.rings = 1;               // stadium mast + surrounding precinct
+  s.config.cell_radius_km = 2.0;
+  s.config.enable_handoffs = true;  // the crowd drains outward on foot
+  s.config.mobility_update_s = 10.0;
+  s.config.shards = 4;
   s.config.total_requests = 3000;
-  s.config.arrival_window_s = 3000.0;  // ~1 request/s against a 40 BU cell
+  s.config.arrival_window_s = 3000.0;  // ~1 request/s against 40 BU cells
   s.config.arrivals = ArrivalProcess::Poisson;
   s.config.warmup_s = 600.0;  // measure after the crowd has built up
   s.config.scenario.speed_min_kmh = 0.0;
   s.config.scenario.speed_max_kmh = 6.0;     // people on foot
   s.config.scenario.angle_sigma_deg = 90.0;  // milling around
   s.config.scenario.distance_min_km = 0.0;
-  s.config.scenario.distance_max_km = 2.0;   // everyone near the stadium mast
+  s.config.scenario.distance_max_km = 2.0;   // everyone near a mast
   s.config.scenario.tracking_window_s = 10.0;
   s.config.scenario.gps_fix_period_s = 5.0;
   s.config.scenario.mix = cellular::TrafficMix{0.7, 0.25, 0.05};  // texting
@@ -130,9 +144,14 @@ const ScenarioSpec& ScenarioCatalog::at(std::string_view name) const {
 }
 
 std::string ScenarioCatalog::describeAll() const {
+  // Cell count and default shards up front, so operators can see at a
+  // glance which scenarios have enough cells for --shards to bite.
   std::ostringstream os;
   for (const auto& [name, spec] : entries_) {
-    os << "  " << name << "\n      " << spec.summary << "\n";
+    const int cells = cellular::hexDiskCellCount(spec.config.rings);
+    os << "  " << name << "  [" << cells
+       << (cells == 1 ? " cell" : " cells") << ", shards "
+       << spec.config.shards << "]\n      " << spec.summary << "\n";
   }
   return os.str();
 }
@@ -188,6 +207,11 @@ SimulationBuilder& SimulationBuilder::handoffs(bool on) {
 
 SimulationBuilder& SimulationBuilder::mobilityUpdate(double seconds) {
   config_.mobility_update_s = seconds;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::shards(int n) {
+  config_.shards = n;
   return *this;
 }
 

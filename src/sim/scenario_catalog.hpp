@@ -43,10 +43,13 @@ struct ScenarioSpec {
 /// The read-only catalog of built-in scenarios:
 ///
 ///   paper-single-cell     the paper's Section 4 evaluation cell
-///   urban-walkers         pedestrian-heavy downtown cell (paper Section 4)
+///   urban-walkers         pedestrian-heavy downtown micro-cell cluster
 ///   highway               7 micro-cells over a fast corridor, handoffs on
-///   stadium-burst         flash crowd, Poisson arrivals, steady state
+///   stadium-burst         flash crowd over 7 cells, Poisson, steady state
 ///   poisson-steady-state  the paper's cell driven to steady state
+///
+/// describeAll() annotates each entry with its cell count and default
+/// shard count, so --list-scenarios shows where sharding pays off.
 class ScenarioCatalog {
  public:
   [[nodiscard]] static const ScenarioCatalog& global();
@@ -93,6 +96,9 @@ class SimulationBuilder {
   SimulationBuilder& capacityBu(cellular::BandwidthUnits bu);
   SimulationBuilder& handoffs(bool on = true);
   SimulationBuilder& mobilityUpdate(double seconds);
+  /// Worker shards for the run (1 = serial; results are bit-identical for
+  /// any value — shards only change how much local work runs concurrently).
+  SimulationBuilder& shards(int n);
   ///@}
 
   /// \name User population

@@ -1,12 +1,16 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
 #include <stdexcept>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
 #include "mobility/gps.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/shard.hpp"
 
 namespace facs::sim {
 
@@ -20,71 +24,102 @@ using cellular::HexNetwork;
 using cellular::ServiceClass;
 using mobility::MotionState;
 
-/// Simulator event: what to do, and to which call.
-struct Event {
-  enum class Kind { Decision, End, Tick };
-  Kind kind = Kind::Tick;
-  CallId call = 0;
+/// Where randomness streams live in the (seed, stream) split space. Every
+/// call owns stream kCallStreamBase + id, so its draws (spawn, GPS noise,
+/// holding time, mobility) never depend on how calls interleave — the
+/// foundation of shard-count-independent results.
+constexpr std::uint64_t kArrivalStream = 0;
+constexpr std::uint64_t kCallStreamBase = 16;
+
+/// Lifecycle of one simulated call.
+enum class CallPhase : std::uint8_t {
+  Pending,  ///< Tracked, waiting for its admission instant.
+  Active,   ///< Admitted and holding bandwidth.
+  Done,     ///< Completed, blocked, dropped, or left coverage.
 };
 
-/// A request waiting for its admission decision (user being GPS-tracked).
-struct PendingDecision {
-  CallRequest request;
-  MotionState state;  ///< Ground truth at decision time.
-  std::shared_ptr<mobility::SpeedDependentTurn> model;
-};
-
-/// An admitted call.
-struct ActiveCall {
+/// Everything one call owns. Shard workers touch only calls their cells
+/// carry; the commit phase may touch any call (it runs alone).
+struct CallState {
   CallRequest request;  ///< target_cell kept current across handoffs.
-  MotionState state;
-  std::shared_ptr<mobility::SpeedDependentTurn> model;
+  MotionState state;    ///< Ground truth.
+  mobility::SpeedDependentTurn model;
+  Rng rng;              ///< Per-call stream; all of this call's draws.
+  double end_time_s = -1.0;  ///< Valid while Active.
+  CallPhase phase = CallPhase::Pending;
+  /// Ownership generation: bumped when the call changes shard (handoff) so
+  /// event copies left in the old owner's queue are recognisably stale.
+  std::uint32_t epoch = 0;
+
+  explicit CallState(const mobility::SpeedDependentTurnParams& turn)
+      : model{turn} {}
 };
 
-class Run {
+class Engine {
  public:
-  Run(const SimulationConfig& cfg, const ControllerFactory& make_controller)
+  Engine(const SimulationConfig& cfg, const ControllerFactory& make_controller)
       : cfg_{cfg},
         network_{cfg.rings, cfg.cell_radius_km, cfg.capacity_bu},
         controller_{make_controller(network_)},
-        arrival_rng_{makeRng(cfg.seed, 0)},
-        user_rng_{makeRng(cfg.seed, 1)},
-        gps_rng_{makeRng(cfg.seed, 2)},
-        holding_rng_{makeRng(cfg.seed, 3)} {
+        shard_count_{std::max(1, std::min(cfg.shards, kMaxShards))},
+        pool_{shard_count_},
+        queues_(static_cast<std::size_t>(shard_count_)),
+        outboxes_(static_cast<std::size_t>(shard_count_)),
+        local_events_(static_cast<std::size_t>(shard_count_), 0) {
     if (!controller_) {
       throw std::invalid_argument("controller factory returned nullptr");
     }
   }
 
   Metrics execute() {
-    scheduleArrivals();
-    if (cfg_.enable_handoffs && pending_decisions_ > 0) {
-      queue_.push(cfg_.mobility_update_s, Event{Event::Kind::Tick, 0});
-    }
+    prepareArrivals();
 
-    while (auto entry = queue_.pop()) {
-      const double now = entry->time_s;
-      switch (entry->payload.kind) {
-        case Event::Kind::Decision:
-          handleDecision(entry->payload.call, now);
-          break;
-        case Event::Kind::End:
-          handleEnd(entry->payload.call, now);
-          break;
-        case Event::Kind::Tick:
-          handleTick(now);
-          break;
+    // Tick windows: with handoffs the barrier period is the mobility update
+    // (the minimum latency at which one cell's state can matter to
+    // another); without cross-cell traffic one unbounded window suffices —
+    // the commit phase alone replays the run in canonical order.
+    const double window_s = cfg_.enable_handoffs
+                                ? cfg_.mobility_update_s
+                                : std::numeric_limits<double>::infinity();
+
+    while (const auto next = nextEventTime()) {
+      double window_end = std::numeric_limits<double>::infinity();
+      if (std::isfinite(window_s)) {
+        const double k = std::floor(*next / window_s);
+        window_end = (k + 1.0) * window_s;
       }
+      runLocalPhase(window_end);
+      commitPhase(window_end);
     }
 
     metrics_.observed_span_s = std::max(0.0, last_change_s_ - cfg_.warmup_s);
     metrics_.total_capacity_bu = network_.totalCapacityBu();
+    metrics_.engine_events = commit_events_;
+    for (const std::uint64_t n : local_events_) metrics_.engine_events += n;
     return metrics_;
   }
 
  private:
+  using Queue = EventQueue<ShardEvent>;
+
+  [[nodiscard]] int shardOf(CellId cell) const noexcept {
+    return static_cast<int>(static_cast<std::size_t>(cell) %
+                            static_cast<std::size_t>(shard_count_));
+  }
+
+  [[nodiscard]] CallState& call(CallId id) { return calls_[id - 1]; }
+
+  [[nodiscard]] std::optional<double> nextEventTime() const {
+    std::optional<double> best;
+    for (const Queue& q : queues_) {
+      const auto t = q.peekTime();
+      if (t && (!best || *t < *best)) best = t;
+    }
+    return best;
+  }
+
   /// Integrates occupied-BU time up to \p now (call before any change).
-  /// Time before the warm-up boundary is excluded from the integral.
+  /// Commit-phase only: ledgers change nowhere else.
   void noteOccupancy(double now) {
     const double from = std::max(last_change_s_, cfg_.warmup_s);
     if (now > from) {
@@ -98,46 +133,65 @@ class Run {
     return now >= cfg_.warmup_s;
   }
 
-  void scheduleArrivals() {
+  // ---------------------------------------------------------------- prepare
+
+  /// Draws arrival instants, then builds every call — spawn cell, GPS
+  /// tracking through the observation window, the admission-time snapshot —
+  /// in parallel over the shard pool (each call is index-sharded and only
+  /// touches its own state and RNG stream), and finally schedules the
+  /// decision events serially in call order.
+  void prepareArrivals() {
     std::vector<double> times;
     times.reserve(static_cast<std::size_t>(cfg_.total_requests));
+    Rng arrival_rng = makeRng(cfg_.seed, kArrivalStream);
     if (cfg_.arrivals == ArrivalProcess::UniformBurst) {
       for (int i = 0; i < cfg_.total_requests; ++i) {
-        times.push_back(
-            sampleUniform(arrival_rng_, 0.0, cfg_.arrival_window_s));
+        times.push_back(sampleUniform(arrival_rng, 0.0, cfg_.arrival_window_s));
       }
       std::sort(times.begin(), times.end());
     } else {
-      const double rate = static_cast<double>(cfg_.total_requests) /
-                          cfg_.arrival_window_s;
+      const double rate =
+          static_cast<double>(cfg_.total_requests) / cfg_.arrival_window_s;
       double t = 0.0;
       for (int i = 0; i < cfg_.total_requests; ++i) {
-        t += sampleExponential(arrival_rng_, 1.0 / rate);
+        t += sampleExponential(arrival_rng, 1.0 / rate);
         times.push_back(t);
       }
     }
 
-    for (const double t : times) {
-      const CallId id = next_call_++;
-      prepareRequest(id, t);
+    calls_.reserve(times.size());
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      calls_.emplace_back(cfg_.scenario.turn);
+    }
+
+    pool_.run([&](int shard) {
+      for (std::size_t i = static_cast<std::size_t>(shard); i < calls_.size();
+           i += static_cast<std::size_t>(shard_count_)) {
+        prepareCall(static_cast<CallId>(i + 1), times[i]);
+      }
+    });
+
+    const double window = cfg_.scenario.tracking_window_s;
+    for (std::size_t i = 0; i < calls_.size(); ++i) {
+      const CallId id = static_cast<CallId>(i + 1);
+      const CellId target = call(id).request.target_cell;
+      queues_[static_cast<std::size_t>(shardOf(target))].push(
+          times[i] + window, ShardEvent{ShardEventKind::Decision, id, 0});
     }
   }
 
-  /// Draws a user, tracks it through the GPS window and schedules the
-  /// admission decision. Movement is independent of network state, so the
-  /// whole window is computed here; the decision still fires at t + W so
-  /// the counter state it sees is current.
-  void prepareRequest(CallId id, double arrival_s) {
+  /// Builds one call: spawn draw, tracking walk, snapshot. Uses only the
+  /// call's own stream — safe to run for many calls concurrently.
+  void prepareCall(CallId id, double arrival_s) {
+    CallState& c = call(id);
+    c.rng = makeRng(cfg_.seed, kCallStreamBase + static_cast<std::uint64_t>(id));
+
     std::uniform_int_distribution<std::size_t> cell_pick{
         0, network_.cellCount() - 1};
-    const CellId spawn_cell = static_cast<CellId>(cell_pick(user_rng_));
+    const CellId spawn_cell = static_cast<CellId>(cell_pick(c.rng));
     const RequestPlan plan = drawRequest(
-        cfg_.scenario, network_.cell(spawn_cell).center, spawn_cell, user_rng_);
-
-    PendingDecision pending;
-    pending.model = std::make_shared<mobility::SpeedDependentTurn>(
-        cfg_.scenario.turn);
-    pending.state = plan.initial;
+        cfg_.scenario, network_.cell(spawn_cell).center, spawn_cell, c.rng);
+    c.state = plan.initial;
 
     const double window = cfg_.scenario.tracking_window_s;
     cellular::UserSnapshot snapshot;
@@ -151,21 +205,19 @@ class Run {
       const int fix_count = static_cast<int>(window / period) + 1;
       mobility::GpsEstimator estimator{
           static_cast<std::size_t>(std::max(2, fix_count))};
-      estimator.addFix(
-          sampler.sample(arrival_s, pending.state.position_km, gps_rng_));
+      estimator.addFix(sampler.sample(arrival_s, c.state.position_km, c.rng));
       for (int i = 1; i < fix_count; ++i) {
-        pending.model->step(pending.state, period, gps_rng_);
-        estimator.addFix(sampler.sample(arrival_s + i * period,
-                                        pending.state.position_km, gps_rng_));
+        c.model.step(c.state, period, c.rng);
+        estimator.addFix(
+            sampler.sample(arrival_s + i * period, c.state.position_km, c.rng));
       }
       // The user may have wandered into a neighbouring cell while tracked.
-      target = network_.cellAt(pending.state.position_km).value_or(target);
+      target = network_.cellAt(c.state.position_km).value_or(target);
       snapshot = estimator.snapshot(network_.cell(target).center);
-      snapshot.position = pending.state.position_km;  // ledger-grade position
+      snapshot.position = c.state.position_km;  // ledger-grade position
     } else {
       snapshot =
-          mobility::snapshotFromTruth(pending.state,
-                                      network_.cell(target).center);
+          mobility::snapshotFromTruth(c.state, network_.cell(target).center);
     }
 
     CallRequest req;
@@ -176,21 +228,119 @@ class Run {
     req.snapshot = snapshot;
     req.target_cell = target;
     req.is_handoff = false;
-    pending.request = req;
-
-    pending_[id] = std::move(pending);
-    ++pending_decisions_;
-    queue_.push(arrival_s + window, Event{Event::Kind::Decision, id});
+    c.request = req;
   }
 
-  void handleDecision(CallId id, double now) {
-    const auto it = pending_.find(id);
-    if (it == pending_.end()) return;
-    PendingDecision pending = std::move(it->second);
-    pending_.erase(it);
-    --pending_decisions_;
+  // ------------------------------------------------------------ local phase
 
-    const CallRequest& req = pending.request;
+  /// Each shard drains its queue up to the window end. Mobility steps run
+  /// here (call-local: per-call RNG and state); everything that needs the
+  /// shared ledgers/controller becomes a mailbox entry for the commit
+  /// phase. Stale events (superseded epochs, finished calls) die here.
+  void runLocalPhase(double window_end) {
+    pool_.run([&](int shard) {
+      Queue& q = queues_[static_cast<std::size_t>(shard)];
+      auto& outbox = outboxes_[static_cast<std::size_t>(shard)];
+      std::uint64_t& events = local_events_[static_cast<std::size_t>(shard)];
+      while (const auto entry = q.popBefore(window_end)) {
+        const ShardEvent& ev = entry->payload;
+        CallState& c = call(ev.call);
+        switch (ev.kind) {
+          case ShardEventKind::Decision:
+            if (c.phase != CallPhase::Pending) break;
+            outbox.push_back(CommitEntry{entry->time_s, ev});
+            break;
+          case ShardEventKind::End:
+            if (c.phase != CallPhase::Active || ev.epoch != c.epoch) break;
+            outbox.push_back(CommitEntry{entry->time_s, ev});
+            break;
+          case ShardEventKind::Move: {
+            if (c.phase != CallPhase::Active || ev.epoch != c.epoch) break;
+            c.model.step(c.state, cfg_.mobility_update_s, c.rng);
+            const auto now_cell = network_.cellAt(c.state.position_km);
+            if (now_cell && *now_cell == c.request.target_cell) {
+              // Still home: the step stays entirely shard-local. Only these
+              // count here — crossings count when their commit executes.
+              ++events;
+              q.push(entry->time_s + cfg_.mobility_update_s, ev);
+            } else {
+              // Crossed a border or left coverage: cross-cell, so the
+              // barrier decides (handoff admission / departure).
+              outbox.push_back(CommitEntry{entry->time_s, ev});
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  // ----------------------------------------------------------- commit phase
+
+  /// Replays the merged mailboxes — plus any follow-up events they spawn
+  /// inside the window — in canonical (time, kind, call) order, mutating
+  /// ledgers, controller state and metrics exactly as a serial run would.
+  void commitPhase(double window_end) {
+    for (auto& outbox : outboxes_) {
+      for (const CommitEntry& e : outbox) commit_queue_.push(e);
+      outbox.clear();
+    }
+
+    while (!commit_queue_.empty()) {
+      const CommitEntry e = commit_queue_.top();
+      commit_queue_.pop();
+      const double now = e.time_s;
+      CallState& c = call(e.event.call);
+      // Only events that execute count toward engine_events; stale entries
+      // superseded by an in-window handoff or drop are bookkeeping noise.
+      switch (e.event.kind) {
+        case ShardEventKind::Decision:
+          if (c.phase == CallPhase::Pending) {
+            ++commit_events_;
+            commitDecision(c, now, window_end);
+          }
+          break;
+        case ShardEventKind::End:
+          if (c.phase == CallPhase::Active && e.event.epoch == c.epoch) {
+            ++commit_events_;
+            commitEnd(c, now);
+          }
+          break;
+        case ShardEventKind::Move:
+          if (c.phase == CallPhase::Active && e.event.epoch == c.epoch) {
+            ++commit_events_;
+            commitCrossing(c, now, window_end);
+          }
+          break;
+      }
+    }
+  }
+
+  /// Schedules an admitted call's departure: into the commit queue when it
+  /// still falls inside this window, else into its owner shard's queue.
+  void scheduleEnd(const CallState& c, CallId id, double window_end) {
+    const ShardEvent ev{ShardEventKind::End, id, c.epoch};
+    if (c.end_time_s < window_end) {
+      commit_queue_.push(CommitEntry{c.end_time_s, ev});
+    } else {
+      queues_[static_cast<std::size_t>(shardOf(c.request.target_cell))].push(
+          c.end_time_s, ev);
+    }
+  }
+
+  /// First mobility step after \p now: the next multiple of the update
+  /// period strictly ahead of it (always >= window_end, i.e. next window).
+  void scheduleFirstMove(const CallState& c, CallId id, double now) {
+    if (!cfg_.enable_handoffs) return;
+    const double period = cfg_.mobility_update_s;
+    const double next = (std::floor(now / period) + 1.0) * period;
+    queues_[static_cast<std::size_t>(shardOf(c.request.target_cell))].push(
+        next, ShardEvent{ShardEventKind::Move, id, c.epoch});
+  }
+
+  void commitDecision(CallState& c, double now, double window_end) {
+    if (c.phase != CallPhase::Pending) return;
+    const CallRequest& req = c.request;
     cellular::BaseStation& station = network_.station(req.target_cell);
     const AdmissionContext ctx{station, now};
 
@@ -200,8 +350,7 @@ class Run {
       ++metrics_.class_requests[static_cast<std::size_t>(req.service)];
     }
 
-    const cellular::AdmissionDecision decision =
-        controller_->decide(req, ctx);
+    const cellular::AdmissionDecision decision = controller_->decide(req, ctx);
     // Defence in depth: an accept that does not fit would corrupt the
     // ledger, so the simulator re-checks the invariant the policy promised.
     const bool admit = decision.accept && station.canFit(req.demand_bu);
@@ -209,6 +358,7 @@ class Run {
     if (!admit) {
       if (count) ++metrics_.new_blocked;
       controller_->onRejected(req, ctx);
+      c.phase = CallPhase::Done;
       return;
     }
 
@@ -221,71 +371,42 @@ class Run {
     }
     controller_->onAdmitted(req, ctx);
 
-    ActiveCall active;
-    active.request = req;
-    active.state = pending.state;
-    active.model = std::move(pending.model);
-    active_[id] = std::move(active);
-
-    const double holding = sampleExponential(
-        holding_rng_, cellular::profileFor(req.service).mean_holding_s);
-    queue_.push(now + holding, Event{Event::Kind::End, id});
+    c.phase = CallPhase::Active;
+    c.end_time_s = now + sampleExponential(
+                             c.rng,
+                             cellular::profileFor(req.service).mean_holding_s);
+    scheduleEnd(c, req.call, window_end);
+    scheduleFirstMove(c, req.call, now);
   }
 
-  void handleEnd(CallId id, double now) {
-    const auto it = active_.find(id);
-    if (it == active_.end()) return;  // dropped at a handoff earlier
-    const ActiveCall& call = it->second;
-    cellular::BaseStation& station = network_.station(call.request.target_cell);
+  void commitEnd(CallState& c, double now) {
+    cellular::BaseStation& station = network_.station(c.request.target_cell);
     noteOccupancy(now);
-    station.release(id);
+    station.release(c.request.call);
     if (counted(now)) ++metrics_.completed;
-    controller_->onReleased(call.request, AdmissionContext{station, now});
-    active_.erase(it);
+    controller_->onReleased(c.request, AdmissionContext{station, now});
+    c.phase = CallPhase::Done;
   }
 
-  void handleTick(double now) {
-    // Snapshot ids in sorted order: handoffs may erase map entries while we
-    // iterate, and a deterministic visit order keeps runs reproducible.
-    std::vector<CallId> ids;
-    ids.reserve(active_.size());
-    for (const auto& [id, call] : active_) ids.push_back(id);
-    std::sort(ids.begin(), ids.end());
-
-    for (const CallId id : ids) {
-      const auto it = active_.find(id);
-      if (it == active_.end()) continue;
-      ActiveCall& call = it->second;
-      call.model->step(call.state, cfg_.mobility_update_s, user_rng_);
-      const auto new_cell = network_.cellAt(call.state.position_km);
-      if (!new_cell) {
-        // Left coverage entirely: account as a completed departure.
-        handleEnd(id, now);
-        continue;
-      }
-      if (*new_cell != call.request.target_cell) {
-        handleHandoff(id, call, *new_cell, now);
-      }
+  /// A mobility step detected the call outside its cell: either hand it to
+  /// the new cell (admission permitting) or account a coverage departure.
+  void commitCrossing(CallState& c, double now, double window_end) {
+    const auto new_cell = network_.cellAt(c.state.position_km);
+    if (!new_cell) {
+      // Left coverage entirely: account as a completed departure.
+      commitEnd(c, now);
+      return;
     }
 
-    // Keep ticking while there is anything left to move or decide.
-    if (!active_.empty() || pending_decisions_ > 0) {
-      queue_.push(now + cfg_.mobility_update_s, Event{Event::Kind::Tick, 0});
-    }
-  }
-
-  /// Attempts to move \p call into \p new_cell; drops it on rejection.
-  void handleHandoff(CallId id, ActiveCall& call, CellId new_cell,
-                     double now) {
     cellular::BaseStation& old_station =
-        network_.station(call.request.target_cell);
-    cellular::BaseStation& new_station = network_.station(new_cell);
+        network_.station(c.request.target_cell);
+    cellular::BaseStation& new_station = network_.station(*new_cell);
 
-    CallRequest req = call.request;
+    CallRequest req = c.request;
     req.is_handoff = true;
-    req.target_cell = new_cell;
+    req.target_cell = *new_cell;
     req.snapshot =
-        mobility::snapshotFromTruth(call.state, network_.cell(new_cell).center);
+        mobility::snapshotFromTruth(c.state, network_.cell(*new_cell).center);
 
     const bool count = counted(now);
     if (count) ++metrics_.handoff_requests;
@@ -294,37 +415,44 @@ class Run {
     const bool admit = decision.accept && new_station.canFit(req.demand_bu);
 
     noteOccupancy(now);
-    old_station.release(id);
+    old_station.release(req.call);
     if (admit) {
-      new_station.allocate(id, req.demand_bu,
+      new_station.allocate(req.call, req.demand_bu,
                            cellular::profileFor(req.service).real_time);
       if (count) ++metrics_.handoff_accepted;
       controller_->onAdmitted(req, ctx);  // refreshes SCC kinematics too
-      call.request = req;
+      c.request = req;
+      // The call changed owner: supersede every event copy still queued
+      // under the old epoch, then reschedule its departure and next step
+      // with the new one.
+      ++c.epoch;
+      scheduleEnd(c, req.call, window_end);
+      queues_[static_cast<std::size_t>(shardOf(*new_cell))].push(
+          now + cfg_.mobility_update_s,
+          ShardEvent{ShardEventKind::Move, req.call, c.epoch});
     } else {
       if (count) ++metrics_.handoff_dropped;
       controller_->onRejected(req, ctx);
-      controller_->onReleased(call.request,
-                              AdmissionContext{old_station, now});
-      // The End event for this call becomes a no-op.
-      active_.erase(id);
+      controller_->onReleased(c.request, AdmissionContext{old_station, now});
+      c.phase = CallPhase::Done;  // pending End/Move copies die at pop
     }
   }
 
   SimulationConfig cfg_;
   HexNetwork network_;
   std::unique_ptr<cellular::AdmissionController> controller_;
-  Rng arrival_rng_;
-  Rng user_rng_;
-  Rng gps_rng_;
-  Rng holding_rng_;
+  int shard_count_;
+  ShardPool pool_;
 
-  EventQueue<Event> queue_;
-  std::unordered_map<CallId, PendingDecision> pending_;
-  std::unordered_map<CallId, ActiveCall> active_;
-  int pending_decisions_ = 0;
-  CallId next_call_ = 1;
+  std::vector<Queue> queues_;                        ///< One per shard.
+  std::vector<std::vector<CommitEntry>> outboxes_;   ///< One per shard.
+  std::vector<std::uint64_t> local_events_;          ///< One per shard.
+  std::priority_queue<CommitEntry, std::vector<CommitEntry>, CommitLater>
+      commit_queue_;
+  std::vector<CallState> calls_;  ///< Indexed by call id - 1.
+
   double last_change_s_ = 0.0;
+  std::uint64_t commit_events_ = 0;
   Metrics metrics_;
 };
 
@@ -343,6 +471,10 @@ void validateConfig(const SimulationConfig& cfg) {
   if (cfg.enable_handoffs && !(cfg.mobility_update_s > 0.0)) {
     throw std::invalid_argument("mobility update period must be positive");
   }
+  if (cfg.shards < 1 || cfg.shards > kMaxShards) {
+    throw std::invalid_argument("shards must be in [1, " +
+                                std::to_string(kMaxShards) + "]");
+  }
   const ScenarioParams& s = cfg.scenario;
   if (s.tracking_window_s < 0.0) {
     throw std::invalid_argument("tracking window must be >= 0");
@@ -358,8 +490,8 @@ void validateConfig(const SimulationConfig& cfg) {
 Metrics runSimulation(const SimulationConfig& config,
                       const ControllerFactory& make_controller) {
   validateConfig(config);
-  Run run{config, make_controller};
-  return run.execute();
+  Engine engine{config, make_controller};
+  return engine.execute();
 }
 
 }  // namespace facs::sim

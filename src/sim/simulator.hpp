@@ -4,6 +4,20 @@
 /// GPS tracking before each admission decision, exponential holding times,
 /// optional multi-cell mobility with handoffs, and full capacity-invariant
 /// enforcement through the base-station ledgers.
+///
+/// Execution model (sharded engine): cells are partitioned over
+/// SimulationConfig::shards worker shards. Each shard owns the event queues
+/// of its cells plus the motion state and RNG stream of every call they
+/// carry, and advances in lock-stepped tick windows sized by the mobility
+/// update period (the minimum latency at which a call can cross cells).
+/// Within a window, shards do the call-local work concurrently — GPS
+/// tracking, mobility integration, boundary detection — and hand every
+/// shared-state mutation (admission decisions, releases, handoffs) to a
+/// single-threaded commit phase at the tick barrier, which replays the
+/// merged per-shard mailboxes in canonical (time, kind, call) order. All
+/// randomness is drawn from per-call SplitMix-derived streams, so runs are
+/// bit-identical for a fixed seed at ANY shard count, including shards=1
+/// (the serial path: same phases, no worker threads).
 
 #include <functional>
 #include <memory>
@@ -53,7 +67,18 @@ struct SimulationConfig {
 
   std::uint64_t seed = 1;
   ScenarioParams scenario{};
+
+  /// Worker shards for one run. 1 = serial (no threads). N > 1 partitions
+  /// cells round-robin over N workers that advance in lock-stepped ticks;
+  /// metrics are bit-identical to the serial run for the same seed. Counts
+  /// above the cell count still help: request preparation (GPS tracking)
+  /// is sharded by call, not by cell. Must be in [1, kMaxShards].
+  int shards = 1;
 };
+
+/// Upper bound on SimulationConfig::shards (sanity cap, not a tuning hint:
+/// useful values are <= hardware threads).
+inline constexpr int kMaxShards = 256;
 
 /// Builds a fresh admission controller for a run. Receives the network so
 /// topology-aware policies (SCC) can hold a reference to it. Obtain one

@@ -71,11 +71,34 @@ TEST(Cli, RepeatedScenarioLastWinsAndAllAreValidated) {
   const CliOptions opt =
       parseCli({"--scenario", "highway", "--scenario", "urban-walkers"});
   EXPECT_EQ(opt.scenario, "urban-walkers");
-  EXPECT_EQ(opt.config.rings, 0);  // urban-walkers, not highway
+  EXPECT_DOUBLE_EQ(opt.config.cell_radius_km, 1.5);  // urban-walkers, not highway
   // A bogus later occurrence must not slip through.
   EXPECT_THROW(
       (void)parseCli({"--scenario", "highway", "--scenario", "mars-base"}),
       CliError);
+}
+
+TEST(Cli, ShardsFlagParsesAndValidates) {
+  EXPECT_EQ(parseCli({}).config.shards, 1);
+  EXPECT_EQ(parseCli({"--shards", "4"}).config.shards, 4);
+  // Scenario defaults show through; an explicit flag overrides them.
+  EXPECT_EQ(parseCli({"--scenario", "stadium-burst"}).config.shards, 4);
+  EXPECT_EQ(parseCli({"--scenario", "stadium-burst", "--shards", "2"})
+                .config.shards,
+            2);
+  // Out-of-range counts fail at parse time, not mid-run.
+  EXPECT_THROW((void)parseCli({"--shards", "0"}), CliError);
+  EXPECT_THROW((void)parseCli({"--shards", "-2"}), CliError);
+  EXPECT_THROW((void)parseCli({"--shards", "100000"}), CliError);
+  EXPECT_THROW((void)parseCli({"--shards", "two"}), CliError);
+}
+
+TEST(Cli, ListScenariosShowsCellCounts) {
+  // Operators pick shard counts by cell count, so the catalog dump carries
+  // it: "[7 cells, shards 4]" style annotations per entry.
+  const std::string dump = ScenarioCatalog::global().describeAll();
+  EXPECT_NE(dump.find("[1 cell, shards 1]"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("[7 cells, shards 4]"), std::string::npos) << dump;
 }
 
 TEST(Cli, ListFlags) {

@@ -1,0 +1,140 @@
+/// \file sharding_test.cpp
+/// Determinism contract of the sharded engine: for a fixed seed, the
+/// serial run (shards=1) and every sharded run must produce bit-identical
+/// metrics — the cell partition may only change how much local work runs
+/// concurrently, never a single simulation outcome. Double fields are
+/// compared with exact equality on purpose: "close" would hide
+/// nondeterministic commit ordering.
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario_catalog.hpp"
+#include "sim/simulator.hpp"
+
+namespace facs::sim {
+namespace {
+
+/// A multi-cell scenario exercising every cross-shard path: GPS-tracked
+/// decisions, handoffs (accepted and dropped), coverage exits, warmup.
+SimulationConfig contestedConfig() {
+  SimulationConfig cfg;
+  cfg.rings = 1;
+  cfg.cell_radius_km = 2.0;
+  cfg.total_requests = 120;
+  cfg.arrival_window_s = 400.0;
+  cfg.enable_handoffs = true;
+  cfg.mobility_update_s = 5.0;
+  cfg.warmup_s = 50.0;
+  cfg.seed = 20240731;
+  cfg.scenario.speed_min_kmh = 30.0;
+  cfg.scenario.speed_max_kmh = 110.0;
+  cfg.scenario.distance_max_km = 2.0;
+  cfg.scenario.tracking_window_s = 10.0;
+  cfg.scenario.gps_fix_period_s = 2.0;
+  cfg.scenario.gps_error_m = 10.0;
+  return cfg;
+}
+
+void expectBitIdentical(const Metrics& a, const Metrics& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.new_requests, b.new_requests) << label;
+  EXPECT_EQ(a.new_accepted, b.new_accepted) << label;
+  EXPECT_EQ(a.new_blocked, b.new_blocked) << label;
+  EXPECT_EQ(a.handoff_requests, b.handoff_requests) << label;
+  EXPECT_EQ(a.handoff_accepted, b.handoff_accepted) << label;
+  EXPECT_EQ(a.handoff_dropped, b.handoff_dropped) << label;
+  EXPECT_EQ(a.completed, b.completed) << label;
+  EXPECT_EQ(a.class_requests, b.class_requests) << label;
+  EXPECT_EQ(a.class_accepted, b.class_accepted) << label;
+  // Exact double equality: the busy integral accumulates every occupancy
+  // change in commit order, so one reordered event would surface here.
+  EXPECT_EQ(a.busy_bu_seconds, b.busy_bu_seconds) << label;
+  EXPECT_EQ(a.observed_span_s, b.observed_span_s) << label;
+  EXPECT_EQ(a.total_capacity_bu, b.total_capacity_bu) << label;
+  EXPECT_EQ(a.engine_events, b.engine_events) << label;
+}
+
+TEST(ShardedEngine, BitIdenticalAcrossShardCountsFacs) {
+  SimulationConfig cfg = contestedConfig();
+  cfg.shards = 1;
+  const Metrics serial = SimulationBuilder{cfg}.policy("facs").run();
+  ASSERT_GT(serial.handoff_requests, 0);  // the scenario must exercise shards
+  ASSERT_GT(serial.engine_events, 0u);
+  for (const int shards : {2, 4}) {
+    cfg.shards = shards;
+    const Metrics m = SimulationBuilder{cfg}.policy("facs").run();
+    expectBitIdentical(serial, m, "facs shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ShardedEngine, BitIdenticalAcrossShardCountsScc) {
+  // SCC is the hardest case: controller state spans cells (the shadow
+  // accumulators), so any commit reordering would change decisions.
+  SimulationConfig cfg = contestedConfig();
+  cfg.shards = 1;
+  const Metrics serial = SimulationBuilder{cfg}.policy("scc").run();
+  for (const int shards : {2, 4}) {
+    cfg.shards = shards;
+    const Metrics m = SimulationBuilder{cfg}.policy("scc").run();
+    expectBitIdentical(serial, m, "scc shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ShardedEngine, RepeatedShardedRunsAreSeedStable) {
+  SimulationConfig cfg = contestedConfig();
+  cfg.shards = 4;
+  const Metrics a = SimulationBuilder{cfg}.policy("facs").run();
+  const Metrics b = SimulationBuilder{cfg}.policy("facs").run();
+  expectBitIdentical(a, b, "two shards=4 runs");
+}
+
+TEST(ShardedEngine, MoreShardsThanCellsStillIdentical) {
+  // Extra shards own no cells but still take part in per-call preparation.
+  SimulationConfig cfg = contestedConfig();
+  cfg.shards = 1;
+  const Metrics serial = SimulationBuilder{cfg}.policy("guard:8").run();
+  cfg.shards = 16;  // 7 cells only
+  const Metrics wide = SimulationBuilder{cfg}.policy("guard:8").run();
+  expectBitIdentical(serial, wide, "shards=16 over 7 cells");
+}
+
+TEST(ShardedEngine, SingleCellRunsShardToo) {
+  // Sharding a single-cell scenario parallelizes request preparation only;
+  // results still must not move.
+  SimulationConfig cfg;
+  cfg.total_requests = 80;
+  cfg.seed = 9;
+  cfg.shards = 1;
+  const Metrics serial = SimulationBuilder{cfg}.policy("facs").run();
+  cfg.shards = 4;
+  const Metrics sharded = SimulationBuilder{cfg}.policy("facs").run();
+  expectBitIdentical(serial, sharded, "single cell shards=4");
+}
+
+TEST(ShardedEngine, ShardCountIsValidated) {
+  SimulationConfig cfg;
+  cfg.total_requests = 1;
+  cfg.shards = 0;
+  EXPECT_THROW((void)SimulationBuilder{cfg}.policy("cs").run(),
+               std::invalid_argument);
+  cfg.shards = -3;
+  EXPECT_THROW((void)SimulationBuilder{cfg}.policy("cs").run(),
+               std::invalid_argument);
+  cfg.shards = kMaxShards + 1;
+  EXPECT_THROW((void)SimulationBuilder{cfg}.policy("cs").run(),
+               std::invalid_argument);
+  cfg.shards = 1;
+  EXPECT_NO_THROW((void)SimulationBuilder{cfg}.policy("cs").run());
+}
+
+TEST(ShardedEngine, BuilderSurfacesShards) {
+  const SimulationConfig cfg =
+      SimulationBuilder::scenario("stadium-burst").shards(2).build();
+  EXPECT_EQ(cfg.shards, 2);
+  // Catalog defaults show through when not overridden.
+  EXPECT_EQ(SimulationBuilder::scenario("stadium-burst").build().shards, 4);
+  EXPECT_EQ(SimulationBuilder::scenario("paper-single-cell").build().shards, 1);
+}
+
+}  // namespace
+}  // namespace facs::sim
