@@ -2,22 +2,29 @@
 /// Sharded-engine scaling study: events/sec versus shard count on a
 /// multi-cell scenario heavy enough for the parallel phases to matter
 /// (GPS-tracked admissions, thousands of mobile calls stepping every
-/// tick across 19 cells). Also doubles as a determinism audit: every
-/// shard count must reproduce the serial run's metrics bit for bit —
-/// any divergence is reported and fails the process.
+/// tick across 19 cells), plus the measured commit-phase share — the
+/// serial fraction that caps speedup (Amdahl). Also doubles as a
+/// determinism audit: every shard count must reproduce the serial run's
+/// metrics bit for bit — any divergence is reported and fails the process.
 ///
 ///   multi_cell_scaling [--quick] [--requests N] [--shards LIST]
-///                      [--policy SPEC] [--csv]
+///                      [--policy SPEC] [--no-precompute] [--csv] [--json]
 ///
-/// --quick shrinks the run for CI smoke jobs. Speedups depend on the
+/// --quick shrinks the run for CI smoke jobs. --no-precompute keeps
+/// snapshot-only policy work (FACS FLC1) on the serialized commit path, so
+/// the before/after serial-fraction win of the hoist is measurable:
+/// compare commit% with the flag against without. Speedups depend on the
 /// machine: with one core the study only demonstrates that the barrier
 /// machinery costs little; the >1 numbers need real parallel hardware.
 /// The default policy is guard:8 — an O(1) decide keeps the serialized
 /// commit phase thin, so the measurement isolates the engine's scaling.
 /// Pass --policy facs or --policy scc to study decide-heavy policies
 /// (their serialized admission work caps the speedup, per Amdahl).
+/// --json emits one machine-readable object (used by the CI bench-smoke
+/// artifact to track events/sec and commit share per commit).
 
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
@@ -63,6 +70,18 @@ std::vector<int> parseShardList(const std::string& value) {
   return out;
 }
 
+/// One measured run at a given shard count.
+struct Sample {
+  int shards = 0;
+  double seconds = 0.0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  double speedup = 1.0;
+  double commit_share = 0.0;   ///< Serialized fraction of engine wall time.
+  double prepare_share = 0.0;
+  double local_share = 0.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,6 +89,8 @@ int main(int argc, char** argv) {
   std::vector<int> shard_counts{1, 2, 4, 8};
   std::string policy_spec = "guard:8";
   bool csv = false;
+  bool json = false;
+  bool precompute = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       requests = 600;
@@ -80,30 +101,47 @@ int main(int argc, char** argv) {
       shard_counts = parseShardList(argv[++i]);
     } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
       policy_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-precompute") == 0) {
+      precompute = false;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else {
       std::cerr << "usage: multi_cell_scaling [--quick] [--requests N] "
-                   "[--shards LIST] [--policy SPEC] [--csv]\n";
+                   "[--shards LIST] [--policy SPEC] [--no-precompute] "
+                   "[--csv] [--json]\n";
       return 2;
     }
   }
 
+  if (csv && json) {
+    std::cerr << "multi_cell_scaling: --csv and --json are mutually "
+                 "exclusive (both write to stdout)\n";
+    return 2;
+  }
+
   sim::SimulationConfig cfg = studyConfig(requests);
+  cfg.precompute_cv = precompute;
   const auto factory = bench::policy(policy_spec);
 
+  const bool table = !csv && !json;
   if (csv) {
-    std::cout << "shards,seconds,events,events_per_sec,speedup\n";
-  } else {
+    std::cout << "shards,seconds,events,events_per_sec,speedup,"
+                 "commit_share,prepare_share,local_share\n";
+  } else if (table) {
     std::cout << "Sharded engine scaling: " << requests
               << " GPS-tracked requests over 19 cells (policy "
-              << policy_spec << ")\n\n"
+              << policy_spec << ", precompute "
+              << (precompute ? "on" : "off") << ")\n\n"
               << std::left << std::setw(8) << "shards" << std::setw(12)
               << "seconds" << std::setw(12) << "events" << std::setw(14)
-              << "events/sec" << "speedup" << "\n";
+              << "events/sec" << std::setw(10) << "speedup" << "commit%"
+              << "\n";
   }
 
   sim::Metrics reference;
+  std::vector<Sample> samples;
   double serial_s = 0.0;
   bool deterministic = true;
   for (std::size_t i = 0; i < shard_counts.size(); ++i) {
@@ -124,22 +162,62 @@ int main(int argc, char** argv) {
       deterministic = false;
     }
 
-    const double eps = secs > 0.0
-                           ? static_cast<double>(m.engine_events) / secs
-                           : 0.0;
+    Sample s;
+    s.shards = cfg.shards;
+    s.seconds = secs;
+    s.events = m.engine_events;
+    s.events_per_sec =
+        secs > 0.0 ? static_cast<double>(m.engine_events) / secs : 0.0;
+    s.speedup = secs > 0.0 ? serial_s / secs : 0.0;
+    s.commit_share = m.commitShare();
+    const double phases = m.prepare_phase_s + m.local_phase_s +
+                          m.commit_phase_s;
+    if (phases > 0.0) {
+      s.prepare_share = m.prepare_phase_s / phases;
+      s.local_share = m.local_phase_s / phases;
+    }
+    samples.push_back(s);
+
     if (csv) {
-      std::cout << cfg.shards << "," << secs << "," << m.engine_events << ","
-                << eps << "," << (secs > 0.0 ? serial_s / secs : 0.0) << "\n";
-    } else {
-      std::cout << std::left << std::setw(8) << cfg.shards << std::fixed
-                << std::setprecision(3) << std::setw(12) << secs
-                << std::setw(12) << m.engine_events << std::setprecision(0)
-                << std::setw(14) << eps << std::setprecision(2)
-                << (secs > 0.0 ? serial_s / secs : 0.0) << "x\n";
+      std::cout << s.shards << "," << s.seconds << "," << s.events << ","
+                << s.events_per_sec << "," << s.speedup << ","
+                << s.commit_share << "," << s.prepare_share << ","
+                << s.local_share << "\n";
+    } else if (table) {
+      std::ostringstream speedup;
+      speedup << std::fixed << std::setprecision(2) << s.speedup << "x";
+      std::cout << std::left << std::setw(8) << s.shards << std::fixed
+                << std::setprecision(3) << std::setw(12) << s.seconds
+                << std::setw(12) << s.events << std::setprecision(0)
+                << std::setw(14) << s.events_per_sec << std::setw(10)
+                << speedup.str() << std::setprecision(1)
+                << 100.0 * s.commit_share << "%\n";
     }
   }
 
-  if (!csv) {
+  if (json) {
+    // Self-contained object for the CI artifact: per-shard events/sec and
+    // the measured serialized (commit-phase) share, so serial-fraction
+    // regressions show up in the per-PR numbers.
+    std::cout << "{\n  \"policy\": \"" << policy_spec << "\",\n"
+              << "  \"requests\": " << requests << ",\n"
+              << "  \"precompute\": " << (precompute ? "true" : "false")
+              << ",\n  \"deterministic\": "
+              << (deterministic ? "true" : "false") << ",\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const Sample& s = samples[i];
+      std::cout << "    {\"shards\": " << s.shards << ", \"seconds\": "
+                << s.seconds << ", \"events\": " << s.events
+                << ", \"events_per_sec\": " << s.events_per_sec
+                << ", \"speedup\": " << s.speedup << ", \"commit_share\": "
+                << s.commit_share << ", \"prepare_share\": "
+                << s.prepare_share << ", \"local_share\": " << s.local_share
+                << "}" << (i + 1 < samples.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ]\n}\n";
+  }
+
+  if (table) {
     std::cout << "\nreference run: " << reference.summary() << "\n";
   }
   if (!deterministic) {
@@ -147,7 +225,7 @@ int main(int argc, char** argv) {
                  "broke its bit-identical determinism contract\n";
     return 1;
   }
-  if (!csv) {
+  if (table) {
     std::cout << "determinism: every shard count reproduced the serial "
                  "metrics bit for bit\n";
   }

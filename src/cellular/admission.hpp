@@ -5,8 +5,10 @@
 /// (src/cac) all implement this; the simulator (src/sim) consumes it.
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -16,6 +18,17 @@
 #include "cellular/call.hpp"
 
 namespace facs::cellular {
+
+/// Result of a policy's optional request-time precomputation — the part of
+/// a decision that depends only on the user snapshot, so it can be produced
+/// before the serialized decision instant (for FACS: the FLC1 correction
+/// value). Carried into decide() through AdmissionContext::predicted; an
+/// invalid value means "nothing precomputed", and policies fall back to
+/// inline inference, so results are identical either way.
+struct PredictedCv {
+  double cv = 0.0;     ///< Policy-defined prediction (FACS: Cv in [0, 1]).
+  bool valid = false;  ///< False = precompute() was skipped or unsupported.
+};
 
 /// Everything a policy may consult at decision time beyond the request.
 struct AdmissionContext {
@@ -27,6 +40,10 @@ struct AdmissionContext {
   /// millions of decisions and reads only `accept`/`reason`; dashboards and
   /// examples flip this on for the requests they display.
   bool explain = false;
+  /// Snapshot-only work hoisted off the serialized decision path (filled by
+  /// the caller from a prior precompute() on the SAME snapshot the request
+  /// carries). Policies must treat an invalid value as "infer inline".
+  PredictedCv predicted{};
 };
 
 /// Machine-readable outcome of a decision: *why* a request was admitted or
@@ -64,15 +81,19 @@ enum class ReasonCode : std::uint8_t {
     case ReasonCode::ReservedForHandoff:
       return "reserved-for-handoff";
   }
-  return "admitted";
+  // Out-of-range values (a corrupted or half-initialized decision) must not
+  // masquerade as a legitimate outcome in logs.
+  return "invalid";
 }
 
 /// Fixed-capacity inline text for decision rationales. Trivially copyable
 /// (no heap, no move machinery), so returning an AdmissionDecision by value
 /// costs a plain memcpy whether or not a rationale was written — the
 /// explain-off hot path no longer pays even an empty std::string's move.
-/// Overlong text is truncated at kCapacity; rationales are one-line
-/// diagnostics, never data.
+/// Overlong text is truncated at kCapacity and flagged (truncated());
+/// rationales are one-line diagnostics, never data. appendf() formats
+/// straight into the inline buffer, so explain-mode policies no longer
+/// build a std::ostringstream per decision.
 class ReasonText {
  public:
   static constexpr std::size_t kCapacity = 119;
@@ -90,12 +111,47 @@ class ReasonText {
 
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// True when any assign()/appendf() since the last clear() did not fit
+  /// and the text was cut at kCapacity — detectable, never silent.
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
   /// NUL-terminated (the buffer always holds a terminator).
   [[nodiscard]] const char* c_str() const noexcept { return text_; }
   [[nodiscard]] std::string_view view() const noexcept {
     return {text_, size_};
   }
   operator std::string_view() const noexcept { return view(); }  // NOLINT
+
+  void clear() noexcept {
+    size_ = 0;
+    truncated_ = false;
+    text_[0] = '\0';
+  }
+
+  /// snprintf-style formatted append into the remaining inline capacity.
+  /// Returns false (and sets truncated()) when the formatted text did not
+  /// fit; whatever fit is kept, so a cut rationale still reads sensibly.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((format(printf, 2, 3)))
+#endif
+  bool
+  appendf(const char* fmt, ...) noexcept {
+    std::va_list args;
+    va_start(args, fmt);
+    const std::size_t room = kCapacity - size_;  // excludes the terminator
+    const int wanted = std::vsnprintf(text_ + size_, room + 1, fmt, args);
+    va_end(args);
+    if (wanted < 0) {  // encoding error: keep the prior content intact
+      text_[size_] = '\0';
+      return false;
+    }
+    if (static_cast<std::size_t>(wanted) > room) {
+      size_ = static_cast<std::uint8_t>(kCapacity);
+      truncated_ = true;
+      return false;
+    }
+    size_ = static_cast<std::uint8_t>(size_ + wanted);
+    return true;
+  }
 
   /// std::string-compatible search, so call sites can keep comparing
   /// against std::string::npos.
@@ -109,13 +165,15 @@ class ReasonText {
 
  private:
   void assign(std::string_view text) noexcept {
-    size_ = std::min(text.size(), kCapacity);
+    truncated_ = text.size() > kCapacity;
+    size_ = static_cast<std::uint8_t>(std::min(text.size(), kCapacity));
     std::copy_n(text.data(), size_, text_);
     text_[size_] = '\0';
   }
 
   char text_[kCapacity + 1] = {};
   std::uint8_t size_ = 0;
+  bool truncated_ = false;
 };
 static_assert(ReasonText::kCapacity <= 255, "size_ is a uint8_t");
 
@@ -158,6 +216,20 @@ class AdmissionController {
 
   [[nodiscard]] virtual AdmissionDecision decide(
       const CallRequest& request, const AdmissionContext& context) = 0;
+
+  /// Optional request-time precomputation: the part of a decision that
+  /// depends only on the user snapshot (for FACS, the FLC1 prediction), so
+  /// it can run before the serialized decision instant. The simulator calls
+  /// this from its PARALLEL prepare phase — possibly from many threads at
+  /// once — so overrides must be thread-safe and must not touch mutable
+  /// controller state. The result is handed back verbatim through
+  /// AdmissionContext::predicted when the same request reaches decide();
+  /// the default (invalid) result makes decide() infer inline, with
+  /// bit-identical outcomes either way.
+  [[nodiscard]] virtual PredictedCv precompute(
+      const UserSnapshot& /*user*/) const {
+    return {};
+  }
 
   virtual void onAdmitted(const CallRequest& /*request*/,
                           const AdmissionContext& /*context*/) {}

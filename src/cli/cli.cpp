@@ -150,6 +150,8 @@ CliOptions parseCli(const std::vector<std::string>& args) {
                        std::to_string(shards));
       }
       opt.config.shards = shards;
+    } else if (a == "--no-precompute") {
+      opt.config.precompute_cv = false;
     } else if (a == "--guard-bu") {
       guard_bu = parseInt(next(a), a);
     } else if (a == "--facs-threshold") {
@@ -223,6 +225,9 @@ run:
   --seed N              RNG seed (default 1)
   --shards N            worker shards for one run (default from scenario;
                         results are bit-identical at any shard count)
+  --no-precompute       keep snapshot-only policy work (FACS FLC1) on the
+                        serialized commit path (results are bit-identical;
+                        only the phase profile moves)
   --sweep X1,X2,...     sweep total_requests and print a table
   --reps N              replications per sweep point (default 5)
   --threads N           sweep worker threads (default: hardware); sweeps

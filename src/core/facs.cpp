@@ -1,7 +1,6 @@
 #include "core/facs.hpp"
 
 #include <array>
-#include <sstream>
 
 #include "cellular/policy_registry.hpp"
 
@@ -20,7 +19,9 @@ std::string_view toString(SoftDecision d) noexcept {
     case SoftDecision::Accept:
       return "accept";
   }
-  return "not-reject-not-accept";
+  // Out-of-range values (a corrupted decision) must not read like a
+  // legitimate soft level in logs.
+  return "invalid";
 }
 
 FacsController::FacsController(FacsConfig config)
@@ -39,11 +40,16 @@ SoftDecision FacsController::classify(double ar) const {
   return static_cast<SoftDecision>(flc2_.output().winningTerm(ar));
 }
 
-FacsEvaluation FacsController::evaluate(const cellular::UserSnapshot& user,
-                                        double demand_bu, double occupied_bu,
-                                        bool is_handoff, int priority) const {
+cellular::PredictedCv FacsController::precompute(
+    const cellular::UserSnapshot& user) const {
+  return {predictCv(user), true};
+}
+
+FacsEvaluation FacsController::evaluate(double predicted_cv, double demand_bu,
+                                        double occupied_bu, bool is_handoff,
+                                        int priority) const {
   FacsEvaluation eval;
-  eval.cv = predictCv(user);
+  eval.cv = predicted_cv;
   const std::array<double, 3> inputs{eval.cv, demand_bu, occupied_bu};
   eval.ar = flc2_.infer(inputs);
   eval.soft = classify(eval.ar);
@@ -59,13 +65,39 @@ FacsEvaluation FacsController::evaluate(const cellular::UserSnapshot& user,
   return eval;
 }
 
+FacsEvaluation FacsController::evaluate(const cellular::UserSnapshot& user,
+                                        double demand_bu, double occupied_bu,
+                                        bool is_handoff, int priority) const {
+  return evaluate(predictCv(user), demand_bu, occupied_bu, is_handoff,
+                  priority);
+}
+
+void FacsController::evaluateBatch(std::span<PendingDecision> batch) const {
+  // In order, one entry at a time: each entry carries the ledger state of
+  // its own decision instant, so there is nothing to reorder — the batch
+  // amortizes the per-inference setup (validation is sealed away, the FLC2
+  // scratch stays warm across entries) rather than changing any result.
+  for (PendingDecision& pending : batch) {
+    pending.eval = evaluate(pending.cv, pending.demand_bu, pending.occupied_bu,
+                            pending.is_handoff, pending.priority);
+  }
+}
+
 cellular::AdmissionDecision FacsController::decide(
     const cellular::CallRequest& request,
     const cellular::AdmissionContext& context) {
-  const FacsEvaluation eval = evaluate(
-      request.snapshot, static_cast<double>(request.demand_bu),
-      static_cast<double>(context.station.occupiedBu()), request.is_handoff,
-      request.priority);
+  // FLC1 ran at request time iff the caller precomputed it (the sharded
+  // simulator's parallel prepare phase); otherwise run it inline. Same
+  // function of the same snapshot, so the decision is identical either way.
+  PendingDecision pending;
+  pending.cv = context.predicted.valid ? context.predicted.cv
+                                       : predictCv(request.snapshot);
+  pending.demand_bu = static_cast<double>(request.demand_bu);
+  pending.occupied_bu = static_cast<double>(context.station.occupiedBu());
+  pending.is_handoff = request.is_handoff;
+  pending.priority = request.priority;
+  evaluateBatch({&pending, 1});
+  const FacsEvaluation& eval = pending.eval;
 
   // The fuzzy stages never see the hard ledger; enforce the capacity
   // invariant here so an "accept" is always allocatable.
@@ -78,11 +110,10 @@ cellular::AdmissionDecision FacsController::decide(
                                     : cellular::ReasonCode::FuzzyReject;
   decision.score = eval.ar;
   if (context.explain) {
-    std::ostringstream os;
-    os << "cv=" << eval.cv << " ar=" << eval.ar
-       << " soft=" << toString(eval.soft);
-    if (eval.accept && !fits) os << " (no free BU)";
-    decision.rationale = os.str();
+    const std::string_view soft = toString(eval.soft);
+    decision.rationale.appendf("cv=%g ar=%g soft=%.*s", eval.cv, eval.ar,
+                               static_cast<int>(soft.size()), soft.data());
+    if (eval.accept && !fits) decision.rationale.appendf(" (no free BU)");
   }
   return decision;
 }

@@ -17,21 +17,27 @@ MamdaniEngine::MamdaniEngine(std::string name, EngineConfig config)
 }
 
 std::size_t MamdaniEngine::addInput(LinguisticVariable variable) {
+  sealed_ = false;
   inputs_.push_back(std::move(variable));
   return inputs_.size() - 1;
 }
 
 void MamdaniEngine::setOutput(LinguisticVariable variable) {
+  sealed_ = false;
   output_.clear();
   output_.push_back(std::move(variable));
 }
 
 void MamdaniEngine::addRule(const std::vector<std::string>& antecedent_terms,
                             const std::string& consequent_term, double weight) {
+  sealed_ = false;
   rules_.add(inputs_, output(), antecedent_terms, consequent_term, weight);
 }
 
-void MamdaniEngine::addRule(Rule rule) { rules_.add(std::move(rule)); }
+void MamdaniEngine::addRule(Rule rule) {
+  sealed_ = false;
+  rules_.add(std::move(rule));
+}
 
 const LinguisticVariable& MamdaniEngine::output() const {
   if (output_.empty()) {
@@ -80,12 +86,22 @@ void MamdaniEngine::setConfig(const EngineConfig& config) {
   if (config.resolution < 2) {
     throw std::invalid_argument("engine resolution must be >= 2");
   }
+  sealed_ = false;
   config_ = config;
 }
 
-std::vector<double> MamdaniEngine::fire(
-    const std::vector<FuzzyVector>& fuzzified) const {
-  std::vector<double> strengths;
+void MamdaniEngine::seal() {
+  checkValid();
+  sealed_ = true;
+}
+
+void MamdaniEngine::ensureValid() const {
+  if (!sealed_) checkValid();
+}
+
+void MamdaniEngine::fireInto(const std::vector<FuzzyVector>& fuzzified,
+                             std::vector<double>& strengths) const {
+  strengths.clear();
   strengths.reserve(rules_.size());
   for (const Rule& r : rules_.rules()) {
     double strength = 1.0;
@@ -97,45 +113,17 @@ std::vector<double> MamdaniEngine::fire(
     }
     strengths.push_back(strength * r.weight);
   }
-  return strengths;
 }
 
-double MamdaniEngine::infer(std::span<const double> crisp_inputs) const {
-  return inferTraced(crisp_inputs).crisp_output;
-}
-
-InferenceTrace MamdaniEngine::inferTraced(
-    std::span<const double> crisp_inputs) const {
-  checkValid();
-  if (crisp_inputs.size() != inputs_.size()) {
-    std::ostringstream os;
-    os << "engine '" << name_ << "' expects " << inputs_.size()
-       << " inputs, got " << crisp_inputs.size();
-    throw std::invalid_argument(os.str());
-  }
-
-  InferenceTrace trace;
-  trace.inputs.reserve(inputs_.size());
-  trace.fuzzified.reserve(inputs_.size());
-  for (std::size_t v = 0; v < inputs_.size(); ++v) {
-    const double clamped = inputs_[v].universe().clamp(crisp_inputs[v]);
-    trace.inputs.push_back(clamped);
-    trace.fuzzified.push_back(inputs_[v].fuzzify(clamped));
-  }
-
-  const std::vector<double> strengths = fire(trace.fuzzified);
-  for (std::size_t i = 0; i < strengths.size(); ++i) {
-    if (strengths[i] > 0.0) {
-      trace.activations.push_back({i, strengths[i]});
-    }
-  }
-
+double MamdaniEngine::aggregateAndDefuzzify(
+    const std::vector<double>& strengths,
+    std::vector<double>& term_activation) const {
   // Per-output-term activation level: the s-norm of the strengths of all
   // rules concluding in that term. Computing per-term activation first (and
   // evaluating each term's membership once per sample point) keeps the
   // aggregated-curve evaluation O(#terms) instead of O(#rules).
   const LinguisticVariable& out = output();
-  std::vector<double> term_activation(out.termCount(), 0.0);
+  term_activation.assign(out.termCount(), 0.0);
   for (std::size_t i = 0; i < strengths.size(); ++i) {
     if (strengths[i] <= 0.0) continue;
     const std::size_t t = rules_.rule(i).consequent;
@@ -154,9 +142,73 @@ InferenceTrace MamdaniEngine::inferTraced(
     return mu;
   };
 
-  trace.crisp_output = defuzzify(config_.defuzzifier, curve, out.universe(),
-                                 config_.resolution);
-  trace.winning_output_term = out.winningTerm(trace.crisp_output);
+  return defuzzify(config_.defuzzifier, curve, out.universe(),
+                   config_.resolution);
+}
+
+double MamdaniEngine::infer(std::span<const double> crisp_inputs) const {
+  // Shared across engines on the same thread; every inference resizes the
+  // buffers to its own shape, so the steady state allocates nothing.
+  static thread_local InferenceScratch scratch;
+  return inferInto(crisp_inputs, scratch);
+}
+
+double MamdaniEngine::infer(std::span<const double> crisp_inputs,
+                            InferenceScratch& scratch) const {
+  return inferInto(crisp_inputs, scratch);
+}
+
+double MamdaniEngine::inferInto(std::span<const double> crisp_inputs,
+                                InferenceScratch& scratch) const {
+  ensureValid();
+  if (crisp_inputs.size() != inputs_.size()) {
+    std::ostringstream os;
+    os << "engine '" << name_ << "' expects " << inputs_.size()
+       << " inputs, got " << crisp_inputs.size();
+    throw std::invalid_argument(os.str());
+  }
+
+  scratch.fuzzified.resize(inputs_.size());
+  for (std::size_t v = 0; v < inputs_.size(); ++v) {
+    inputs_[v].fuzzifyInto(crisp_inputs[v], scratch.fuzzified[v]);
+  }
+  fireInto(scratch.fuzzified, scratch.strengths);
+  return aggregateAndDefuzzify(scratch.strengths, scratch.term_activation);
+}
+
+InferenceTrace MamdaniEngine::inferTraced(
+    std::span<const double> crisp_inputs) const {
+  ensureValid();
+  if (crisp_inputs.size() != inputs_.size()) {
+    std::ostringstream os;
+    os << "engine '" << name_ << "' expects " << inputs_.size()
+       << " inputs, got " << crisp_inputs.size();
+    throw std::invalid_argument(os.str());
+  }
+
+  InferenceTrace trace;
+  trace.inputs.reserve(inputs_.size());
+  trace.fuzzified.reserve(inputs_.size());
+  for (std::size_t v = 0; v < inputs_.size(); ++v) {
+    const double clamped = inputs_[v].universe().clamp(crisp_inputs[v]);
+    trace.inputs.push_back(clamped);
+    trace.fuzzified.push_back(inputs_[v].fuzzify(clamped));
+  }
+
+  // Exactly the scratch path's arithmetic — fireInto() and
+  // aggregateAndDefuzzify() are the single implementation both share — plus
+  // the activation bookkeeping only the trace wants.
+  std::vector<double> strengths;
+  fireInto(trace.fuzzified, strengths);
+  for (std::size_t i = 0; i < strengths.size(); ++i) {
+    if (strengths[i] > 0.0) {
+      trace.activations.push_back({i, strengths[i]});
+    }
+  }
+
+  std::vector<double> term_activation;
+  trace.crisp_output = aggregateAndDefuzzify(strengths, term_activation);
+  trace.winning_output_term = output().winningTerm(trace.crisp_output);
   return trace;
 }
 

@@ -23,6 +23,17 @@ struct EngineConfig {
   int resolution = 1001;                 ///< Output-universe samples for defuzzification.
 };
 
+/// Reusable working buffers for the allocation-free inference path. One
+/// scratch serves any number of engines (each inference resizes the buffers
+/// to its own shape); reusing it across calls keeps the steady state free
+/// of heap traffic, which is what lets a serialized commit phase batch many
+/// inferences cheaply.
+struct InferenceScratch {
+  std::vector<FuzzyVector> fuzzified;
+  std::vector<double> strengths;
+  std::vector<double> term_activation;
+};
+
 /// Per-rule diagnostic from a traced inference.
 struct RuleActivation {
   std::size_t rule_index = 0;
@@ -42,9 +53,11 @@ struct InferenceTrace {
 /// A complete single-output Mamdani controller.
 ///
 /// Construction order: add input variables, set the output variable, add
-/// rules, then call `checkValid()` once (done automatically on first
-/// inference). The engine is immutable during inference and therefore safe
-/// to share across threads for concurrent `infer()` calls.
+/// rules, then call `seal()` once — it validates the structure and lets
+/// every subsequent inference skip the re-check (unsealed engines validate
+/// on each inference instead). The engine is immutable during inference and
+/// therefore safe to share across threads for concurrent `infer()` calls;
+/// seal before sharing.
 class MamdaniEngine {
  public:
   explicit MamdaniEngine(std::string name, EngineConfig config = {});
@@ -81,9 +94,24 @@ class MamdaniEngine {
   /// \throws std::logic_error describing the first defect found.
   void checkValid() const;
 
+  /// Validates once and caches the result: sealed engines skip the
+  /// per-inference checkValid() (an O(rules^2 + term-product) scan that
+  /// otherwise dominates small rule bases). Any mutation (addInput,
+  /// setOutput, addRule, setConfig) unseals. Seal before sharing the engine
+  /// across threads; the flag is written here only.
+  /// \throws std::logic_error when the engine is structurally invalid.
+  void seal();
+  [[nodiscard]] bool sealed() const noexcept { return sealed_; }
+
   /// Runs one inference; \p crisp_inputs are clamped to each variable's
   /// universe. \throws std::invalid_argument on arity mismatch.
   [[nodiscard]] double infer(std::span<const double> crisp_inputs) const;
+
+  /// As infer(), reusing \p scratch for every intermediate buffer — the
+  /// batch-friendly hot path: no allocation once the scratch has warmed up,
+  /// and bit-identical to infer() (same arithmetic in the same order).
+  [[nodiscard]] double infer(std::span<const double> crisp_inputs,
+                             InferenceScratch& scratch) const;
 
   /// As infer(), returning full diagnostics.
   [[nodiscard]] InferenceTrace inferTraced(
@@ -93,15 +121,33 @@ class MamdaniEngine {
   void setConfig(const EngineConfig& config);
 
  private:
-  /// Firing strength of each rule for the fuzzified inputs.
-  [[nodiscard]] std::vector<double> fire(
-      const std::vector<FuzzyVector>& fuzzified) const;
+  /// Firing strength of each rule for the fuzzified inputs, into
+  /// \p strengths (cleared first). The single implementation both the
+  /// traced and the scratch path run — one arithmetic, no drift.
+  void fireInto(const std::vector<FuzzyVector>& fuzzified,
+                std::vector<double>& strengths) const;
+
+  /// Per-term aggregation of \p strengths into \p term_activation (resized
+  /// and zeroed here) followed by defuzzification of the aggregated curve —
+  /// the shared back half of every inference.
+  [[nodiscard]] double aggregateAndDefuzzify(
+      const std::vector<double>& strengths,
+      std::vector<double>& term_activation) const;
+
+  /// checkValid() unless a prior seal() vouches for the current structure.
+  void ensureValid() const;
+
+  /// Arity check + defuzzified output via the scratch buffers (shared core
+  /// of both infer() overloads).
+  [[nodiscard]] double inferInto(std::span<const double> crisp_inputs,
+                                 InferenceScratch& scratch) const;
 
   std::string name_;
   EngineConfig config_;
   std::vector<LinguisticVariable> inputs_;
   std::vector<LinguisticVariable> output_;  ///< 0 or 1 elements.
   RuleBase rules_;
+  bool sealed_ = false;
 };
 
 }  // namespace facs::fuzzy

@@ -50,11 +50,16 @@ std::optional<std::size_t> LinguisticVariable::termIndex(
 }
 
 FuzzyVector LinguisticVariable::fuzzify(double x) const {
-  const double clamped = universe_.clamp(x);
   FuzzyVector out;
+  fuzzifyInto(x, out);
+  return out;
+}
+
+void LinguisticVariable::fuzzifyInto(double x, FuzzyVector& out) const {
+  const double clamped = universe_.clamp(x);
+  out.clear();
   out.reserve(terms_.size());
   for (const Term& t : terms_) out.push_back(t.degree(clamped));
-  return out;
 }
 
 std::size_t LinguisticVariable::winningTerm(double x) const {

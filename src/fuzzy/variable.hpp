@@ -67,6 +67,11 @@ class LinguisticVariable {
   /// Degrees of membership of \p x (clamped to the universe) in every term.
   [[nodiscard]] FuzzyVector fuzzify(double x) const;
 
+  /// As fuzzify(), writing into \p out (cleared first). Reusing one vector
+  /// across calls keeps repeated fuzzification allocation-free — the
+  /// engine's scratch inference path depends on this.
+  void fuzzifyInto(double x, FuzzyVector& out) const;
+
   /// Index of the term with the highest membership at \p x (ties resolved to
   /// the earliest-declared term).
   /// \throws std::logic_error if the variable has no terms.

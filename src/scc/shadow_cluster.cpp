@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <sstream>
 #include <stdexcept>
 
 #include "cellular/policy_registry.hpp"
@@ -49,6 +48,9 @@ void validateConfig(const SccConfig& config) {
   }
   if (!(config.mean_holding_s > 0.0)) {
     throw std::invalid_argument("SCC mean holding time must be positive");
+  }
+  if (config.rebuild_every < 0) {
+    throw std::invalid_argument("SCC rebuild period must be >= 0 (0 = off)");
   }
 }
 
@@ -104,6 +106,37 @@ void ShadowClusterController::applyShadow(const Shadow& shadow, double sign) {
                   static_cast<std::size_t>(config_.intervals) +
               static_cast<std::size_t>(k)] +=
           sign * contribution(shadow, cell.id, k);
+    }
+  }
+  ++updates_since_rebuild_;
+}
+
+void ShadowClusterController::maybeRebuild() {
+  if (config_.rebuild_every <= 0) return;
+  if (updates_since_rebuild_ <
+      static_cast<std::uint64_t>(config_.rebuild_every)) {
+    return;
+  }
+  updates_since_rebuild_ = 0;
+
+  // Canonical call order keeps the rebuilt sums independent of the hash
+  // map's bucket history, so a rebuilt controller is reproducible from its
+  // live shadow set alone.
+  std::vector<cellular::CallId> ids;
+  ids.reserve(shadows_.size());
+  for (const auto& [id, shadow] : shadows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  std::fill(demand_.begin(), demand_.end(), 0.0);
+  for (const cellular::CallId id : ids) {
+    const Shadow& shadow = shadows_.find(id)->second;
+    for (const cellular::Cell& cell : network_.cells()) {
+      for (int k = 0; k < config_.intervals; ++k) {
+        demand_[static_cast<std::size_t>(cell.id) *
+                    static_cast<std::size_t>(config_.intervals) +
+                static_cast<std::size_t>(k)] +=
+            contribution(shadow, cell.id, k);
+      }
     }
   }
 }
@@ -178,11 +211,9 @@ AdmissionDecision ShadowClusterController::decide(
       config_.threshold * static_cast<double>(context.station.capacityBu());
   decision.score = std::clamp(worst_headroom / budget, -1.0, 1.0);
   if (context.explain) {
-    std::ostringstream os;
-    os << "worst-headroom=" << worst_headroom << " BU over "
-       << config_.intervals << " intervals";
-    if (!fits) os << " (no free BU)";
-    decision.rationale = os.str();
+    decision.rationale.appendf("worst-headroom=%g BU over %d intervals",
+                               worst_headroom, config_.intervals);
+    if (!fits) decision.rationale.appendf(" (no free BU)");
   }
   return decision;
 }
@@ -203,6 +234,7 @@ void ShadowClusterController::onAdmitted(const CallRequest& request,
     it->second = shadow;
   }
   applyShadow(shadow, +1.0);
+  maybeRebuild();
 }
 
 void ShadowClusterController::onReleased(const CallRequest& request,
@@ -211,6 +243,7 @@ void ShadowClusterController::onReleased(const CallRequest& request,
   if (it == shadows_.end()) return;
   applyShadow(it->second, -1.0);
   shadows_.erase(it);
+  maybeRebuild();
 }
 
 // ------------------------------------------------------------------------
@@ -224,10 +257,11 @@ const PolicyRegistrar register_scc{
      "Shadow Cluster Concept (Levine et al. 1997): probabilistic demand "
      "projection over neighbouring cells.",
      "scc[:THETA][,theta=T,sigma=S,growth=G,intervals=N,interval-s=S,"
-     "radius=R,holding=S,coverage=0|1]"},
+     "radius=R,holding=S,coverage=0|1,rebuild=N]"},
     [](const PolicySpec& spec) -> cellular::ControllerFactory {
       spec.expectOnly(1, {"theta", "sigma", "growth", "intervals",
-                          "interval-s", "radius", "holding", "coverage"});
+                          "interval-s", "radius", "holding", "coverage",
+                          "rebuild"});
       SccConfig cfg;
       cfg.threshold = spec.numberFor("theta", spec.numberAt(0, cfg.threshold));
       cfg.sigma_base_km = spec.numberFor("sigma", cfg.sigma_base_km);
@@ -238,6 +272,7 @@ const PolicyRegistrar register_scc{
       cfg.mean_holding_s = spec.numberFor("holding", cfg.mean_holding_s);
       cfg.require_coverage =
           spec.intFor("coverage", cfg.require_coverage ? 1 : 0) != 0;
+      cfg.rebuild_every = spec.intFor("rebuild", cfg.rebuild_every);
       try {
         validateConfig(cfg);  // fail at parse time, not mid-run
       } catch (const std::invalid_argument& e) {

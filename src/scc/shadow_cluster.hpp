@@ -16,6 +16,7 @@
 /// projected demand stays within the survivability threshold everywhere in
 /// the cluster for the whole horizon.
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -46,6 +47,15 @@ struct SccConfig {
   double sigma_growth_km = 2.0;
   /// Mean call holding time used for the activity decay exp(-t / holding).
   double mean_holding_s = 180.0;
+  /// Periodic exact rebuild of the incremental demand cache: after this
+  /// many shadow updates (each admit, release, or handoff-refresh leg is
+  /// one), every per-(cell, interval) accumulator is recomputed from the
+  /// live shadows in canonical call order. Subtract-on-release leaves
+  /// ~1e-12 BU of floating residue per churn cycle; the rebuild zeroes it,
+  /// bounding the drift forever on long-lived runs. 0 disables. The
+  /// amortized cost is O(tracked * cells * intervals / rebuild_every) per
+  /// update — negligible at the default.
+  int rebuild_every = 1'000'000;
   /// Deny calls whose predicted trajectory leaves network coverage within
   /// the horizon: their shadow cluster cannot be established, so their QoS
   /// cannot be guaranteed (the admission criterion of the original
@@ -120,6 +130,12 @@ class ShadowClusterController final : public cellular::AdmissionController {
   /// every station's demand accumulator — the incremental cache update.
   void applyShadow(const Shadow& shadow, double sign);
 
+  /// Runs the periodic exact rebuild when rebuild_every updates have
+  /// accumulated. Called only from the public mutators, when shadows_ and
+  /// demand_ agree (never mid-refresh, where a rebuild would double-count
+  /// the shadow being replaced).
+  void maybeRebuild();
+
   [[nodiscard]] double demandAt(cellular::CellId cell, int k) const noexcept {
     return demand_[static_cast<std::size_t>(cell) *
                        static_cast<std::size_t>(config_.intervals) +
@@ -136,6 +152,8 @@ class ShadowClusterController final : public cellular::AdmissionController {
   /// Precomputed cluster membership (cells within cluster_radius), so the
   /// decide() hot path never allocates.
   std::vector<std::vector<cellular::CellId>> clusters_;
+  /// Shadow updates since the last exact rebuild of demand_.
+  std::uint64_t updates_since_rebuild_ = 0;
 };
 
 /// Reconstructs a mobile's motion state from an admission snapshot taken

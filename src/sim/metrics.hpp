@@ -40,6 +40,22 @@ struct Metrics {
   /// Identical for a given (config, seed) at every shard count.
   std::uint64_t engine_events = 0;
 
+  // Wall-clock profile of the engine's execution phases. NOT part of the
+  // determinism contract (timings vary run to run even at a fixed seed) —
+  // bit-identity comparisons must skip these. The commit phase is the
+  // serialized section, so commitShare() is the measured serial fraction
+  // that caps sharded speedup (Amdahl).
+  double prepare_phase_s = 0.0;  ///< Parallel: arrival draws, GPS tracking.
+  double local_phase_s = 0.0;    ///< Parallel: per-shard queue draining.
+  double commit_phase_s = 0.0;   ///< Serial: ledger/controller mutations.
+
+  /// Fraction of engine wall time spent in the serialized commit phase.
+  [[nodiscard]] double commitShare() const noexcept {
+    const double total = prepare_phase_s + local_phase_s + commit_phase_s;
+    if (total <= 0.0) return 0.0;
+    return commit_phase_s / total;
+  }
+
   /// The paper's y-axis: accepted / requesting new connections, in percent.
   /// 100 when no request was made (an empty x=0 point plots at the top).
   [[nodiscard]] double percentAccepted() const noexcept {

@@ -215,6 +215,11 @@ SimulationBuilder& SimulationBuilder::shards(int n) {
   return *this;
 }
 
+SimulationBuilder& SimulationBuilder::precomputeCv(bool on) {
+  config_.precompute_cv = on;
+  return *this;
+}
+
 SimulationBuilder& SimulationBuilder::speedKmh(double lo, double hi) {
   config_.scenario.speed_min_kmh = lo;
   config_.scenario.speed_max_kmh = hi;

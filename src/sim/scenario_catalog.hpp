@@ -99,6 +99,9 @@ class SimulationBuilder {
   /// Worker shards for the run (1 = serial; results are bit-identical for
   /// any value — shards only change how much local work runs concurrently).
   SimulationBuilder& shards(int n);
+  /// Hoist snapshot-only policy work (FACS: FLC1) off the serialized commit
+  /// path (default on; results are bit-identical either way).
+  SimulationBuilder& precomputeCv(bool on = true);
   ///@}
 
   /// \name User population

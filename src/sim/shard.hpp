@@ -11,7 +11,10 @@
 /// happens in the single-threaded commit phase, which processes the merged
 /// mailboxes in a canonical (time, kind, call) order. The partition of
 /// cells over shards therefore cannot change any simulation outcome — only
-/// how much local work runs concurrently.
+/// how much local work runs concurrently. The one policy call workers make
+/// is AdmissionController::precompute(), which is const and state-free by
+/// contract (it computes a pure function of a call-owned snapshot), so it
+/// is concurrency-safe and outcome-neutral by construction.
 
 #include <condition_variable>
 #include <cstdint>

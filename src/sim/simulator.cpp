@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <queue>
@@ -50,6 +51,13 @@ struct CallState {
   /// Ownership generation: bumped when the call changes shard (handoff) so
   /// event copies left in the old owner's queue are recognisably stale.
   std::uint32_t epoch = 0;
+  /// Snapshot-only policy work precomputed off the serialized commit path:
+  /// set by the parallel prepare phase for the initial decision, re-run by
+  /// the local phase whenever a mobility step produces the new snapshot a
+  /// handoff decision will use (so it is always current when its decision
+  /// commits). Invalid when precompute is disabled or unsupported — the
+  /// policy then infers inline, with bit-identical results.
+  cellular::PredictedCv predicted{};
 
   explicit CallState(const mobility::SpeedDependentTurnParams& turn)
       : model{turn} {}
@@ -72,7 +80,19 @@ class Engine {
   }
 
   Metrics execute() {
+    // Phase wall clocks: commit_phase_s / total is the measured serial
+    // fraction (what caps sharded speedup). Timing is observational only —
+    // never an input to any simulation outcome.
+    const auto stamp = [] { return std::chrono::steady_clock::now(); };
+    const auto since = [](std::chrono::steady_clock::time_point t0,
+                          std::chrono::steady_clock::time_point t1) {
+      return std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    auto t0 = stamp();
     prepareArrivals();
+    auto t1 = stamp();
+    metrics_.prepare_phase_s = since(t0, t1);
 
     // Tick windows: with handoffs the barrier period is the mobility update
     // (the minimum latency at which one cell's state can matter to
@@ -88,8 +108,13 @@ class Engine {
         const double k = std::floor(*next / window_s);
         window_end = (k + 1.0) * window_s;
       }
+      t0 = stamp();
       runLocalPhase(window_end);
+      t1 = stamp();
       commitPhase(window_end);
+      const auto t2 = stamp();
+      metrics_.local_phase_s += since(t0, t1);
+      metrics_.commit_phase_s += since(t1, t2);
     }
 
     metrics_.observed_span_s = std::max(0.0, last_change_s_ - cfg_.warmup_s);
@@ -229,6 +254,21 @@ class Engine {
     req.target_cell = target;
     req.is_handoff = false;
     c.request = req;
+
+    // Snapshot-only policy work (FACS: the whole FLC1 inference) runs here,
+    // in parallel, instead of inside the serialized commit phase. The
+    // snapshot cannot change between now and the decision instant (pending
+    // calls do not move), so the value stays coherent until consumed.
+    c.predicted = precompute(req.snapshot);
+  }
+
+  /// Gated precompute: invalid (→ inline inference in decide()) when the
+  /// config disables hoisting. Called from shard workers — the controller
+  /// contract requires precompute() to be thread-safe and state-free.
+  [[nodiscard]] cellular::PredictedCv precompute(
+      const cellular::UserSnapshot& snapshot) const {
+    if (!cfg_.precompute_cv) return {};
+    return controller_->precompute(snapshot);
   }
 
   // ------------------------------------------------------------ local phase
@@ -265,7 +305,16 @@ class Engine {
               q.push(entry->time_s + cfg_.mobility_update_s, ev);
             } else {
               // Crossed a border or left coverage: cross-cell, so the
-              // barrier decides (handoff admission / departure).
+              // barrier decides (handoff admission / departure). The step
+              // changed the snapshot the handoff decision will see, so the
+              // prepared CV is stale — re-run the prediction here, in
+              // parallel, against the same snapshot commitCrossing() will
+              // reconstruct (a pure function of the unchanged motion state
+              // and cell centre, so the bits match).
+              if (now_cell) {
+                c.predicted = precompute(mobility::snapshotFromTruth(
+                    c.state, network_.cell(*now_cell).center));
+              }
               outbox.push_back(CommitEntry{entry->time_s, ev});
             }
             break;
@@ -342,7 +391,9 @@ class Engine {
     if (c.phase != CallPhase::Pending) return;
     const CallRequest& req = c.request;
     cellular::BaseStation& station = network_.station(req.target_cell);
-    const AdmissionContext ctx{station, now};
+    // The prepare phase already ran the snapshot-only stage; decide() now
+    // executes only the ledger-dependent stage (FACS: FLC2).
+    const AdmissionContext ctx{station, now, /*explain=*/false, c.predicted};
 
     const bool count = counted(now);
     if (count) {
@@ -410,7 +461,10 @@ class Engine {
 
     const bool count = counted(now);
     if (count) ++metrics_.handoff_requests;
-    const AdmissionContext ctx{new_station, now};
+    // c.predicted was refreshed by the local phase when this crossing was
+    // detected, from the identical snapshot req now carries.
+    const AdmissionContext ctx{new_station, now, /*explain=*/false,
+                               c.predicted};
     const cellular::AdmissionDecision decision = controller_->decide(req, ctx);
     const bool admit = decision.accept && new_station.canFit(req.demand_bu);
 

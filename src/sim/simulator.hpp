@@ -74,6 +74,13 @@ struct SimulationConfig {
   /// above the cell count still help: request preparation (GPS tracking)
   /// is sharded by call, not by cell. Must be in [1, kMaxShards].
   int shards = 1;
+
+  /// Hoist snapshot-only policy work (FACS: the FLC1 prediction) into the
+  /// parallel prepare/local phases via AdmissionController::precompute(),
+  /// so the serialized commit phase runs only the ledger-dependent stage.
+  /// Metrics are bit-identical on or off — the toggle exists for the
+  /// equivalence tests and for measuring the serial-fraction win.
+  bool precompute_cv = true;
 };
 
 /// Upper bound on SimulationConfig::shards (sanity cap, not a tuning hint:

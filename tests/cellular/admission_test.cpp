@@ -1,0 +1,106 @@
+/// \file admission_test.cpp
+/// The policy-interface vocabulary types: ReasonText's inline formatting
+/// and truncation reporting, the ReasonCode string mapping (including the
+/// out-of-range sentinel), and the PredictedCv carrier.
+
+#include "cellular/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace facs::cellular {
+namespace {
+
+TEST(ReasonCodeNames, ToStringCoversEveryCode) {
+  EXPECT_EQ(toString(ReasonCode::Admitted), "admitted");
+  EXPECT_EQ(toString(ReasonCode::NoCapacity), "no-capacity");
+  EXPECT_EQ(toString(ReasonCode::GuardReserved), "guard-reserved");
+  EXPECT_EQ(toString(ReasonCode::OverClassThreshold), "over-class-threshold");
+  EXPECT_EQ(toString(ReasonCode::FuzzyReject), "fuzzy-reject");
+  EXPECT_EQ(toString(ReasonCode::ProjectedOverload), "projected-overload");
+  EXPECT_EQ(toString(ReasonCode::LeavesCoverage), "leaves-coverage");
+  EXPECT_EQ(toString(ReasonCode::SinrTooLow), "sinr-too-low");
+  EXPECT_EQ(toString(ReasonCode::ReservedForHandoff), "reserved-for-handoff");
+}
+
+TEST(ReasonCodeNames, OutOfRangeValueIsNotAValidLookingDefault) {
+  // A corrupted decision (bad memcpy, uninitialized byte) must not read as
+  // "admitted" in logs — that would mask the corruption.
+  EXPECT_EQ(toString(static_cast<ReasonCode>(200)), "invalid");
+  EXPECT_EQ(toString(static_cast<ReasonCode>(9)), "invalid");
+}
+
+TEST(ReasonText, AppendfFormatsIntoTheInlineBuffer) {
+  ReasonText text;
+  EXPECT_TRUE(text.appendf("cv=%g ar=%g", 0.5, -0.25));
+  EXPECT_EQ(text.view(), "cv=0.5 ar=-0.25");
+  EXPECT_FALSE(text.truncated());
+  // Appends continue where the previous call stopped.
+  EXPECT_TRUE(text.appendf(" (%s)", "no free BU"));
+  EXPECT_EQ(text.view(), "cv=0.5 ar=-0.25 (no free BU)");
+  EXPECT_STREQ(text.c_str(), "cv=0.5 ar=-0.25 (no free BU)");
+}
+
+TEST(ReasonText, AppendfReportsTruncationAndKeepsWhatFit) {
+  ReasonText text;
+  const std::string long_tail(2 * ReasonText::kCapacity, 'y');
+  EXPECT_TRUE(text.appendf("head "));
+  EXPECT_FALSE(text.appendf("%s", long_tail.c_str()));
+  EXPECT_TRUE(text.truncated());
+  EXPECT_EQ(text.size(), ReasonText::kCapacity);  // cut, not dropped
+  EXPECT_EQ(text.view().substr(0, 5), "head ");
+  EXPECT_EQ(text.c_str()[ReasonText::kCapacity], '\0');
+}
+
+TEST(ReasonText, AssignFlagsOverlongText) {
+  const std::string overlong(ReasonText::kCapacity + 1, 'x');
+  const ReasonText text{overlong};
+  EXPECT_EQ(text.size(), ReasonText::kCapacity);
+  EXPECT_TRUE(text.truncated());
+
+  const ReasonText exact{std::string(ReasonText::kCapacity, 'x')};
+  EXPECT_EQ(exact.size(), ReasonText::kCapacity);
+  EXPECT_FALSE(exact.truncated());  // fits exactly: nothing was lost
+}
+
+TEST(ReasonText, ClearResetsTextAndTruncationFlag) {
+  ReasonText text{std::string(300, 'z')};
+  ASSERT_TRUE(text.truncated());
+  text.clear();
+  EXPECT_TRUE(text.empty());
+  EXPECT_FALSE(text.truncated());
+  EXPECT_TRUE(text.appendf("fresh"));
+  EXPECT_EQ(text.view(), "fresh");
+}
+
+TEST(ReasonText, AppendfIntoAFullBufferStaysTruncatedAndTerminated) {
+  ReasonText text{std::string(ReasonText::kCapacity, 'x')};
+  EXPECT_FALSE(text.appendf("more"));
+  EXPECT_TRUE(text.truncated());
+  EXPECT_EQ(text.size(), ReasonText::kCapacity);
+  EXPECT_EQ(text.c_str()[ReasonText::kCapacity], '\0');
+}
+
+TEST(PredictedCvCarrier, DefaultIsInvalid) {
+  // The default must read as "nothing precomputed" so forgetting to fill
+  // AdmissionContext::predicted degrades to inline inference, never to
+  // consuming a zero CV as if it were a real prediction.
+  const PredictedCv none;
+  EXPECT_FALSE(none.valid);
+  const BaseStation bs{0, 40};
+  const AdmissionContext ctx{bs, 0.0};
+  EXPECT_FALSE(ctx.predicted.valid);
+}
+
+TEST(AdmissionDecisionShape, StaysTriviallyCopyableWithTruncationFlag) {
+  static_assert(std::is_trivially_copyable_v<AdmissionDecision>);
+  AdmissionDecision d;
+  d.rationale.appendf("x=%d", 7);
+  const AdmissionDecision copy = d;  // plain memcpy
+  EXPECT_EQ(copy.rationale.view(), "x=7");
+  EXPECT_FALSE(copy.rationale.truncated());
+}
+
+}  // namespace
+}  // namespace facs::cellular

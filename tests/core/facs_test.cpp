@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace facs::core {
 namespace {
 
@@ -49,6 +51,12 @@ TEST(SoftDecisionNames, ToString) {
             "not-reject-not-accept");
   EXPECT_EQ(toString(SoftDecision::WeakAccept), "weak-accept");
   EXPECT_EQ(toString(SoftDecision::Accept), "accept");
+}
+
+TEST(SoftDecisionNames, OutOfRangeValueIsNotAValidLookingDefault) {
+  // A corrupted decision must not log as the neutral middle level.
+  EXPECT_EQ(toString(static_cast<SoftDecision>(5)), "invalid");
+  EXPECT_EQ(toString(static_cast<SoftDecision>(250)), "invalid");
 }
 
 TEST(FacsController, ClassifyMapsOntoFiveLevels) {
@@ -176,6 +184,105 @@ TEST(FacsController, DecideRationaleIsOptIn) {
   EXPECT_NE(d.rationale.find("cv="), std::string::npos);
   EXPECT_NE(d.rationale.find("ar="), std::string::npos);
   EXPECT_NE(d.rationale.find("soft="), std::string::npos);
+}
+
+TEST(FacsController, PrecomputeMatchesPredictCv) {
+  const FacsController facs;
+  for (const UserSnapshot& u : {idealUser(), erraticUser()}) {
+    const cellular::PredictedCv p = facs.precompute(u);
+    EXPECT_TRUE(p.valid);
+    EXPECT_EQ(p.cv, facs.predictCv(u));  // exact: same inference
+  }
+}
+
+TEST(FacsController, DecideConsumesPrecomputedCvBitIdentically) {
+  FacsController facs;
+  BaseStation bs{0, 40};
+  bs.allocate(99, 20, true);
+
+  for (const UserSnapshot& u : {idealUser(), erraticUser()}) {
+    for (const bool handoff : {false, true}) {
+      const CallRequest req = makeRequest(u, ServiceClass::Voice, handoff);
+      const AdmissionContext inline_ctx{bs, 0.0};
+      AdmissionContext precomputed_ctx{bs, 0.0};
+      precomputed_ctx.predicted = facs.precompute(u);
+
+      const auto a = facs.decide(req, inline_ctx);
+      const auto b = facs.decide(req, precomputed_ctx);
+      EXPECT_EQ(a.accept, b.accept);
+      EXPECT_EQ(a.reason, b.reason);
+      EXPECT_EQ(a.score, b.score);  // exact double equality on purpose
+    }
+  }
+}
+
+TEST(FacsController, StalePrecomputedCvIsHonoured) {
+  // decide() trusts context.predicted verbatim — keeping it coherent with
+  // the snapshot is the caller's contract (the simulator re-runs
+  // precompute() whenever mobility changes a snapshot). A mismatched CV
+  // must therefore change the score, proving the value is actually used.
+  FacsController facs;
+  BaseStation bs{0, 40};
+  bs.allocate(99, 20, true);
+  const CallRequest req = makeRequest(erraticUser(), ServiceClass::Voice);
+
+  AdmissionContext stale_ctx{bs, 0.0};
+  stale_ctx.predicted = facs.precompute(idealUser());  // wrong snapshot
+  const AdmissionContext fresh_ctx{bs, 0.0};
+  const auto stale = facs.decide(req, stale_ctx);
+  const auto fresh = facs.decide(req, fresh_ctx);
+  EXPECT_NE(stale.score, fresh.score);
+  EXPECT_EQ(stale.score,
+            facs.evaluate(facs.predictCv(idealUser()), 5.0, 20.0).ar);
+}
+
+TEST(FacsController, EvaluateBatchMatchesStandaloneEvaluate) {
+  const FacsController facs;
+  std::vector<PendingDecision> batch;
+  // A spread of (cv, demand, occupancy, handoff, priority) combinations,
+  // including ledger states that differ per entry — the commit phase's
+  // reality (each decision sees the occupancy its predecessors left).
+  for (double cv : {0.05, 0.35, 0.65, 0.95}) {
+    for (double occupied : {0.0, 15.0, 30.0, 40.0}) {
+      PendingDecision p;
+      p.cv = cv;
+      p.demand_bu = occupied < 20.0 ? 10.0 : 5.0;
+      p.occupied_bu = occupied;
+      p.is_handoff = cv > 0.5;
+      p.priority = cv > 0.9 ? 1 : 0;
+      batch.push_back(p);
+    }
+  }
+  facs.evaluateBatch(batch);
+  for (const PendingDecision& p : batch) {
+    const FacsEvaluation solo =
+        facs.evaluate(p.cv, p.demand_bu, p.occupied_bu, p.is_handoff,
+                      p.priority);
+    EXPECT_EQ(p.eval.ar, solo.ar);  // bit-identical, not just close
+    EXPECT_EQ(p.eval.cv, solo.cv);
+    EXPECT_EQ(p.eval.soft, solo.soft);
+    EXPECT_EQ(p.eval.accept, solo.accept);
+  }
+}
+
+TEST(FacsController, EvaluateByCvMatchesSnapshotOverload) {
+  const FacsController facs;
+  const UserSnapshot u = idealUser();
+  const FacsEvaluation via_snapshot = facs.evaluate(u, 5.0, 20.0);
+  const FacsEvaluation via_cv = facs.evaluate(facs.predictCv(u), 5.0, 20.0);
+  EXPECT_EQ(via_snapshot.cv, via_cv.cv);
+  EXPECT_EQ(via_snapshot.ar, via_cv.ar);
+  EXPECT_EQ(via_snapshot.accept, via_cv.accept);
+}
+
+TEST(FacsController, ExplainRationaleFitsTheInlineBufferUntruncated) {
+  FacsController facs;
+  BaseStation bs{0, 40};
+  const AdmissionContext ctx{bs, 0.0, /*explain=*/true};
+  const auto d = facs.decide(makeRequest(idealUser(), ServiceClass::Text),
+                             ctx);
+  EXPECT_FALSE(d.rationale.truncated());
+  EXPECT_LE(d.rationale.size(), cellular::ReasonText::kCapacity);
 }
 
 TEST(FacsController, NameAndAccessors) {

@@ -197,5 +197,63 @@ TEST(Engine, OutputAlwaysWithinUniverse) {
   }
 }
 
+TEST(Engine, SealValidatesOnceAndMutationUnseals) {
+  MamdaniEngine e = makeTipper();
+  EXPECT_FALSE(e.sealed());
+  e.seal();
+  EXPECT_TRUE(e.sealed());
+  // Any structural mutation drops the cached validation.
+  e.setConfig(e.config());
+  EXPECT_FALSE(e.sealed());
+  e.seal();
+  e.addRule({"poor", "bad"}, "low");
+  EXPECT_FALSE(e.sealed());
+
+  // Sealing an invalid engine reports the defect instead of caching it.
+  MamdaniEngine empty{"e"};
+  EXPECT_THROW(empty.seal(), std::logic_error);
+  EXPECT_FALSE(empty.sealed());
+}
+
+TEST(Engine, ScratchInferenceIsBitIdenticalToTracedPath) {
+  MamdaniEngine e = makeTipper();
+  e.seal();
+  InferenceScratch scratch;
+  for (double s = 0.0; s <= 10.0; s += 0.5) {
+    for (double f = 0.0; f <= 10.0; f += 0.5) {
+      const std::array<double, 2> in{s, f};
+      const double traced = e.inferTraced(in).crisp_output;
+      // Exact equality on purpose: the scratch path must run the same
+      // arithmetic in the same order, or sealed/unsealed (and batched /
+      // unbatched) consumers would diverge.
+      EXPECT_EQ(e.infer(in), traced) << "s=" << s << " f=" << f;
+      EXPECT_EQ(e.infer(in, scratch), traced) << "s=" << s << " f=" << f;
+      // A warm (dirty) scratch must not leak state into the next call.
+      EXPECT_EQ(e.infer(in, scratch), traced) << "s=" << s << " f=" << f;
+    }
+  }
+}
+
+TEST(Engine, OneScratchServesEnginesOfDifferentShape) {
+  MamdaniEngine tipper = makeTipper();
+  MamdaniEngine single{"single"};
+  LinguisticVariable v{"v", Interval{0.0, 1.0}};
+  v.addTerm("lo", makeTriangle(0.0, 0.0, 1.0));
+  v.addTerm("hi", makeTriangle(1.0, 1.0, 0.0));
+  single.addInput(v);
+  single.setOutput(v);
+  single.addRule({"lo"}, "lo");
+  single.addRule({"hi"}, "hi");
+
+  InferenceScratch scratch;
+  const std::array<double, 2> two{9.0, 9.0};
+  const std::array<double, 1> one{0.25};
+  const double a = tipper.infer(two, scratch);
+  const double b = single.infer(one, scratch);
+  // Interleave the shapes: the scratch resizes per call, never bleeds.
+  EXPECT_EQ(tipper.infer(two, scratch), a);
+  EXPECT_EQ(single.infer(one, scratch), b);
+}
+
 }  // namespace
 }  // namespace facs::fuzzy

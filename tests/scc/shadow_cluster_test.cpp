@@ -66,6 +66,9 @@ TEST(ShadowCluster, ConfigValidation) {
   bad = {};
   bad.mean_holding_s = 0.0;
   EXPECT_THROW(ShadowClusterController(net, bad), std::invalid_argument);
+  bad = {};
+  bad.rebuild_every = -1;
+  EXPECT_THROW(ShadowClusterController(net, bad), std::invalid_argument);
 }
 
 TEST(ShadowCluster, EmptyNetworkAcceptsFirstCall) {
@@ -215,8 +218,75 @@ TEST(ShadowCluster, DemandCacheDrainsToZeroOnRelease) {
   for (const cellular::Cell& cell : net.cells()) {
     for (const double d : scc.projectedDemand(cell.id)) {
       // Floating subtraction of the exact contributions that were added:
-      // residue is rounding noise, never leaked demand.
-      EXPECT_NEAR(d, 0.0, 1e-9) << "cell " << cell.id;
+      // residue is rounding noise (a few ULPs of the peak sum), never
+      // leaked demand. Long-lived churn is bounded exactly by the periodic
+      // rebuild (PeriodicRebuildZeroesChurnResidue below).
+      EXPECT_NEAR(d, 0.0, 1e-12) << "cell " << cell.id;
+    }
+  }
+}
+
+TEST(ShadowCluster, PeriodicRebuildZeroesChurnResidue) {
+  // Long churn: 512 admit/release cycles = 1024 shadow updates. The
+  // subtract-on-release residue (~1e-12 per cycle) would otherwise
+  // accumulate without bound; with rebuild_every = 64 the final release
+  // lands on a rebuild boundary, so the accumulators are recomputed from
+  // the now-empty shadow set — EXACTLY zero, not merely small.
+  const HexNetwork net{1};
+  SccConfig cfg;
+  cfg.rebuild_every = 64;
+  ShadowClusterController scc{net, cfg};
+  const AdmissionContext ctx{net.station(0), 0.0};
+  for (int cycle = 0; cycle < 512; ++cycle) {
+    const auto r = makeRequest(
+        1 + static_cast<cellular::CallId>(cycle % 7), ServiceClass::Video,
+        {0.5 + 0.01 * (cycle % 100), 1.0 - 0.02 * (cycle % 50)},
+        10.0 + (cycle % 60), static_cast<double>((cycle * 37) % 360 - 180),
+        0);
+    scc.onAdmitted(r, ctx);
+    scc.onReleased(r, ctx);
+  }
+  EXPECT_EQ(scc.trackedCalls(), 0u);
+  for (const cellular::Cell& cell : net.cells()) {
+    for (const double d : scc.projectedDemand(cell.id)) {
+      EXPECT_EQ(d, 0.0) << "cell " << cell.id;
+    }
+  }
+}
+
+TEST(ShadowCluster, RebuildPreservesLiveShadows) {
+  // A rebuild must be invisible to decisions: accumulators recomputed from
+  // the live set match the incrementally-maintained ones to rounding
+  // noise, and keepers' demand survives the churn around them.
+  const HexNetwork net{1};
+  SccConfig with_rebuild;
+  with_rebuild.rebuild_every = 16;
+  SccConfig without_rebuild;
+  without_rebuild.rebuild_every = 0;
+  ShadowClusterController rebuilt{net, with_rebuild};
+  ShadowClusterController incremental{net, without_rebuild};
+  const AdmissionContext ctx{net.station(0), 0.0};
+
+  const auto keeper =
+      makeRequest(1000, ServiceClass::Video, {2.0, 0.0}, 60.0, 45.0, 0);
+  rebuilt.onAdmitted(keeper, ctx);
+  incremental.onAdmitted(keeper, ctx);
+  for (int cycle = 0; cycle < 40; ++cycle) {  // crosses several boundaries
+    const auto churn = makeRequest(1 + static_cast<cellular::CallId>(cycle),
+                                   ServiceClass::Voice, {1.0, 1.0}, 20.0,
+                                   0.0, 0);
+    rebuilt.onAdmitted(churn, ctx);
+    incremental.onAdmitted(churn, ctx);
+    rebuilt.onReleased(churn, ctx);
+    incremental.onReleased(churn, ctx);
+  }
+  EXPECT_EQ(rebuilt.trackedCalls(), 1u);
+  for (const cellular::Cell& cell : net.cells()) {
+    const DemandProfile a = rebuilt.projectedDemand(cell.id);
+    const DemandProfile b = incremental.projectedDemand(cell.id);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_NEAR(a[k], b[k], 1e-9) << "cell " << cell.id << " k " << k;
     }
   }
 }

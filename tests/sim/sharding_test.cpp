@@ -111,6 +111,89 @@ TEST(ShardedEngine, SingleCellRunsShardToo) {
   expectBitIdentical(serial, sharded, "single cell shards=4");
 }
 
+// ---------------------------------------------------------------------------
+// Precompute equivalence: hoisting the snapshot-only FLC1 stage into the
+// parallel prepare/local phases (SimulationConfig::precompute_cv) must not
+// move a single bit of any metric — it is the same inference over the same
+// snapshot, just executed off the serialized commit path.
+// ---------------------------------------------------------------------------
+
+TEST(PrecomputeEquivalence, BitIdenticalOnVsOffAcrossShardCounts) {
+  SimulationConfig cfg = contestedConfig();
+  cfg.shards = 1;
+  cfg.precompute_cv = false;
+  const Metrics inline_flc1 = SimulationBuilder{cfg}.policy("facs").run();
+  // The scenario must include handoffs: each one is a mobility update that
+  // invalidates the CV prepared at request time, forcing the local phase
+  // to re-run the prediction against the post-step snapshot.
+  ASSERT_GT(inline_flc1.handoff_requests, 0);
+  for (const int shards : {1, 2, 4}) {
+    cfg.shards = shards;
+    cfg.precompute_cv = true;
+    const Metrics hoisted = SimulationBuilder{cfg}.policy("facs").run();
+    expectBitIdentical(inline_flc1, hoisted,
+                       "precompute on, shards=" + std::to_string(shards));
+  }
+}
+
+TEST(PrecomputeEquivalence, MobilityInvalidatedCvRecomputesBeforeCommit) {
+  // High speed + tiny cells: nearly every call crosses a boundary, so the
+  // dominant decision flavour is a handoff whose snapshot (and therefore
+  // whose CV) only exists after the mobility step that detected the
+  // crossing. If the engine served the stale request-time CV instead of
+  // re-running the prediction, these decisions would diverge from the
+  // inline-FLC1 run and the comparison below would fail.
+  SimulationConfig cfg = contestedConfig();
+  cfg.cell_radius_km = 1.0;
+  cfg.scenario.speed_min_kmh = 80.0;
+  cfg.scenario.speed_max_kmh = 120.0;
+  cfg.shards = 1;
+  cfg.precompute_cv = false;
+  const Metrics inline_flc1 = SimulationBuilder{cfg}.policy("facs").run();
+  ASSERT_GT(inline_flc1.handoff_requests, inline_flc1.new_requests / 2);
+  for (const int shards : {1, 4}) {
+    cfg.shards = shards;
+    cfg.precompute_cv = true;
+    const Metrics hoisted = SimulationBuilder{cfg}.policy("facs").run();
+    expectBitIdentical(inline_flc1, hoisted,
+                       "handoff-heavy precompute, shards=" +
+                           std::to_string(shards));
+  }
+}
+
+TEST(PrecomputeEquivalence, PoliciesWithoutPrecomputeAreUnaffected) {
+  // Policies that keep the default no-op precompute() (SCC here) must see
+  // an invalid PredictedCv and decide exactly as before, toggle or not.
+  SimulationConfig cfg = contestedConfig();
+  cfg.shards = 2;
+  cfg.precompute_cv = true;
+  const Metrics on = SimulationBuilder{cfg}.policy("scc").run();
+  cfg.precompute_cv = false;
+  const Metrics off = SimulationBuilder{cfg}.policy("scc").run();
+  expectBitIdentical(on, off, "scc precompute on vs off");
+}
+
+TEST(PrecomputeEquivalence, BuilderAndConfigSurfaceTheToggle) {
+  EXPECT_TRUE(SimulationConfig{}.precompute_cv);  // hoisting is the default
+  const SimulationConfig cfg =
+      SimulationBuilder::scenario("urban-walkers").precomputeCv(false).build();
+  EXPECT_FALSE(cfg.precompute_cv);
+}
+
+TEST(ShardedEngine, PhaseProfileIsPopulated) {
+  // The wall-clock phase profile feeds the serial-fraction benchmarks; it
+  // is observational (not compared across runs) but must be present and
+  // consistent: some time in every phase the run actually exercised.
+  SimulationConfig cfg = contestedConfig();
+  cfg.shards = 2;
+  const Metrics m = SimulationBuilder{cfg}.policy("facs").run();
+  EXPECT_GT(m.prepare_phase_s, 0.0);
+  EXPECT_GT(m.local_phase_s, 0.0);
+  EXPECT_GT(m.commit_phase_s, 0.0);
+  EXPECT_GT(m.commitShare(), 0.0);
+  EXPECT_LT(m.commitShare(), 1.0);
+}
+
 TEST(ShardedEngine, ShardCountIsValidated) {
   SimulationConfig cfg;
   cfg.total_requests = 1;
