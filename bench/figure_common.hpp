@@ -15,11 +15,12 @@
 
 namespace facs::bench {
 
-/// Controller factory from a policy-registry spec (e.g. "facs",
-/// "guard:10", "facs:tau=0.25,ops=prod"). Every bench goes through this —
-/// no bench constructs a concrete controller.
+/// Controller factory from a policy spec (e.g. "facs", "guard:10",
+/// "facs:tau=0.25,ops=prod"), resolved through the shared default policy
+/// runtime. Every bench goes through this — no bench constructs a concrete
+/// controller or touches the registrar seed.
 inline sim::ControllerFactory policy(const std::string& spec) {
-  return cellular::PolicyRegistry::global().makeFactory(spec);
+  return cellular::PolicyRuntime::defaultRuntime().makeFactory(spec);
 }
 
 /// A labelled curve on a catalogued or custom base config.

@@ -24,7 +24,7 @@ std::unique_ptr<core::FacsController> facsFromRegistry(
     const std::string& spec) {
   const cellular::HexNetwork net{0};
   std::unique_ptr<cellular::AdmissionController> controller =
-      cellular::PolicyRegistry::global().makeController(spec, net);
+      cellular::PolicyRuntime::defaultRuntime().makeController(spec, net);
   auto* typed = dynamic_cast<core::FacsController*>(controller.get());
   if (typed == nullptr) throw std::logic_error("spec is not a FACS policy");
   controller.release();

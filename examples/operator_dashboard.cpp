@@ -56,13 +56,14 @@ void printTrace(const fuzzy::MamdaniEngine& engine,
 }  // namespace
 
 int main() {
-  // Both controllers come from the policy registry; the dashboard downcasts
-  // to reach the policy-specific introspection surfaces (fuzzy engine
-  // traces, SCC demand projection) that sit below AdmissionController.
-  const cellular::PolicyRegistry& registry = cellular::PolicyRegistry::global();
+  // Both controllers come from an instance-scoped policy runtime; the
+  // dashboard downcasts to reach the policy-specific introspection surfaces
+  // (fuzzy engine traces, SCC demand projection) that sit below
+  // AdmissionController.
+  const cellular::PolicyRuntime runtime;
   const cellular::HexNetwork single_cell{0};
   const std::unique_ptr<cellular::AdmissionController> facs_controller =
-      registry.makeController("facs", single_cell);
+      runtime.makeController("facs", single_cell);
   const auto& facs = dynamic_cast<const core::FacsController&>(*facs_controller);
 
   // The request under the microscope: a 30 km/h user 6 km out, drifting
@@ -93,7 +94,7 @@ int main() {
   std::cout << "=== SCC projection for the same cell ===\n\n";
   const cellular::HexNetwork net{1};
   const std::unique_ptr<cellular::AdmissionController> scc_controller =
-      registry.makeController("scc", net);
+      runtime.makeController("scc", net);
   auto& scc = dynamic_cast<scc::ShadowClusterController&>(*scc_controller);
   cellular::CallRequest ongoing;
   ongoing.call = 1;

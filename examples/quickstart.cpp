@@ -14,13 +14,16 @@
 int main() {
   using namespace facs;
 
-  // 1. The controller, by registry spec. "facs" is the paper's design:
-  //    min/max Mamdani inference, centroid defuzzification, accept iff the
-  //    crisp A/R value is positive. (Try "facs:tau=0.25" or "guard:8" —
-  //    facs_cli --list-policies shows everything.)
+  // 1. The controller, by policy spec, from an instance-scoped runtime (a
+  //    snapshot of the built-in policy set; registerExternal() would add
+  //    your own policies to THIS runtime only). "facs" is the paper's
+  //    design: min/max Mamdani inference, centroid defuzzification, accept
+  //    iff the crisp A/R value is positive. (Try "facs:tau=0.25" or
+  //    "guard:8" — facs_cli --list-policies shows everything.)
+  const cellular::PolicyRuntime runtime;
   const cellular::HexNetwork net{0};
   std::unique_ptr<cellular::AdmissionController> controller =
-      cellular::PolicyRegistry::global().makeController("facs", net);
+      runtime.makeController("facs", net);
 
   // FACS-specific introspection (the fuzzy engines) lives below the
   // AdmissionController interface; downcast for the tour.

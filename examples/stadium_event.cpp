@@ -19,7 +19,7 @@ int main() {
   std::cout << "Stadium event: saturated single cell, steady-state view\n\n";
 
   const sim::SimulationConfig cfg =
-      sim::ScenarioCatalog::global().at("stadium-burst").config;
+      sim::ScenarioCatalog::builtins().at("stadium-burst").config;
 
   struct Policy {
     const char* label;

@@ -16,7 +16,8 @@ struct HexHash {
 }  // namespace
 
 HexNetwork::HexNetwork(int rings, double cell_radius_km,
-                       BandwidthUnits capacity_bu)
+                       BandwidthUnits capacity_bu,
+                       const std::vector<CellCapacityOverride>& capacity_overrides)
     : cell_radius_km_{cell_radius_km} {
   if (rings < 0) throw std::invalid_argument("rings must be >= 0");
   if (!(cell_radius_km > 0.0)) {
@@ -24,13 +25,33 @@ HexNetwork::HexNetwork(int rings, double cell_radius_km,
   }
 
   const std::vector<HexCoord> coords = hexDisk(rings);
+  std::vector<BandwidthUnits> capacities(coords.size(), capacity_bu);
+  std::vector<bool> overridden(coords.size(), false);
+  for (const auto& [cell, bu] : capacity_overrides) {
+    if (static_cast<std::size_t>(cell) >= coords.size()) {
+      throw std::invalid_argument(
+          "capacity override for cell " + std::to_string(cell) +
+          " outside the " + std::to_string(coords.size()) + "-cell disk");
+    }
+    if (overridden[cell]) {
+      throw std::invalid_argument("duplicate capacity override for cell " +
+                                  std::to_string(cell));
+    }
+    if (bu <= 0) {
+      throw std::invalid_argument("capacity override for cell " +
+                                  std::to_string(cell) + " must be positive");
+    }
+    capacities[cell] = bu;
+    overridden[cell] = true;
+  }
+
   std::unordered_map<HexCoord, CellId, HexHash> index;
   cells_.reserve(coords.size());
   stations_.reserve(coords.size());
   for (std::size_t i = 0; i < coords.size(); ++i) {
     const auto id = static_cast<CellId>(i);
     cells_.push_back({id, coords[i], hexCenter(coords[i], cell_radius_km_)});
-    stations_.emplace_back(id, capacity_bu);
+    stations_.emplace_back(id, capacities[i]);
     index.emplace(coords[i], id);
   }
 

@@ -3,12 +3,18 @@
 /// A hexagonal cellular layout: cells, their base stations and adjacency.
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "cellular/basestation.hpp"
 #include "cellular/geometry.hpp"
 
 namespace facs::cellular {
+
+/// Per-cell deviation from the network's uniform base-station capacity
+/// (heterogeneous deployments: a stadium mast with extra carriers next to
+/// thin precinct cells). Scenario files spell these as `[cell N]` sections.
+using CellCapacityOverride = std::pair<CellId, BandwidthUnits>;
 
 /// One cell of the network.
 struct Cell {
@@ -27,9 +33,14 @@ class HexNetwork {
   /// \param cell_radius_km hex circumradius; the paper's user-to-BS
   ///                      distances span 0-10 km, so the default is 10.
   /// \param capacity_bu  per-BS capacity (paper: 40 BU).
-  /// \throws std::invalid_argument on negative rings or non-positive radius.
+  /// \param capacity_overrides per-cell capacities replacing the uniform
+  ///                      \p capacity_bu for the named cells.
+  /// \throws std::invalid_argument on negative rings, non-positive radius,
+  ///         an override naming a cell outside the disk, a duplicate
+  ///         override or a non-positive override capacity.
   HexNetwork(int rings, double cell_radius_km = 10.0,
-             BandwidthUnits capacity_bu = kPaperCellCapacityBu);
+             BandwidthUnits capacity_bu = kPaperCellCapacityBu,
+             const std::vector<CellCapacityOverride>& capacity_overrides = {});
 
   [[nodiscard]] std::size_t cellCount() const noexcept { return cells_.size(); }
   [[nodiscard]] double cellRadiusKm() const noexcept { return cell_radius_km_; }

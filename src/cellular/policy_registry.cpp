@@ -149,6 +149,11 @@ PolicyRegistry& PolicyRegistry::global() {
   return registry;
 }
 
+const PolicyRuntime& PolicyRuntime::defaultRuntime() {
+  static const PolicyRuntime runtime;
+  return runtime;
+}
+
 void PolicyRegistry::add(PolicyInfo info, Builder builder) {
   if (info.name.empty() || !builder) {
     throw std::logic_error("policy registration needs a name and a builder");

@@ -19,6 +19,11 @@
 /// file-local `PolicyRegistrar` whose constructor runs at static
 /// initialization. The build links the library as a CMake OBJECT library so
 /// no policy TU (and hence no registrar) is ever dropped by the linker.
+///
+/// Registrars populate the *seed* registry (`PolicyRegistry::global()`).
+/// Call sites resolve specs through a `PolicyRuntime` — an instance-scoped
+/// snapshot of the seed that embedders and tests can extend with
+/// `registerExternal()` without touching the process-wide state.
 
 #include <functional>
 #include <map>
@@ -111,7 +116,8 @@ struct PolicyInfo {
 /// String-keyed factory of admission-policy factories.
 ///
 /// Thread-compatible: registration happens during static initialization
-/// (single-threaded); all queries afterwards are const.
+/// (single-threaded); all queries afterwards are const. Copyable on
+/// purpose — `PolicyRuntime` snapshots the seed registry per instance.
 class PolicyRegistry {
  public:
   /// Turns a parsed spec into a ControllerFactory.
@@ -119,7 +125,10 @@ class PolicyRegistry {
   /// bad spec fails at parse time, not mid-simulation.
   using Builder = std::function<ControllerFactory(const PolicySpec&)>;
 
-  /// The process-wide registry all policies register into.
+  /// The process-wide SEED registry all `PolicyRegistrar`s register into.
+  /// Resolve specs through a `PolicyRuntime` (which snapshots this seed)
+  /// instead of querying the global directly — only registrars and tests
+  /// should touch it.
   [[nodiscard]] static PolicyRegistry& global();
 
   /// Registers a policy. \throws std::logic_error on a duplicate name.
@@ -157,6 +166,70 @@ class PolicyRegistrar {
   PolicyRegistrar(PolicyInfo info, PolicyRegistry::Builder builder) {
     PolicyRegistry::global().add(std::move(info), std::move(builder));
   }
+};
+
+/// An instance-scoped policy runtime: owns a snapshot of the registrar
+/// seed plus any policies added through `registerExternal()`. Two runtimes
+/// never share mutable state, so an embedding API can load plugin policies
+/// per run (or a test can inject fakes) without touching the process-wide
+/// seed or other runtimes.
+///
+/// Thread-compatible like `PolicyRegistry`: construct and extend a runtime
+/// from one thread, then query it from as many as you like (makeFactory,
+/// makeController and the introspection calls are const). Constructing
+/// runtimes concurrently is safe — the seed is immutable after static
+/// initialization.
+class PolicyRuntime {
+ public:
+  /// Snapshots the registrar-seeded process registry.
+  PolicyRuntime() : registry_{PolicyRegistry::global()} {}
+  /// Starts from a caller-provided registry instead of the seed (tests,
+  /// or embedders that want a fully curated policy set).
+  explicit PolicyRuntime(PolicyRegistry seed) : registry_{std::move(seed)} {}
+
+  /// A shared default-seeded instance for call sites with no runtime of
+  /// their own (the CLI default, the benches). Never extended — equivalent
+  /// to a freshly constructed PolicyRuntime.
+  [[nodiscard]] static const PolicyRuntime& defaultRuntime();
+
+  /// Extension point: adds a policy to THIS runtime only. The seed and
+  /// every other runtime are unaffected. \throws std::logic_error on a
+  /// duplicate name (including clashes with a built-in policy).
+  void registerExternal(PolicyInfo info, PolicyRegistry::Builder builder) {
+    registry_.add(std::move(info), std::move(builder));
+  }
+
+  /// The underlying snapshot (for introspection; const — mutate only
+  /// through registerExternal()).
+  [[nodiscard]] const PolicyRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+  /// \name Resolution pass-throughs (see PolicyRegistry)
+  ///@{
+  [[nodiscard]] bool contains(std::string_view name) const noexcept {
+    return registry_.contains(name);
+  }
+  [[nodiscard]] std::vector<std::string> names() const {
+    return registry_.names();
+  }
+  [[nodiscard]] const PolicyInfo& info(std::string_view name) const {
+    return registry_.info(name);
+  }
+  [[nodiscard]] ControllerFactory makeFactory(std::string_view spec) const {
+    return registry_.makeFactory(spec);
+  }
+  [[nodiscard]] std::unique_ptr<AdmissionController> makeController(
+      std::string_view spec, const HexNetwork& network) const {
+    return registry_.makeController(spec, network);
+  }
+  [[nodiscard]] std::string describeAll() const {
+    return registry_.describeAll();
+  }
+  ///@}
+
+ private:
+  PolicyRegistry registry_;
 };
 
 }  // namespace facs::cellular

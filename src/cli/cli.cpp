@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "cellular/policy_registry.hpp"
+#include "sim/scenario_file.hpp"
 
 namespace facs::sim {
 
@@ -54,11 +55,12 @@ std::vector<int> parseIntList(const std::string& value,
   return out;
 }
 
-/// Validates a policy spec against the registry at parse time, so a typo
+/// Validates a policy spec against the runtime at parse time, so a typo
 /// fails before any simulation starts.
-std::string parsePolicySpec(const std::string& value) {
+std::string parsePolicySpec(const cellular::PolicyRuntime& runtime,
+                            const std::string& value) {
   try {
-    (void)cellular::PolicyRegistry::global().makeFactory(value);
+    (void)runtime.makeFactory(value);
   } catch (const cellular::PolicySpecError& e) {
     throw CliError(e.what());
   }
@@ -67,7 +69,9 @@ std::string parsePolicySpec(const std::string& value) {
 
 }  // namespace
 
-CliOptions parseCli(const std::vector<std::string>& args) {
+CliOptions parseCli(const std::vector<std::string>& args,
+                    const cellular::PolicyRuntime& runtime,
+                    const ScenarioCatalog& catalog) {
   CliOptions opt;
   std::size_t i = 0;
   const auto next = [&](const std::string& flag) -> std::string {
@@ -75,15 +79,32 @@ CliOptions parseCli(const std::vector<std::string>& args) {
     return args[++i];
   };
 
-  // The scenario is the base the other flags override, so resolve it first
-  // regardless of where it appears on the command line. Every occurrence is
-  // validated; the last one wins.
+  // The scenario — catalogued name or file — is the base the other flags
+  // override, so resolve it first regardless of where it appears on the
+  // command line. Every occurrence is validated; the last one wins. A
+  // scenario also carries its default policy, which an explicit --policy
+  // (handled below) overrides.
   for (std::size_t j = 0; j + 1 < args.size(); ++j) {
     if (args[j] == "--scenario") {
       try {
-        opt.scenario = args[j + 1];
-        opt.config = ScenarioCatalog::global().at(opt.scenario).config;
+        const ScenarioSpec& spec = catalog.at(args[j + 1]);
+        opt.scenario = spec.name;
+        opt.scenario_summary = spec.summary;
+        opt.scenario_file.clear();
+        opt.config = spec.config;
+        opt.policy = spec.policy;
       } catch (const ScenarioError& e) {
+        throw CliError(e.what());
+      }
+    } else if (args[j] == "--scenario-file") {
+      try {
+        const ScenarioSpec spec = loadScenarioFile(args[j + 1], runtime);
+        opt.scenario = spec.name;
+        opt.scenario_summary = spec.summary;
+        opt.scenario_file = args[j + 1];
+        opt.config = spec.config;
+        opt.policy = spec.policy;
+      } catch (const ScenarioFileError& e) {
         throw CliError(e.what());
       }
     }
@@ -102,9 +123,23 @@ CliOptions parseCli(const std::vector<std::string>& args) {
     } else if (a == "--list-scenarios") {
       opt.list_scenarios = true;
     } else if (a == "--policy") {
-      opt.policy = parsePolicySpec(next(a));
-    } else if (a == "--scenario") {
+      opt.policy = parsePolicySpec(runtime, next(a));
+    } else if (a == "--scenario" || a == "--scenario-file") {
       (void)next(a);  // already applied above
+    } else if (a == "--dump-scenario") {
+      opt.dump_scenario = next(a);
+      if (opt.dump_scenario != "-") {  // "-" = the composed run itself
+        try {
+          (void)catalog.at(opt.dump_scenario);  // throws with known names
+        } catch (const ScenarioError& e) {
+          throw CliError(e.what());
+        }
+      }
+    } else if (a == "--explain") {
+      opt.explain = true;
+      opt.config.explain = true;
+    } else if (a == "--json") {
+      opt.json = true;
     } else if (a == "--requests") {
       opt.config.total_requests = parseInt(next(a), a);
     } else if (a == "--window") {
@@ -173,35 +208,45 @@ CliOptions parseCli(const std::vector<std::string>& args) {
   // `--policy facs --facs-threshold 0.25` means `facs:0.25`. They only
   // apply to a bare spec — an explicit parameterized spec wins.
   if (guard_bu && opt.policy == "guard") {
-    opt.policy = parsePolicySpec("guard:" + std::to_string(*guard_bu));
+    opt.policy = parsePolicySpec(runtime, "guard:" + std::to_string(*guard_bu));
   }
   if (facs_threshold && opt.policy == "facs") {
     std::ostringstream os;
     os << "facs:tau=" << *facs_threshold;
-    opt.policy = parsePolicySpec(os.str());
+    opt.policy = parsePolicySpec(runtime, os.str());
   }
   return opt;
 }
 
-std::string cliUsage() {
+CliOptions parseCli(const std::vector<std::string>& args) {
+  return parseCli(args, cellular::PolicyRuntime::defaultRuntime(),
+                  ScenarioCatalog::builtins());
+}
+
+std::string cliUsage(const cellular::PolicyRuntime& runtime,
+                     const ScenarioCatalog& catalog) {
   std::ostringstream os;
   os << R"(facs_cli - run FACS / baseline call-admission simulations
 
 usage: facs_cli [flags]
 
-policy (--policy SPEC, default "facs"):
+policy (--policy SPEC, default from the scenario, else "facs"):
   A spec is a registered policy name plus optional inline parameters:
   "facs", "guard:8", "threshold:38,30,20", "facs:tau=0.25,ops=prod".
   Registered policies:
-)" << cellular::PolicyRegistry::global().describeAll()
+)" << runtime.describeAll()
      << R"(  --guard-bu N          legacy shorthand for --policy guard:N
   --facs-threshold T    legacy shorthand for --policy facs:tau=T
   --list-policies       print the policy registry and exit
 
-scenario (--scenario NAME overrides the defaults below, then flags
-override the scenario):
-)" << ScenarioCatalog::global().describeAll()
-     << R"(  --list-scenarios      print the scenario catalog and exit
+scenario (--scenario NAME or --scenario-file PATH overrides the defaults
+below, then flags override the scenario):
+)" << catalog.describeAll()
+     << R"(  --scenario-file PATH  run a scenario file (see --dump-scenario
+                        for the format; README "Scenario files")
+  --dump-scenario NAME  print a scenario as a scenario file and exit;
+                        NAME "-" dumps the composed run (base + flags)
+  --list-scenarios      print the scenario catalog and exit
 
 workload:
   --requests N          requesting connections (default 50)
@@ -228,21 +273,35 @@ run:
   --no-precompute       keep snapshot-only policy work (FACS FLC1) on the
                         serialized commit path (results are bit-identical;
                         only the phase profile moves)
+  --explain             decide with rationales on (identical decisions;
+                        truncated rationales are counted and warned about)
   --sweep X1,X2,...     sweep total_requests and print a table
   --reps N              replications per sweep point (default 5)
   --threads N           sweep worker threads (default: hardware); sweeps
                         budget threads*shards against the machine
   --csv                 CSV output for sweeps
+  --json                metrics as JSON (single runs; diffable — the CI
+                        round-trip gate compares these byte for byte)
 )";
   return os.str();
 }
 
-ControllerFactory makeFactory(const CliOptions& options) {
+std::string cliUsage() {
+  return cliUsage(cellular::PolicyRuntime::defaultRuntime(),
+                  ScenarioCatalog::builtins());
+}
+
+ControllerFactory makeFactory(const CliOptions& options,
+                              const cellular::PolicyRuntime& runtime) {
   try {
-    return cellular::PolicyRegistry::global().makeFactory(options.policy);
+    return runtime.makeFactory(options.policy);
   } catch (const cellular::PolicySpecError& e) {
     throw CliError(e.what());
   }
+}
+
+ControllerFactory makeFactory(const CliOptions& options) {
+  return makeFactory(options, cellular::PolicyRuntime::defaultRuntime());
 }
 
 }  // namespace facs::sim

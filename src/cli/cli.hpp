@@ -6,9 +6,11 @@
 /// library (rather than the tool's main.cpp) so the parsing logic is
 /// unit-testable.
 ///
-/// Policies are resolved through `cellular::PolicyRegistry` and scenarios
-/// through `ScenarioCatalog`, so anything registered anywhere in the
-/// process is immediately runnable from the command line.
+/// Policies are resolved through the `cellular::PolicyRuntime` handed to
+/// parseCli() (default: the shared default-seeded runtime) and scenarios
+/// through a `ScenarioCatalog` instance, so anything an embedder registers
+/// — registerExternal() policies, file-loaded scenarios — is immediately
+/// runnable from the command line.
 
 #include <string>
 #include <vector>
@@ -22,9 +24,23 @@ namespace facs::sim {
 struct CliOptions {
   SimulationConfig config{};
   /// Registry policy spec, e.g. "facs", "guard:8", "facs:tau=0.25".
+  /// Defaults to the selected scenario's policy ("facs" without one).
   std::string policy = "facs";
-  /// Catalog scenario the config was based on ("" = paper defaults).
+  /// Scenario the config was based on ("" = paper defaults): a catalog
+  /// name (--scenario) or the name parsed from --scenario-file.
   std::string scenario;
+  /// Its one-line summary, kept so --dump-scenario can round-trip it.
+  std::string scenario_summary;
+  /// Path given to --scenario-file ("" = none).
+  std::string scenario_file;
+  /// Scenario named by --dump-scenario ("" = none): print its canonical
+  /// scenario-file text and exit. "-" dumps the fully composed run
+  /// (scenario base + flag overrides) instead of a catalog entry — the
+  /// parse→write fixed point the CI round-trip gate checks, and a way to
+  /// save a hand-tuned command line as a scenario file.
+  std::string dump_scenario;
+  bool explain = false;  ///< --explain: rationale-filled decisions.
+  bool json = false;     ///< --json: metrics as diffable JSON.
   bool csv = false;
   bool help = false;
   bool list_policies = false;
@@ -43,10 +59,12 @@ class CliError : public std::runtime_error {
       : std::runtime_error(message) {}
 };
 
-/// Parses argv (excluding argv[0]).
+/// Parses argv (excluding argv[0]), resolving policies through \p runtime
+/// and scenarios through \p catalog.
 ///
 /// Supported flags:
-///   --policy SPEC       --scenario NAME
+///   --policy SPEC       --scenario NAME        --scenario-file PATH
+///   --dump-scenario NAME
 ///   --list-policies     --list-scenarios
 ///   --requests N        --window SECONDS       --seed N
 ///   --rings N           --cell-radius KM       --capacity BU
@@ -54,20 +72,31 @@ class CliError : public std::runtime_error {
 ///   --tracking-window S --gps-error M          --no-gps
 ///   --poisson           --warmup S             --handoffs
 ///   --shards N          (worker shards; bit-identical at any count)
+///   --explain           (rationales on; truncations counted + warned)
 ///   --guard-bu N        --facs-threshold T     (legacy spec shorthands)
-///   --sweep X1,X2,...   --reps N               --threads N    --csv
-///   --help
+///   --sweep X1,X2,...   --reps N               --threads N
+///   --csv               --json                 --help
 ///
 /// \throws CliError on unknown flags, missing values, malformed numbers,
-///         unknown policies or unknown scenarios.
+///         unknown policies, unknown scenarios or unreadable/malformed
+///         scenario files (scenario-file messages carry file + line).
+[[nodiscard]] CliOptions parseCli(const std::vector<std::string>& args,
+                                  const cellular::PolicyRuntime& runtime,
+                                  const ScenarioCatalog& catalog);
+
+/// parseCli() against the shared default runtime and the built-in catalog.
 [[nodiscard]] CliOptions parseCli(const std::vector<std::string>& args);
 
 /// Usage text for --help. Policy and scenario sections are generated from
-/// the live registry/catalog.
+/// the live runtime/catalog.
+[[nodiscard]] std::string cliUsage(const cellular::PolicyRuntime& runtime,
+                                   const ScenarioCatalog& catalog);
 [[nodiscard]] std::string cliUsage();
 
-/// Builds the controller factory for \p options via the policy registry.
+/// Builds the controller factory for \p options via \p runtime.
 /// \throws CliError on a malformed or unknown policy spec.
+[[nodiscard]] ControllerFactory makeFactory(
+    const CliOptions& options, const cellular::PolicyRuntime& runtime);
 [[nodiscard]] ControllerFactory makeFactory(const CliOptions& options);
 
 }  // namespace facs::sim

@@ -59,11 +59,31 @@ std::uint64_t replicationSeed(std::uint64_t base_seed, int rep) {
 
 SweepResult runSweep(const SweepSpec& sweep,
                      const std::vector<CurveSpec>& curves, Measure measure) {
+  return runSweep(cellular::PolicyRuntime::defaultRuntime(), sweep, curves,
+                  measure);
+}
+
+SweepResult runSweep(const cellular::PolicyRuntime& runtime,
+                     const SweepSpec& sweep,
+                     const std::vector<CurveSpec>& input_curves,
+                     Measure measure) {
   if (sweep.xs.empty()) {
     throw std::invalid_argument("sweep needs at least one x value");
   }
   if (sweep.replications < 1) {
     throw std::invalid_argument("sweep needs >= 1 replication");
+  }
+
+  // Resolve spec-string curves up front (typos fail before any run starts);
+  // an explicit factory always wins over a spec.
+  std::vector<CurveSpec> curves = input_curves;
+  for (CurveSpec& c : curves) {
+    if (c.make_controller) continue;
+    if (c.policy.empty()) {
+      throw std::invalid_argument("curve '" + c.label +
+                                  "' needs a factory or a policy spec");
+    }
+    c.make_controller = runtime.makeFactory(c.policy);
   }
 
   // Every (curve, x, replication) combination is an independent simulation:

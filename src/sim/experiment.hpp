@@ -36,6 +36,11 @@ struct CurveSpec {
   /// Invoked concurrently from the sweep's worker threads; registry-built
   /// factories (stateless closures over value-captured configs) are safe.
   ControllerFactory make_controller;
+  /// Alternative to make_controller: a textual policy spec, resolved by
+  /// runSweep() against the runtime it was handed (the factory wins when
+  /// both are set). Lets callers sweep "guard:8" without touching registry
+  /// machinery themselves.
+  std::string policy;
 };
 
 /// Sweep settings shared by all curves of a figure.
@@ -86,6 +91,17 @@ struct SweepResult {
 /// Runs every (curve, x, replication) combination. Replication r of point x
 /// uses seed = base_seed ^ hash(r) so curves share common random numbers —
 /// the standard variance-reduction device for policy comparisons.
+/// Curves given as textual policy specs resolve through \p runtime, so a
+/// sweep can exercise registerExternal() policies of an instance-scoped
+/// cellular::PolicyRuntime. \throws cellular::PolicySpecError on a curve
+/// whose spec \p runtime rejects, std::invalid_argument on a curve with
+/// neither factory nor spec.
+[[nodiscard]] SweepResult runSweep(const cellular::PolicyRuntime& runtime,
+                                   const SweepSpec& sweep,
+                                   const std::vector<CurveSpec>& curves,
+                                   Measure measure = Measure::PercentAccepted);
+
+/// runSweep() against the shared default runtime.
 [[nodiscard]] SweepResult runSweep(const SweepSpec& sweep,
                                    const std::vector<CurveSpec>& curves,
                                    Measure measure = Measure::PercentAccepted);

@@ -1,8 +1,15 @@
 #include "sim/metrics.hpp"
 
+#include <charconv>
 #include <sstream>
 
 namespace facs::sim {
+
+std::string shortestNumber(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
 
 std::string Metrics::summary() const {
   std::ostringstream os;
@@ -13,6 +20,40 @@ std::string Metrics::summary() const {
        << " (drop p=" << droppingProbability() << ")";
   }
   os << ", completed " << completed << ", util " << meanUtilization();
+  return os.str();
+}
+
+std::string Metrics::toJson() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"new_requests\": " << new_requests << ",\n"
+     << "  \"new_accepted\": " << new_accepted << ",\n"
+     << "  \"new_blocked\": " << new_blocked << ",\n"
+     << "  \"handoff_requests\": " << handoff_requests << ",\n"
+     << "  \"handoff_accepted\": " << handoff_accepted << ",\n"
+     << "  \"handoff_dropped\": " << handoff_dropped << ",\n"
+     << "  \"completed\": " << completed << ",\n";
+  os << "  \"class_requests\": [";
+  for (std::size_t i = 0; i < class_requests.size(); ++i) {
+    os << (i ? ", " : "") << class_requests[i];
+  }
+  os << "],\n  \"class_accepted\": [";
+  for (std::size_t i = 0; i < class_accepted.size(); ++i) {
+    os << (i ? ", " : "") << class_accepted[i];
+  }
+  os << "],\n"
+     << "  \"busy_bu_seconds\": " << shortestNumber(busy_bu_seconds) << ",\n"
+     << "  \"observed_span_s\": " << shortestNumber(observed_span_s) << ",\n"
+     << "  \"total_capacity_bu\": " << total_capacity_bu << ",\n"
+     << "  \"engine_events\": " << engine_events << ",\n"
+     << "  \"truncated_rationales\": " << truncated_rationales << ",\n"
+     << "  \"percent_accepted\": " << shortestNumber(percentAccepted()) << ",\n"
+     << "  \"blocking_probability\": " << shortestNumber(blockingProbability())
+     << ",\n"
+     << "  \"dropping_probability\": " << shortestNumber(droppingProbability())
+     << ",\n"
+     << "  \"mean_utilization\": " << shortestNumber(meanUtilization()) << "\n"
+     << "}";
   return os.str();
 }
 

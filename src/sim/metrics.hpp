@@ -12,6 +12,12 @@
 
 namespace facs::sim {
 
+/// Shortest decimal form that parses back to the identical double
+/// (std::to_chars): equal doubles always print equal text. Shared by
+/// Metrics::toJson() and the scenario-file writer — the textual side of
+/// the bit-identical round-trip contract.
+[[nodiscard]] std::string shortestNumber(double v);
+
 /// Aggregated counters for one simulation run.
 struct Metrics {
   // New-call admission.
@@ -39,6 +45,14 @@ struct Metrics {
   /// steps, handoffs) — the numerator of the events/sec scaling figure.
   /// Identical for a given (config, seed) at every shard count.
   std::uint64_t engine_events = 0;
+
+  /// Rationales cut at ReasonText's inline capacity during this run's
+  /// measured (post-warmup) span, like every other counter. Only ever
+  /// non-zero when the run decided with explain on
+  /// (SimulationConfig::explain); the CLI warns once per run when set, so
+  /// truncation is visible instead of silently losing tails. Deterministic
+  /// (part of the bit-identity contract) — decisions never depend on it.
+  int truncated_rationales = 0;
 
   // Wall-clock profile of the engine's execution phases. NOT part of the
   // determinism contract (timings vary run to run even at a fixed seed) —
@@ -95,6 +109,13 @@ struct Metrics {
 
   /// One-line human-readable summary.
   [[nodiscard]] std::string summary() const;
+
+  /// The deterministic counters as a JSON object (stable key order, doubles
+  /// in shortest round-trip form), so two runs can be compared with a plain
+  /// textual diff — the CI round-trip gate relies on this. The wall-clock
+  /// phase profile is deliberately absent: timings differ run to run even
+  /// at a fixed seed.
+  [[nodiscard]] std::string toJson() const;
 };
 
 }  // namespace facs::sim

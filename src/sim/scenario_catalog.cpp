@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/scenario_file.hpp"
+
 namespace facs::sim {
 
 namespace {
@@ -113,9 +115,27 @@ ScenarioCatalog::ScenarioCatalog() {
   }
 }
 
-const ScenarioCatalog& ScenarioCatalog::global() {
+const ScenarioCatalog& ScenarioCatalog::builtins() {
   static const ScenarioCatalog catalog;
   return catalog;
+}
+
+void ScenarioCatalog::add(ScenarioSpec spec) {
+  if (spec.name.empty()) {
+    throw ScenarioError("scenario needs a non-empty name");
+  }
+  const std::string name = spec.name;
+  if (!entries_.emplace(name, std::move(spec)).second) {
+    throw ScenarioError("scenario '" + name + "' already catalogued");
+  }
+}
+
+const ScenarioSpec& ScenarioCatalog::addFile(
+    const std::string& path, const cellular::PolicyRuntime& runtime) {
+  ScenarioSpec spec = loadScenarioFile(path, runtime);
+  const std::string name = spec.name;
+  add(std::move(spec));
+  return entries_.find(name)->second;
 }
 
 bool ScenarioCatalog::contains(std::string_view name) const noexcept {
@@ -157,7 +177,17 @@ std::string ScenarioCatalog::describeAll() const {
 }
 
 SimulationBuilder SimulationBuilder::scenario(std::string_view name) {
-  return SimulationBuilder{ScenarioCatalog::global().at(name).config};
+  return scenario(name, ScenarioCatalog::builtins());
+}
+
+SimulationBuilder SimulationBuilder::scenario(std::string_view name,
+                                              const ScenarioCatalog& catalog) {
+  return SimulationBuilder{catalog.at(name)};
+}
+
+SimulationBuilder& SimulationBuilder::runtime(const cellular::PolicyRuntime& rt) {
+  runtime_ = &rt;
+  return *this;
 }
 
 SimulationBuilder& SimulationBuilder::requests(int n) {
@@ -220,6 +250,17 @@ SimulationBuilder& SimulationBuilder::precomputeCv(bool on) {
   return *this;
 }
 
+SimulationBuilder& SimulationBuilder::cellCapacityBu(cellular::CellId cell,
+                                                     cellular::BandwidthUnits bu) {
+  config_.cell_capacity_bu.emplace_back(cell, bu);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::explain(bool on) {
+  config_.explain = on;
+  return *this;
+}
+
 SimulationBuilder& SimulationBuilder::speedKmh(double lo, double hi) {
   config_.scenario.speed_min_kmh = lo;
   config_.scenario.speed_max_kmh = hi;
@@ -268,9 +309,13 @@ SimulationBuilder& SimulationBuilder::scenarioParams(
 SimulationBuilder& SimulationBuilder::policy(std::string_view spec) {
   // Parse eagerly so typos surface where the spec is written, not when the
   // run starts.
-  (void)cellular::PolicyRegistry::global().makeFactory(spec);
+  (void)runtimeOrDefault().makeFactory(spec);
   policy_spec_ = std::string{spec};
   return *this;
+}
+
+const cellular::PolicyRuntime& SimulationBuilder::runtimeOrDefault() const {
+  return runtime_ ? *runtime_ : cellular::PolicyRuntime::defaultRuntime();
 }
 
 SimulationConfig SimulationBuilder::build() const {
@@ -279,7 +324,7 @@ SimulationConfig SimulationBuilder::build() const {
 }
 
 ControllerFactory SimulationBuilder::factory() const {
-  return cellular::PolicyRegistry::global().makeFactory(policy_spec_);
+  return runtimeOrDefault().makeFactory(policy_spec_);
 }
 
 Metrics SimulationBuilder::run() const {

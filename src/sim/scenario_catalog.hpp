@@ -14,7 +14,9 @@
 ///                                .run();
 ///
 /// Scenario names are listed by `facs_cli --list-scenarios` or
-/// `ScenarioCatalog::global().describeAll()`.
+/// `ScenarioCatalog::builtins().describeAll()`. Policies resolve through a
+/// `cellular::PolicyRuntime` (default: the shared default runtime); pass a
+/// custom runtime with `.runtime(rt)` to use `registerExternal()` policies.
 
 #include <map>
 #include <stdexcept>
@@ -26,7 +28,7 @@
 
 namespace facs::sim {
 
-/// Raised for an unknown scenario name.
+/// Raised for an unknown scenario name or a malformed catalog addition.
 class ScenarioError : public std::runtime_error {
  public:
   explicit ScenarioError(const std::string& message)
@@ -37,10 +39,14 @@ class ScenarioError : public std::runtime_error {
 struct ScenarioSpec {
   std::string name;     ///< Catalog key, e.g. "urban-walkers".
   std::string summary;  ///< One line for --list-scenarios.
+  /// Default admission policy for the scenario, as a registry spec. A run
+  /// may still override it (--policy, SimulationBuilder::policy()).
+  std::string policy = "facs";
   SimulationConfig config;
 };
 
-/// The read-only catalog of built-in scenarios:
+/// A catalog of named scenarios. Every catalog starts from the built-in
+/// set:
 ///
 ///   paper-single-cell     the paper's Section 4 evaluation cell
 ///   urban-walkers         pedestrian-heavy downtown micro-cell cluster
@@ -48,11 +54,20 @@ struct ScenarioSpec {
 ///   stadium-burst         flash crowd over 7 cells, Poisson, steady state
 ///   poisson-steady-state  the paper's cell driven to steady state
 ///
+/// and is instance-scoped: add() (or addFile(), which parses a scenario
+/// file — see sim/scenario_file.hpp) extends THIS catalog only, so
+/// embedders can curate per-run scenario sets the way PolicyRuntime scopes
+/// policies. builtins() is the shared read-only seed instance.
+///
 /// describeAll() annotates each entry with its cell count and default
 /// shard count, so --list-scenarios shows where sharding pays off.
 class ScenarioCatalog {
  public:
-  [[nodiscard]] static const ScenarioCatalog& global();
+  /// A fresh catalog holding exactly the built-in scenarios.
+  ScenarioCatalog();
+
+  /// The shared, never-extended instance of the built-in set.
+  [[nodiscard]] static const ScenarioCatalog& builtins();
 
   [[nodiscard]] bool contains(std::string_view name) const noexcept;
   /// Sorted names of every catalogued scenario.
@@ -62,8 +77,18 @@ class ScenarioCatalog {
   /// Multi-line human-readable dump of every entry (--list-scenarios).
   [[nodiscard]] std::string describeAll() const;
 
+  /// Adds a scenario to this catalog.
+  /// \throws ScenarioError on an empty or duplicate name.
+  void add(ScenarioSpec spec);
+
+  /// Parses the scenario file at \p path (validating its policy spec
+  /// against \p runtime) and adds it. Returns the catalogued entry.
+  /// \throws ScenarioFileError on parse problems, ScenarioError on a
+  ///         duplicate name.
+  const ScenarioSpec& addFile(const std::string& path,
+                              const cellular::PolicyRuntime& runtime);
+
  private:
-  ScenarioCatalog();
   std::map<std::string, ScenarioSpec, std::less<>> entries_;
 };
 
@@ -77,8 +102,24 @@ class SimulationBuilder {
   /// Starts from an existing configuration.
   explicit SimulationBuilder(SimulationConfig base)
       : config_{std::move(base)} {}
-  /// Starts from a catalogued scenario. \throws ScenarioError when unknown.
+  /// Starts from a full scenario spec (config AND its default policy) —
+  /// e.g. one parsed from a scenario file. The spec's policy is adopted
+  /// verbatim (it was validated when the spec was built); .policy()
+  /// still overrides it.
+  explicit SimulationBuilder(const ScenarioSpec& spec)
+      : config_{spec.config}, policy_spec_{spec.policy} {}
+  /// Starts from a built-in scenario. \throws ScenarioError when unknown.
   [[nodiscard]] static SimulationBuilder scenario(std::string_view name);
+  /// Starts from a scenario of \p catalog (which may hold file-loaded
+  /// entries). \throws ScenarioError when unknown.
+  [[nodiscard]] static SimulationBuilder scenario(std::string_view name,
+                                                  const ScenarioCatalog& catalog);
+
+  /// Resolves policy specs through \p rt instead of the shared default
+  /// runtime — the hook for registerExternal() policies. Set it BEFORE
+  /// .policy(): specs are validated eagerly against the current runtime.
+  /// The runtime must outlive the builder and its factory().
+  SimulationBuilder& runtime(const cellular::PolicyRuntime& rt);
 
   /// \name Run shape
   ///@{
@@ -102,6 +143,13 @@ class SimulationBuilder {
   /// Hoist snapshot-only policy work (FACS: FLC1) off the serialized commit
   /// path (default on; results are bit-identical either way).
   SimulationBuilder& precomputeCv(bool on = true);
+  /// Per-cell capacity override (heterogeneous deployments); repeatable.
+  SimulationBuilder& cellCapacityBu(cellular::CellId cell,
+                                    cellular::BandwidthUnits bu);
+  /// Decide with AdmissionContext::explain set (rationales filled and
+  /// truncations counted in Metrics::truncated_rationales; decisions are
+  /// identical either way).
+  SimulationBuilder& explain(bool on = true);
   ///@}
 
   /// \name User population
@@ -139,8 +187,13 @@ class SimulationBuilder {
   [[nodiscard]] Metrics run() const;
 
  private:
+  [[nodiscard]] const cellular::PolicyRuntime& runtimeOrDefault() const;
+
   SimulationConfig config_{};
   std::string policy_spec_ = "facs";
+  /// Null = the shared default runtime (resolved lazily, so a builder is
+  /// still cheap to default-construct).
+  const cellular::PolicyRuntime* runtime_ = nullptr;
 };
 
 }  // namespace facs::sim

@@ -1,0 +1,108 @@
+#pragma once
+/// \file scenario_file.hpp
+/// Scenario files — the workload counterpart of the fuzzy FDL format
+/// (src/fuzzy/fdl.hpp): a TOML-like text form for everything a
+/// ScenarioSpec holds, so workloads are data, not code. Every built-in
+/// scenario serializes out (`facs_cli --dump-scenario NAME`) and any file
+/// runs back in (`facs_cli --scenario-file PATH`) with bit-identical
+/// metrics at any shard count — the round-trip property the tests and the
+/// CI determinism gate assert.
+///
+/// Grammar (line oriented, '#' starts a comment outside quotes, blank
+/// lines ignored; every `key = value` belongs to the most recent
+/// `[section]` header):
+///
+///   [scenario]
+///   name = "highway"              # required, the catalog key
+///   summary = "one line of docs"
+///   policy = "facs"               # registry spec; validated at parse time
+///
+///   [network]
+///   rings = 1                     # hex rings around the centre cell
+///   cell_radius_km = 2
+///   capacity_bu = 40
+///   handoffs = true
+///   mobility_update_s = 5
+///
+///   [cell 3]                      # optional, repeatable: heterogeneous
+///   capacity_bu = 80              # capacity for one cell of the disk
+///
+///   [run]
+///   requests = 150
+///   window_s = 400
+///   arrivals = "uniform"          # or "poisson"
+///   warmup_s = 0
+///   seed = 1
+///   shards = 1
+///   precompute = true
+///   explain = false
+///
+///   [population]
+///   speed_kmh = [70, 130]         # uniform draw [min, max]
+///   angle_deg = [0, 30]           # [mean, sigma] of the heading deviation
+///   distance_km = [0, 2]          # uniform draw [min, max]
+///   mix = [0.6, 0.3, 0.1]         # text/voice/video arrival fractions
+///   tracking_window_s = 10
+///   gps_fix_period_s = 2
+///   gps_error_m = 10              # or: none  (noiseless ground truth)
+///
+///   [turn]
+///   sigma_max_deg = 10            # heading diffusion at speed 0
+///   v_ref_kmh = 18                # exponential decay scale over speed
+///
+/// Every key is optional except `name`; omitted keys keep the paper's
+/// defaults (a minimal file is just `[scenario]` + `name`). Unknown
+/// sections or keys are errors, not warnings — a typo must not silently
+/// run a different workload. Doubles are written in shortest round-trip
+/// form (std::to_chars), so parse(write(spec)) reproduces the spec bit for
+/// bit and write(parse(text)) is a canonical form.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sim/scenario_catalog.hpp"
+
+namespace facs::sim {
+
+/// Error raised by the scenario-file parser, carrying the source label
+/// (file path, or "<string>" for in-memory text) and the 1-based line.
+/// Policy-spec problems inside a file surface through this type too, so
+/// the message names the offending file and line, not just the raw spec.
+class ScenarioFileError : public std::runtime_error {
+ public:
+  ScenarioFileError(std::string_view source, int line,
+                    const std::string& message);
+
+  /// 1-based source line, or 0 when the problem concerns the whole file.
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses one scenario document. \p source_name labels errors.
+/// \throws ScenarioFileError on any syntax or semantic problem (including
+///         a policy spec \p runtime rejects, and configurations
+///         validateConfig() rejects).
+[[nodiscard]] ScenarioSpec parseScenarioFile(
+    std::string_view text, const cellular::PolicyRuntime& runtime,
+    std::string_view source_name = "<string>");
+
+/// Reads a scenario document from a stream (e.g. std::ifstream).
+[[nodiscard]] ScenarioSpec parseScenarioFile(
+    std::istream& in, const cellular::PolicyRuntime& runtime,
+    std::string_view source_name = "<stream>");
+
+/// Opens and parses the file at \p path; errors name the path.
+/// \throws ScenarioFileError (also when the file cannot be read).
+[[nodiscard]] ScenarioSpec loadScenarioFile(
+    const std::string& path, const cellular::PolicyRuntime& runtime);
+
+/// Serializes a spec to the canonical file form.
+/// parseScenarioFile(writeScenarioFile(s), rt) reproduces \p s exactly
+/// (round-trip property, covered by tests and the CI gate).
+[[nodiscard]] std::string writeScenarioFile(const ScenarioSpec& spec);
+
+}  // namespace facs::sim

@@ -67,7 +67,8 @@ class Engine {
  public:
   Engine(const SimulationConfig& cfg, const ControllerFactory& make_controller)
       : cfg_{cfg},
-        network_{cfg.rings, cfg.cell_radius_km, cfg.capacity_bu},
+        network_{cfg.rings, cfg.cell_radius_km, cfg.capacity_bu,
+                 cfg.cell_capacity_bu},
         controller_{make_controller(network_)},
         shard_count_{std::max(1, std::min(cfg.shards, kMaxShards))},
         pool_{shard_count_},
@@ -156,6 +157,18 @@ class Engine {
 
   [[nodiscard]] bool counted(double now) const noexcept {
     return now >= cfg_.warmup_s;
+  }
+
+  /// Counts rationales cut at ReasonText's inline capacity, so explain-mode
+  /// runs can surface the loss (the CLI warns once per run) instead of
+  /// silently dropping tails. Respects the warmup gate like every other
+  /// counter — only measured decisions are reported. Deterministic:
+  /// decisions do not depend on it.
+  void noteRationale(const cellular::AdmissionDecision& decision,
+                     bool count) noexcept {
+    if (count && decision.rationale.truncated()) {
+      ++metrics_.truncated_rationales;
+    }
   }
 
   // ---------------------------------------------------------------- prepare
@@ -393,7 +406,7 @@ class Engine {
     cellular::BaseStation& station = network_.station(req.target_cell);
     // The prepare phase already ran the snapshot-only stage; decide() now
     // executes only the ledger-dependent stage (FACS: FLC2).
-    const AdmissionContext ctx{station, now, /*explain=*/false, c.predicted};
+    const AdmissionContext ctx{station, now, cfg_.explain, c.predicted};
 
     const bool count = counted(now);
     if (count) {
@@ -402,6 +415,7 @@ class Engine {
     }
 
     const cellular::AdmissionDecision decision = controller_->decide(req, ctx);
+    noteRationale(decision, count);
     // Defence in depth: an accept that does not fit would corrupt the
     // ledger, so the simulator re-checks the invariant the policy promised.
     const bool admit = decision.accept && station.canFit(req.demand_bu);
@@ -463,9 +477,9 @@ class Engine {
     if (count) ++metrics_.handoff_requests;
     // c.predicted was refreshed by the local phase when this crossing was
     // detected, from the identical snapshot req now carries.
-    const AdmissionContext ctx{new_station, now, /*explain=*/false,
-                               c.predicted};
+    const AdmissionContext ctx{new_station, now, cfg_.explain, c.predicted};
     const cellular::AdmissionDecision decision = controller_->decide(req, ctx);
+    noteRationale(decision, count);
     const bool admit = decision.accept && new_station.canFit(req.demand_bu);
 
     noteOccupancy(now);
@@ -513,6 +527,19 @@ class Engine {
 }  // namespace
 
 void validateConfig(const SimulationConfig& cfg) {
+  // Geometry first (mirrors HexNetwork's own checks, so a bad scenario —
+  // in code or from a file — fails at validate time with config
+  // vocabulary, not mid-construction).
+  if (cfg.rings < 0 || cfg.rings > kMaxRings) {
+    throw std::invalid_argument("rings must be in [0, " +
+                                std::to_string(kMaxRings) + "]");
+  }
+  if (!(cfg.cell_radius_km > 0.0)) {
+    throw std::invalid_argument("cell radius must be positive");
+  }
+  if (cfg.capacity_bu <= 0) {
+    throw std::invalid_argument("capacity must be positive");
+  }
   if (cfg.total_requests < 0) {
     throw std::invalid_argument("total_requests must be >= 0");
   }
@@ -528,6 +555,30 @@ void validateConfig(const SimulationConfig& cfg) {
   if (cfg.shards < 1 || cfg.shards > kMaxShards) {
     throw std::invalid_argument("shards must be in [1, " +
                                 std::to_string(kMaxShards) + "]");
+  }
+  {
+    // Mirror HexNetwork's override checks so a bad scenario fails at
+    // validate time with config vocabulary, not mid-construction.
+    const auto cells =
+        static_cast<std::size_t>(cellular::hexDiskCellCount(cfg.rings));
+    std::vector<bool> seen(cells, false);
+    for (const auto& [cell, bu] : cfg.cell_capacity_bu) {
+      if (static_cast<std::size_t>(cell) >= cells) {
+        throw std::invalid_argument(
+            "cell capacity override for cell " + std::to_string(cell) +
+            " outside the " + std::to_string(cells) + "-cell disk");
+      }
+      if (seen[cell]) {
+        throw std::invalid_argument("duplicate cell capacity override for cell " +
+                                    std::to_string(cell));
+      }
+      if (bu <= 0) {
+        throw std::invalid_argument("cell capacity override for cell " +
+                                    std::to_string(cell) +
+                                    " must be positive");
+      }
+      seen[cell] = true;
+    }
   }
   const ScenarioParams& s = cfg.scenario;
   if (s.tracking_window_s < 0.0) {

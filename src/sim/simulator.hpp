@@ -21,6 +21,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "cellular/admission.hpp"
 #include "cellular/network.hpp"
@@ -48,6 +49,10 @@ struct SimulationConfig {
   int rings = 0;
   double cell_radius_km = 10.0;
   cellular::BandwidthUnits capacity_bu = cellular::kPaperCellCapacityBu;
+  /// Per-cell capacities replacing capacity_bu for the named cells
+  /// (heterogeneous deployments; scenario files spell these as `[cell N]`
+  /// sections). Ids must be inside the hex disk and unique.
+  std::vector<cellular::CellCapacityOverride> cell_capacity_bu{};
 
   /// The paper's x-axis: how many connections request admission.
   int total_requests = 50;
@@ -81,16 +86,32 @@ struct SimulationConfig {
   /// Metrics are bit-identical on or off — the toggle exists for the
   /// equivalence tests and for measuring the serial-fraction win.
   bool precompute_cv = true;
+
+  /// Run every admission decision with AdmissionContext::explain set, so
+  /// policies fill their rationale text. Decisions (and thus all counters)
+  /// are identical either way; the engine additionally counts rationales
+  /// that overflowed ReasonText's inline capacity
+  /// (Metrics::truncated_rationales), so cut explanations are detectable
+  /// instead of silently losing their tails. Off by default — rationale
+  /// formatting costs time on the serialized commit path.
+  bool explain = false;
 };
 
 /// Upper bound on SimulationConfig::shards (sanity cap, not a tuning hint:
 /// useful values are <= hardware threads).
 inline constexpr int kMaxShards = 256;
 
+/// Upper bound on SimulationConfig::rings — a sanity cap (788k cells) so
+/// an absurd value in an untrusted scenario file is rejected at validate
+/// time instead of overflowing hexDiskCellCount() or exhausting memory.
+inline constexpr int kMaxRings = 512;
+
 /// Builds a fresh admission controller for a run. Receives the network so
 /// topology-aware policies (SCC) can hold a reference to it. Obtain one
-/// from `cellular::PolicyRegistry::global().makeFactory("facs")` (or any
-/// other registered spec) rather than constructing controllers by hand.
+/// from a `cellular::PolicyRuntime` — e.g.
+/// `cellular::PolicyRuntime::defaultRuntime().makeFactory("facs")`, or an
+/// instance extended with `registerExternal()` — rather than constructing
+/// controllers by hand.
 using ControllerFactory = cellular::ControllerFactory;
 
 /// Checks a configuration for nonsensical values (negative request counts,

@@ -80,7 +80,7 @@ TEST(PolicyRegistry, EveryEntryHasDocs) {
 /// single-cell network and produces a sane decision.
 TEST(PolicyRegistry, RoundTripEveryPolicyOnPaperCell) {
   const sim::SimulationConfig paper =
-      sim::ScenarioCatalog::global().at("paper-single-cell").config;
+      sim::ScenarioCatalog::builtins().at("paper-single-cell").config;
   const HexNetwork net{paper.rings, paper.cell_radius_km, paper.capacity_bu};
 
   CallRequest request;

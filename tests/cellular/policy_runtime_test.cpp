@@ -1,0 +1,130 @@
+#include "cellular/policy_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cac/baselines.hpp"
+#include "cellular/network.hpp"
+
+namespace facs::cellular {
+namespace {
+
+/// A registerExternal() payload: any controller works, the tests only care
+/// about resolution, so reuse the complete-sharing baseline.
+PolicyRegistry::Builder stubBuilder() {
+  return [](const PolicySpec&) -> ControllerFactory {
+    return [](const HexNetwork&) {
+      return std::make_unique<cac::CompleteSharingController>();
+    };
+  };
+}
+
+TEST(PolicyRuntime, SnapshotsTheRegistrarSeed) {
+  const PolicyRuntime runtime;
+  for (const char* name :
+       {"cs", "facs", "guard", "rsv", "scc", "sir", "threshold"}) {
+    EXPECT_TRUE(runtime.contains(name)) << name;
+  }
+  EXPECT_EQ(runtime.names(), PolicyRegistry::global().names());
+  EXPECT_EQ(runtime.describeAll(), PolicyRegistry::global().describeAll());
+}
+
+TEST(PolicyRuntime, DefaultRuntimeResolvesEveryBuiltin) {
+  const PolicyRuntime& runtime = PolicyRuntime::defaultRuntime();
+  const HexNetwork net{0};
+  for (const std::string& name : runtime.names()) {
+    EXPECT_NE(runtime.makeController(name, net), nullptr) << name;
+  }
+  // The default runtime is one shared instance, not a fresh copy per call.
+  EXPECT_EQ(&PolicyRuntime::defaultRuntime(), &runtime);
+}
+
+TEST(PolicyRuntime, RegisterExternalExtendsOnlyThisInstance) {
+  PolicyRuntime extended;
+  extended.registerExternal({"always-yes", "test stub", "always-yes"},
+                            stubBuilder());
+  EXPECT_TRUE(extended.contains("always-yes"));
+
+  const HexNetwork net{0};
+  EXPECT_NE(extended.makeController("always-yes", net), nullptr);
+
+  // No bleed: a sibling runtime, the default runtime and the registrar
+  // seed all stay unextended.
+  const PolicyRuntime sibling;
+  EXPECT_FALSE(sibling.contains("always-yes"));
+  EXPECT_FALSE(PolicyRuntime::defaultRuntime().contains("always-yes"));
+  EXPECT_FALSE(PolicyRegistry::global().contains("always-yes"));
+  EXPECT_THROW((void)sibling.makeFactory("always-yes"), PolicySpecError);
+
+  // And a runtime constructed AFTER the extension still snapshots the
+  // pristine seed.
+  const PolicyRuntime later;
+  EXPECT_FALSE(later.contains("always-yes"));
+}
+
+TEST(PolicyRuntime, TwoRuntimesWithDifferentExternalsDontBleed) {
+  PolicyRuntime a;
+  PolicyRuntime b;
+  a.registerExternal({"only-in-a", "s", "only-in-a"}, stubBuilder());
+  b.registerExternal({"only-in-b", "s", "only-in-b"}, stubBuilder());
+  EXPECT_TRUE(a.contains("only-in-a"));
+  EXPECT_FALSE(a.contains("only-in-b"));
+  EXPECT_TRUE(b.contains("only-in-b"));
+  EXPECT_FALSE(b.contains("only-in-a"));
+}
+
+TEST(PolicyRuntime, ExternalDuplicateOfBuiltinThrows) {
+  PolicyRuntime runtime;
+  EXPECT_THROW(runtime.registerExternal({"facs", "imposter", "facs"},
+                                        stubBuilder()),
+               std::logic_error);
+  runtime.registerExternal({"mine", "s", "mine"}, stubBuilder());
+  EXPECT_THROW(runtime.registerExternal({"mine", "s", "mine"}, stubBuilder()),
+               std::logic_error);
+}
+
+TEST(PolicyRuntime, CustomSeedReplacesTheBuiltins) {
+  PolicyRegistry seed;
+  seed.add({"solo", "the only policy", "solo"}, stubBuilder());
+  const PolicyRuntime runtime{std::move(seed)};
+  EXPECT_TRUE(runtime.contains("solo"));
+  EXPECT_FALSE(runtime.contains("facs"));
+  EXPECT_EQ(runtime.names(), std::vector<std::string>{"solo"});
+}
+
+TEST(PolicyRuntime, ConcurrentConstructionAndResolutionIsSafe) {
+  // Many threads snapshotting the seed, extending their own instance and
+  // resolving from the shared default runtime at once — the TSan CI job
+  // gates this (each runtime's mutable state is thread-local here; the
+  // seed and defaultRuntime() are only read).
+  constexpr int kThreads = 8;
+  std::vector<std::thread> pool;
+  std::vector<int> resolved(kThreads, 0);
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t, &resolved] {
+      const HexNetwork net{0};
+      for (int round = 0; round < 10; ++round) {
+        PolicyRuntime mine;
+        mine.registerExternal(
+            {"local-" + std::to_string(t), "s", "local"}, stubBuilder());
+        if (mine.makeController("local-" + std::to_string(t), net)) {
+          ++resolved[t];
+        }
+        if (PolicyRuntime::defaultRuntime().makeController("guard:4", net)) {
+          ++resolved[t];
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(resolved[t], 20) << t;
+  EXPECT_FALSE(PolicyRuntime::defaultRuntime().contains("local-0"));
+}
+
+}  // namespace
+}  // namespace facs::cellular

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "cellular/policy_registry.hpp"
+#include "sim/scenario_file.hpp"
 
 namespace facs::sim {
 namespace {
@@ -96,7 +99,7 @@ TEST(Cli, ShardsFlagParsesAndValidates) {
 TEST(Cli, ListScenariosShowsCellCounts) {
   // Operators pick shard counts by cell count, so the catalog dump carries
   // it: "[7 cells, shards 4]" style annotations per entry.
-  const std::string dump = ScenarioCatalog::global().describeAll();
+  const std::string dump = ScenarioCatalog::builtins().describeAll();
   EXPECT_NE(dump.find("[1 cell, shards 1]"), std::string::npos) << dump;
   EXPECT_NE(dump.find("[7 cells, shards 4]"), std::string::npos) << dump;
 }
@@ -104,6 +107,93 @@ TEST(Cli, ListScenariosShowsCellCounts) {
 TEST(Cli, ListFlags) {
   EXPECT_TRUE(parseCli({"--list-policies"}).list_policies);
   EXPECT_TRUE(parseCli({"--list-scenarios"}).list_scenarios);
+}
+
+TEST(Cli, ScenarioFileSetsTheBaseConfig) {
+  const std::string path = testing::TempDir() + "/cli_scenario.scn";
+  {
+    ScenarioSpec spec = ScenarioCatalog::builtins().at("highway");
+    spec.name = "cli-highway";
+    spec.policy = "guard:6";
+    std::ofstream out{path};
+    out << writeScenarioFile(spec);
+  }
+  const CliOptions opt = parseCli({"--scenario-file", path});
+  EXPECT_EQ(opt.scenario, "cli-highway");
+  EXPECT_EQ(opt.scenario_file, path);
+  EXPECT_EQ(opt.config.rings, 1);
+  EXPECT_DOUBLE_EQ(opt.config.cell_radius_km, 2.0);
+  // The file's policy becomes the default...
+  EXPECT_EQ(opt.policy, "guard:6");
+  // ...and an explicit --policy still wins, in either flag order.
+  EXPECT_EQ(parseCli({"--scenario-file", path, "--policy", "scc"}).policy,
+            "scc");
+  EXPECT_EQ(parseCli({"--policy", "scc", "--scenario-file", path}).policy,
+            "scc");
+  // Flags override the file base like they override --scenario.
+  EXPECT_EQ(parseCli({"--scenario-file", path, "--requests", "9"})
+                .config.total_requests,
+            9);
+}
+
+TEST(Cli, ScenarioFileErrorsCarryFileAndLine) {
+  const std::string path = testing::TempDir() + "/cli_bad.scn";
+  {
+    std::ofstream out{path};
+    out << "[scenario]\nname = \"bad\"\npolicy = \"guard:-1\"\n";
+  }
+  try {
+    (void)parseCli({"--scenario-file", path});
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find(":3:"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)parseCli({"--scenario-file", "/nonexistent.scn"}),
+               CliError);
+  EXPECT_THROW((void)parseCli({"--scenario-file"}), CliError);
+}
+
+TEST(Cli, DumpScenarioValidatesTheName) {
+  EXPECT_EQ(parseCli({"--dump-scenario", "highway"}).dump_scenario,
+            "highway");
+  EXPECT_THROW((void)parseCli({"--dump-scenario", "mars-base"}), CliError);
+  EXPECT_THROW((void)parseCli({"--dump-scenario"}), CliError);
+  // "-" means the composed run and needs no catalog entry; the summary is
+  // kept so the dump round-trips the whole spec.
+  const CliOptions opt =
+      parseCli({"--scenario", "highway", "--requests", "9",
+                "--dump-scenario", "-"});
+  EXPECT_EQ(opt.dump_scenario, "-");
+  EXPECT_EQ(opt.scenario_summary,
+            ScenarioCatalog::builtins().at("highway").summary);
+  EXPECT_EQ(opt.config.total_requests, 9);
+}
+
+TEST(Cli, ExplainAndJsonFlags) {
+  EXPECT_FALSE(parseCli({}).explain);
+  EXPECT_FALSE(parseCli({}).config.explain);
+  EXPECT_FALSE(parseCli({}).json);
+  const CliOptions opt = parseCli({"--explain", "--json"});
+  EXPECT_TRUE(opt.explain);
+  EXPECT_TRUE(opt.config.explain);
+  EXPECT_TRUE(opt.json);
+}
+
+TEST(Cli, CustomRuntimeResolvesExternalPolicies) {
+  cellular::PolicyRuntime extended;
+  extended.registerExternal(
+      {"cli-plugin", "test stub", "cli-plugin"},
+      [](const cellular::PolicySpec&) -> ControllerFactory {
+        return cellular::PolicyRuntime::defaultRuntime().makeFactory("cs");
+      });
+  const CliOptions opt = parseCli({"--policy", "cli-plugin"}, extended,
+                                  ScenarioCatalog::builtins());
+  EXPECT_EQ(opt.policy, "cli-plugin");
+  EXPECT_NE(makeFactory(opt, extended), nullptr);
+  // The default runtime (and thus the default overload) never sees it.
+  EXPECT_THROW((void)parseCli({"--policy", "cli-plugin"}), CliError);
 }
 
 TEST(Cli, ParsesWorkloadFlags) {
@@ -167,7 +257,7 @@ TEST(Cli, HelpFlag) {
   for (const std::string& name : cellular::PolicyRegistry::global().names()) {
     EXPECT_NE(usage.find(name), std::string::npos) << name;
   }
-  for (const std::string& name : ScenarioCatalog::global().names()) {
+  for (const std::string& name : ScenarioCatalog::builtins().names()) {
     EXPECT_NE(usage.find(name), std::string::npos) << name;
   }
 }

@@ -10,7 +10,7 @@ namespace facs::sim {
 namespace {
 
 TEST(ScenarioCatalog, BuiltinScenariosAreCatalogued) {
-  const ScenarioCatalog& catalog = ScenarioCatalog::global();
+  const ScenarioCatalog& catalog = ScenarioCatalog::builtins();
   const std::vector<std::string> names = catalog.names();
   for (const char* expected :
        {"paper-single-cell", "urban-walkers", "highway", "stadium-burst",
@@ -24,22 +24,22 @@ TEST(ScenarioCatalog, BuiltinScenariosAreCatalogued) {
 }
 
 TEST(ScenarioCatalog, EveryScenarioValidates) {
-  for (const std::string& name : ScenarioCatalog::global().names()) {
-    EXPECT_NO_THROW(validateConfig(ScenarioCatalog::global().at(name).config))
+  for (const std::string& name : ScenarioCatalog::builtins().names()) {
+    EXPECT_NO_THROW(validateConfig(ScenarioCatalog::builtins().at(name).config))
         << name;
   }
 }
 
 TEST(ScenarioCatalog, PaperScenarioMatchesPaperDefaults) {
   const SimulationConfig& cfg =
-      ScenarioCatalog::global().at("paper-single-cell").config;
+      ScenarioCatalog::builtins().at("paper-single-cell").config;
   EXPECT_EQ(cfg.rings, 0);
   EXPECT_EQ(cfg.capacity_bu, cellular::kPaperCellCapacityBu);
   EXPECT_DOUBLE_EQ(cfg.cell_radius_km, 10.0);
 }
 
 TEST(ScenarioCatalog, UnknownScenarioThrows) {
-  EXPECT_THROW((void)ScenarioCatalog::global().at("mars-base"), ScenarioError);
+  EXPECT_THROW((void)ScenarioCatalog::builtins().at("mars-base"), ScenarioError);
   EXPECT_THROW((void)SimulationBuilder::scenario("mars-base"), ScenarioError);
 }
 
@@ -106,10 +106,94 @@ TEST(SimulationBuilder, RunIsDeterministicPerSeed) {
   EXPECT_DOUBLE_EQ(run(5), run(5));
 }
 
+TEST(ScenarioCatalog, AddExtendsOnlyThisInstance) {
+  ScenarioCatalog mine;
+  ScenarioSpec spec = ScenarioCatalog::builtins().at("highway");
+  spec.name = "autobahn";
+  mine.add(spec);
+  EXPECT_TRUE(mine.contains("autobahn"));
+  EXPECT_TRUE(mine.contains("highway"));  // built-ins seed every instance
+  EXPECT_FALSE(ScenarioCatalog::builtins().contains("autobahn"));
+  EXPECT_THROW(mine.add(spec), ScenarioError);  // duplicate
+  spec.name = "";
+  EXPECT_THROW(mine.add(spec), ScenarioError);  // unnamed
+}
+
+TEST(SimulationBuilder, SpecConstructorAdoptsThePolicy) {
+  ScenarioSpec spec = ScenarioCatalog::builtins().at("paper-single-cell");
+  spec.policy = "guard:8";
+  const SimulationBuilder builder{spec};
+  EXPECT_EQ(builder.policySpec(), "guard:8");
+  // .policy() still overrides the scenario default.
+  EXPECT_EQ(SimulationBuilder{spec}.policy("cs").policySpec(), "cs");
+}
+
+TEST(SimulationBuilder, CustomRuntimeResolvesExternalPolicies) {
+  cellular::PolicyRuntime extended;
+  extended.registerExternal(
+      {"builder-plugin", "test stub", "builder-plugin"},
+      [](const cellular::PolicySpec&) -> ControllerFactory {
+        return cellular::PolicyRuntime::defaultRuntime().makeFactory("cs");
+      });
+  const Metrics m = SimulationBuilder{}
+                        .runtime(extended)
+                        .requests(10)
+                        .trackingWindow(0.0)
+                        .noGps()
+                        .policy("builder-plugin")
+                        .run();
+  EXPECT_EQ(m.new_requests, 10);
+  // Without the runtime, the spec is unknown — no bleed into the default.
+  EXPECT_THROW((void)SimulationBuilder{}.policy("builder-plugin"),
+               cellular::PolicySpecError);
+}
+
+TEST(SimulationBuilder, ExplainTogglesRationalesWithoutChangingDecisions) {
+  const auto run = [](bool explain) {
+    return SimulationBuilder{}
+        .requests(30)
+        .trackingWindow(0.0)
+        .noGps()
+        .seed(11)
+        .explain(explain)
+        .policy("facs")
+        .run();
+  };
+  const Metrics quiet = run(false);
+  const Metrics verbose = run(true);
+  EXPECT_EQ(quiet.new_accepted, verbose.new_accepted);
+  EXPECT_EQ(quiet.engine_events, verbose.engine_events);
+  // Built-in rationales fit the inline buffer; nothing is truncated.
+  EXPECT_EQ(quiet.truncated_rationales, 0);
+  EXPECT_EQ(verbose.truncated_rationales, 0);
+}
+
+TEST(SimulationBuilder, CellCapacityOverridesValidateAndApply) {
+  // cell 0 starved to 5 BU: the run sees the reduced total capacity.
+  const Metrics m = SimulationBuilder{}
+                        .requests(20)
+                        .trackingWindow(0.0)
+                        .noGps()
+                        .cellCapacityBu(0, 5)
+                        .policy("cs")
+                        .run();
+  EXPECT_EQ(m.total_capacity_bu, 5);
+  // Out-of-disk and duplicate overrides fail at build() time.
+  EXPECT_THROW((void)SimulationBuilder{}.cellCapacityBu(7, 5).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)SimulationBuilder{}
+                   .cellCapacityBu(0, 5)
+                   .cellCapacityBu(0, 9)
+                   .build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)SimulationBuilder{}.cellCapacityBu(0, 0).build(),
+               std::invalid_argument);
+}
+
 TEST(SimulationBuilder, CatalogEntriesRunUnderEveryPolicy) {
   // Smoke: the whole catalog x a few registry specs. Scale the heavier
   // scenarios down so this stays a unit test.
-  for (const std::string& scenario : ScenarioCatalog::global().names()) {
+  for (const std::string& scenario : ScenarioCatalog::builtins().names()) {
     for (const char* policy : {"facs", "cs", "guard:8"}) {
       const Metrics m = SimulationBuilder::scenario(scenario)
                             .requests(20)

@@ -1,0 +1,369 @@
+#include "sim/scenario_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "cellular/policy_registry.hpp"
+#include "sim/scenario_catalog.hpp"
+
+namespace facs::sim {
+namespace {
+
+const cellular::PolicyRuntime& runtime() {
+  return cellular::PolicyRuntime::defaultRuntime();
+}
+
+/// Deterministic-counter equality via the diffable JSON form (exactly what
+/// the CI round-trip gate compares): every counter and every double, no
+/// wall-clock noise.
+void expectSameMetrics(const Metrics& a, const Metrics& b,
+                       const std::string& label) {
+  EXPECT_EQ(a.toJson(), b.toJson()) << label;
+}
+
+TEST(ScenarioFile, EveryBuiltinRoundTripsBitIdentically) {
+  for (const std::string& name : ScenarioCatalog::builtins().names()) {
+    const ScenarioSpec& original = ScenarioCatalog::builtins().at(name);
+    const std::string text = writeScenarioFile(original);
+    const ScenarioSpec parsed = parseScenarioFile(text, runtime(), name);
+
+    // The golden property: file -> catalog -> file reproduces the text
+    // byte for byte (write() is a canonical form)...
+    EXPECT_EQ(writeScenarioFile(parsed), text) << name;
+    EXPECT_EQ(parsed.name, original.name);
+    EXPECT_EQ(parsed.summary, original.summary) << name;
+    EXPECT_EQ(parsed.policy, original.policy) << name;
+
+    // ...and the parsed config simulates bit-identically to the in-code
+    // definition, serial and sharded.
+    const ControllerFactory factory = runtime().makeFactory(parsed.policy);
+    for (const int shards : {1, 3}) {
+      SimulationConfig in_code = original.config;
+      SimulationConfig from_file = parsed.config;
+      in_code.shards = shards;
+      from_file.shards = shards;
+      expectSameMetrics(runSimulation(in_code, factory),
+                        runSimulation(from_file, factory),
+                        name + " @shards=" + std::to_string(shards));
+    }
+  }
+}
+
+TEST(ScenarioFile, MinimalFileKeepsPaperDefaults) {
+  const ScenarioSpec spec =
+      parseScenarioFile("[scenario]\nname = \"bare\"\n", runtime());
+  EXPECT_EQ(spec.name, "bare");
+  EXPECT_EQ(spec.policy, "facs");
+  // The whole config is the paper default — canonical text proves it.
+  ScenarioSpec defaults;
+  defaults.name = "bare";
+  EXPECT_EQ(writeScenarioFile(spec), writeScenarioFile(defaults));
+}
+
+TEST(ScenarioFile, CommentsQuotesAndSpacingAreTolerated) {
+  const ScenarioSpec spec = parseScenarioFile(
+      "# leading comment\n"
+      "\n"
+      "[scenario]\n"
+      "  name   =   \"spaced # not a comment\"   # trailing comment\n"
+      "summary = \"escaped \\\"quote\\\" and backslash \\\\\" # comment\n"
+      "[run]\n"
+      "requests = 7\n",
+      runtime());
+  EXPECT_EQ(spec.name, "spaced # not a comment");
+  EXPECT_EQ(spec.summary, "escaped \"quote\" and backslash \\");
+  EXPECT_EQ(spec.config.total_requests, 7);
+}
+
+TEST(ScenarioFile, ParsesEveryConfigField) {
+  const ScenarioSpec spec = parseScenarioFile(
+      "[scenario]\n"
+      "name = \"full\"\n"
+      "policy = \"guard:8\"\n"
+      "[network]\n"
+      "rings = 2\n"
+      "cell_radius_km = 1.25\n"
+      "capacity_bu = 60\n"
+      "handoffs = true\n"
+      "mobility_update_s = 2.5\n"
+      "[cell 3]\n"
+      "capacity_bu = 80\n"
+      "[cell 11]\n"
+      "capacity_bu = 20\n"
+      "[run]\n"
+      "requests = 321\n"
+      "window_s = 123.5\n"
+      "arrivals = \"poisson\"\n"
+      "warmup_s = 60\n"
+      "seed = 12345678901234567890\n"
+      "shards = 5\n"
+      "precompute = false\n"
+      "explain = true\n"
+      "[population]\n"
+      "speed_kmh = [3, 9]\n"
+      "angle_deg = [10, 20]\n"
+      "distance_km = [0.5, 1.5]\n"
+      "mix = [0.25, 0.25, 0.5]\n"
+      "tracking_window_s = 12\n"
+      "gps_fix_period_s = 3\n"
+      "gps_error_m = none\n"
+      "[turn]\n"
+      "sigma_max_deg = 55\n"
+      "v_ref_kmh = 21\n",
+      runtime());
+  const SimulationConfig& cfg = spec.config;
+  EXPECT_EQ(spec.policy, "guard:8");
+  EXPECT_EQ(cfg.rings, 2);
+  EXPECT_DOUBLE_EQ(cfg.cell_radius_km, 1.25);
+  EXPECT_EQ(cfg.capacity_bu, 60);
+  EXPECT_TRUE(cfg.enable_handoffs);
+  EXPECT_DOUBLE_EQ(cfg.mobility_update_s, 2.5);
+  ASSERT_EQ(cfg.cell_capacity_bu.size(), 2u);
+  EXPECT_EQ(cfg.cell_capacity_bu[0],
+            (cellular::CellCapacityOverride{3, 80}));
+  EXPECT_EQ(cfg.cell_capacity_bu[1],
+            (cellular::CellCapacityOverride{11, 20}));
+  EXPECT_EQ(cfg.total_requests, 321);
+  EXPECT_DOUBLE_EQ(cfg.arrival_window_s, 123.5);
+  EXPECT_EQ(cfg.arrivals, ArrivalProcess::Poisson);
+  EXPECT_DOUBLE_EQ(cfg.warmup_s, 60.0);
+  EXPECT_EQ(cfg.seed, 12345678901234567890ull);
+  EXPECT_EQ(cfg.shards, 5);
+  EXPECT_FALSE(cfg.precompute_cv);
+  EXPECT_TRUE(cfg.explain);
+  EXPECT_DOUBLE_EQ(cfg.scenario.speed_min_kmh, 3.0);
+  EXPECT_DOUBLE_EQ(cfg.scenario.speed_max_kmh, 9.0);
+  EXPECT_DOUBLE_EQ(cfg.scenario.angle_mean_deg, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.scenario.angle_sigma_deg, 20.0);
+  EXPECT_DOUBLE_EQ(cfg.scenario.distance_min_km, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.scenario.distance_max_km, 1.5);
+  EXPECT_DOUBLE_EQ(
+      cfg.scenario.mix.fraction(cellular::ServiceClass::Video), 0.5);
+  EXPECT_DOUBLE_EQ(cfg.scenario.tracking_window_s, 12.0);
+  EXPECT_DOUBLE_EQ(cfg.scenario.gps_fix_period_s, 3.0);
+  EXPECT_FALSE(cfg.scenario.gps_error_m.has_value());
+  EXPECT_DOUBLE_EQ(cfg.scenario.turn.sigma_max_deg, 55.0);
+  EXPECT_DOUBLE_EQ(cfg.scenario.turn.v_ref_kmh, 21.0);
+
+  // A full custom spec round-trips too, overrides included.
+  EXPECT_EQ(writeScenarioFile(parseScenarioFile(writeScenarioFile(spec),
+                                                runtime())),
+            writeScenarioFile(spec));
+}
+
+TEST(ScenarioFile, CapacityOverridesShapeTheRun) {
+  const ScenarioSpec starved = parseScenarioFile(
+      "[scenario]\nname = \"starved\"\npolicy = \"cs\"\n"
+      "[run]\nrequests = 60\n"
+      "[population]\ntracking_window_s = 0\ngps_error_m = none\n"
+      "[cell 0]\ncapacity_bu = 5\n",
+      runtime());
+  ScenarioSpec roomy = starved;
+  roomy.config.cell_capacity_bu.clear();
+  const ControllerFactory cs = runtime().makeFactory("cs");
+  const Metrics tight = runSimulation(starved.config, cs);
+  const Metrics loose = runSimulation(roomy.config, cs);
+  EXPECT_EQ(tight.total_capacity_bu, 5);
+  EXPECT_EQ(loose.total_capacity_bu, 40);
+  EXPECT_LT(tight.new_accepted, loose.new_accepted);
+}
+
+// ---------------------------------------------------------------- errors --
+
+/// The parse must fail, the message must carry the source label and the
+/// expected 1-based line, and the structured line() must agree.
+void expectError(std::string_view text, int line,
+                 std::string_view message_fragment) {
+  try {
+    (void)parseScenarioFile(text, runtime(), "bad.scn");
+    FAIL() << "expected ScenarioFileError for: " << text;
+  } catch (const ScenarioFileError& e) {
+    EXPECT_EQ(e.line(), line) << e.what();
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad.scn"), std::string::npos) << what;
+    if (line > 0) {
+      EXPECT_NE(what.find(":" + std::to_string(line) + ":"),
+                std::string::npos)
+          << what;
+    }
+    EXPECT_NE(what.find(message_fragment), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioFile, UnknownKeysAndSectionsAreErrors) {
+  expectError("[scenario]\nname = \"x\"\nbogus = 1\n", 3, "unknown key");
+  expectError("[scenario]\nname = \"x\"\n[warp]\n", 3, "unknown section");
+  expectError("[scenario]\nname = \"x\"\n[network]\nrequests = 5\n", 4,
+              "unknown key 'requests'");
+}
+
+TEST(ScenarioFile, BadPolicySpecNamesFileAndLine) {
+  expectError("[scenario]\nname = \"x\"\npolicy = \"guard:8.5\"\n", 3,
+              "policy 'guard'");
+  expectError("[scenario]\nname = \"x\"\npolicy = \"warp-speed\"\n", 3,
+              "unknown policy 'warp-speed'");
+}
+
+TEST(ScenarioFile, DuplicateCellIdIsAnError) {
+  expectError(
+      "[scenario]\nname = \"x\"\n[network]\nrings = 1\n"
+      "[cell 2]\ncapacity_bu = 50\n[cell 2]\ncapacity_bu = 60\n",
+      7, "duplicate cell id 2");
+}
+
+TEST(ScenarioFile, CellSectionProblems) {
+  expectError("[scenario]\nname = \"x\"\n[cell]\ncapacity_bu = 5\n", 3,
+              "needs an id");
+  expectError("[scenario]\nname = \"x\"\n[cell 0]\n", 3,
+              "sets no capacity_bu");
+  expectError("[scenario]\nname = \"x\"\n[cell 0]\nrings = 1\n", 4,
+              "unknown key 'rings'");
+  // Out-of-disk ids are a whole-file (validate-time) error: the disk size
+  // is only known once [network] rings is final.
+  expectError("[scenario]\nname = \"x\"\n[cell 7]\ncapacity_bu = 5\n", 0,
+              "outside the 1-cell disk");
+}
+
+TEST(ScenarioFile, MalformedValuesAreErrors) {
+  expectError("[scenario]\nname = \"x\"\n[run]\nrequests = many\n", 4,
+              "expects an integer");
+  expectError("[scenario]\nname = \"x\"\n[run]\nrequests = 1.5\n", 4,
+              "expects an integer");
+  expectError("[scenario]\nname = \"x\"\n[run]\nseed = -1\n", 4,
+              "non-negative");
+  expectError("[scenario]\nname = \"x\"\n[network]\nhandoffs = yes\n", 4,
+              "expects true or false");
+  expectError("[scenario]\nname = \"x\"\n[run]\narrivals = \"burst\"\n", 4,
+              "uniform");
+  expectError("[scenario]\nname = \"x\"\nsummary = unquoted\n", 3,
+              "quoted string");
+  // Strict string scanning: no silent garbage from malformed quoting.
+  expectError("[scenario]\nname = \"a\" \"b\"\n", 2,
+              "after the closing quote");
+  expectError("[scenario]\nname = \"oops\\\"\n", 2, "unterminated");
+  expectError("[scenario]\nname = \"x\"\nsummary = \"tail\\\n", 3,
+              "dangling escape");
+  expectError("[scenario]\nname = \"x\"\n[population]\nspeed_kmh = [1]\n", 4,
+              "exactly 2");
+  expectError(
+      "[scenario]\nname = \"x\"\n[population]\nmix = [0.5, 0.2, 0.1]\n", 4,
+      "sum");
+  expectError("[scenario]\nname = \"x\"\n[population]\nmix = [1, 0, 0,]\n",
+              4, "trailing comma");
+  // Non-finite numbers are rejected at the line, not deep inside the run.
+  expectError("[scenario]\nname = \"x\"\n[run]\nwarmup_s = nan\n", 4,
+              "finite");
+  expectError("[scenario]\nname = \"x\"\n[run]\nwindow_s = inf\n", 4,
+              "finite");
+}
+
+TEST(ScenarioFile, StructuralProblemsAreErrors) {
+  expectError("name = \"x\"\n", 1, "before any [section]");
+  expectError("[scenario\nname = \"x\"\n", 1, "unterminated section");
+  expectError("[scenario]\nname = \"x\"\nname = \"y\"\n", 3,
+              "duplicate key 'name'");
+  expectError("[scenario]\nname = \"x\"\n[scenario]\n", 3,
+              "duplicate section");
+  expectError("[scenario]\nname = \"x\"\njust words\n", 3,
+              "expected 'key = value'");
+  expectError("[scenario]\nname = \"x\"\nsummary =\n", 3, "no value");
+  expectError("[scenario]\nsummary = \"no name\"\n", 0, "missing [scenario]");
+  expectError("[scenario]\nname = \"\"\n", 2, "must not be empty");
+}
+
+TEST(ScenarioFile, InvalidConfigsFailAtParseTime) {
+  // validateConfig() vocabulary, attributed to the file as a whole.
+  expectError("[scenario]\nname = \"x\"\n[run]\nrequests = -4\n", 0,
+              "total_requests");
+  expectError("[scenario]\nname = \"x\"\n[run]\nshards = 0\n", 0, "shards");
+  // Geometry too — a bad network must not survive to HexNetwork's ctor.
+  expectError("[scenario]\nname = \"x\"\n[network]\nrings = -1\n", 0,
+              "rings");
+  expectError("[scenario]\nname = \"x\"\n[network]\ncell_radius_km = -1\n",
+              0, "cell radius");
+  expectError("[scenario]\nname = \"x\"\n[network]\ncapacity_bu = 0\n", 0,
+              "capacity");
+  // Absurd ring counts are capped before any cell math can overflow.
+  expectError("[scenario]\nname = \"x\"\n[network]\nrings = 2000000000\n", 0,
+              "rings");
+}
+
+TEST(ScenarioFile, LineBreaksInStringsRoundTrip) {
+  ScenarioSpec spec;
+  spec.name = "multiline";
+  spec.summary = "line1\nline2\r\nliteral \\n stays";
+  const std::string text = writeScenarioFile(spec);
+  const ScenarioSpec parsed = parseScenarioFile(text, runtime());
+  EXPECT_EQ(parsed.summary, spec.summary);
+  EXPECT_EQ(writeScenarioFile(parsed), text);
+
+  // Even a line break in the NAME (legal in the string grammar) must not
+  // leak out of the writer's header comment and break the fixed point.
+  spec.name = "evil\nname";
+  const std::string evil = writeScenarioFile(spec);
+  const ScenarioSpec reparsed = parseScenarioFile(evil, runtime());
+  EXPECT_EQ(reparsed.name, spec.name);
+  EXPECT_EQ(writeScenarioFile(reparsed), evil);
+}
+
+TEST(ScenarioFile, LoadNamesThePathOnMissingFile) {
+  try {
+    (void)loadScenarioFile("/nonexistent/nowhere.scn", runtime());
+    FAIL() << "expected ScenarioFileError";
+  } catch (const ScenarioFileError& e) {
+    EXPECT_NE(std::string{e.what()}.find("/nonexistent/nowhere.scn"),
+              std::string::npos);
+  }
+}
+
+TEST(ScenarioFile, ExternalPoliciesResolveThroughTheGivenRuntime) {
+  // A file naming a registerExternal() policy parses against the extended
+  // runtime and fails against the default one — the isolation the
+  // instance-scoped design promises.
+  cellular::PolicyRuntime extended;
+  extended.registerExternal(
+      {"plugin", "test stub", "plugin"},
+      [](const cellular::PolicySpec&) -> ControllerFactory {
+        return cellular::PolicyRuntime::defaultRuntime().makeFactory("cs");
+      });
+  const std::string text =
+      "[scenario]\nname = \"plugged\"\npolicy = \"plugin\"\n";
+  EXPECT_EQ(parseScenarioFile(text, extended).policy, "plugin");
+  expectError(text, 3, "unknown policy 'plugin'");
+}
+
+TEST(ScenarioCatalogFiles, AddFileCataloguesAndRejectsDuplicates) {
+  const std::string path = testing::TempDir() + "/catalogued.scn";
+  {
+    std::ofstream out{path};
+    out << writeScenarioFile(ScenarioCatalog::builtins().at("highway"));
+  }
+  ScenarioCatalog catalog;
+  EXPECT_THROW(catalog.addFile(path, runtime()), ScenarioError)
+      << "duplicate of the built-in name must be rejected";
+
+  ScenarioSpec renamed = ScenarioCatalog::builtins().at("highway");
+  renamed.name = "highway-prime";
+  {
+    std::ofstream out{path};
+    out << writeScenarioFile(renamed);
+  }
+  const ScenarioSpec& added = catalog.addFile(path, runtime());
+  EXPECT_EQ(added.name, "highway-prime");
+  EXPECT_TRUE(catalog.contains("highway-prime"));
+  EXPECT_FALSE(ScenarioCatalog::builtins().contains("highway-prime"));
+
+  // File-loaded entries drive the builder exactly like built-ins.
+  const Metrics from_catalog =
+      SimulationBuilder::scenario("highway-prime", catalog)
+          .requests(25)
+          .trackingWindow(0.0)
+          .noGps()
+          .run();
+  EXPECT_EQ(from_catalog.new_requests, 25);
+}
+
+}  // namespace
+}  // namespace facs::sim

@@ -52,6 +52,7 @@ void expectBitIdentical(const Metrics& a, const Metrics& b,
   EXPECT_EQ(a.observed_span_s, b.observed_span_s) << label;
   EXPECT_EQ(a.total_capacity_bu, b.total_capacity_bu) << label;
   EXPECT_EQ(a.engine_events, b.engine_events) << label;
+  EXPECT_EQ(a.truncated_rationales, b.truncated_rationales) << label;
 }
 
 TEST(ShardedEngine, BitIdenticalAcrossShardCountsFacs) {

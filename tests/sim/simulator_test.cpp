@@ -239,5 +239,48 @@ TEST(Simulator, UtilizationBoundedByCapacity) {
   EXPECT_LE(m.meanUtilization(), 1.0 + 1e-9);
 }
 
+/// Test policy whose explain-mode rationale never fits ReasonText's inline
+/// buffer, so every explained decision trips truncated().
+class VerbosePolicy final : public cellular::AdmissionController {
+ public:
+  [[nodiscard]] std::string name() const override { return "Verbose"; }
+  [[nodiscard]] cellular::AdmissionDecision decide(
+      const cellular::CallRequest&, const cellular::AdmissionContext& ctx)
+      override {
+    cellular::AdmissionDecision d{true, cellular::ReasonCode::Admitted, 1.0,
+                                  {}};
+    if (ctx.explain) {
+      d.rationale = std::string(cellular::ReasonText::kCapacity + 40, 'x');
+    }
+    return d;
+  }
+};
+
+TEST(Simulator, TruncatedRationalesAreCountedOnlyWhenExplaining) {
+  SimulationConfig cfg = lightConfig(25);
+  const auto verbose = [](const cellular::HexNetwork&) {
+    return std::make_unique<VerbosePolicy>();
+  };
+  const Metrics quiet = runSimulation(cfg, verbose);
+  EXPECT_EQ(quiet.truncated_rationales, 0)
+      << "explain off: no rationale, nothing to truncate";
+
+  cfg.explain = true;
+  const Metrics explained = runSimulation(cfg, verbose);
+  EXPECT_EQ(explained.truncated_rationales, 25)
+      << "every explained decision overflowed the inline buffer";
+  // Surfacing the loss must not perturb the run itself.
+  EXPECT_EQ(explained.new_accepted, quiet.new_accepted);
+  EXPECT_EQ(explained.engine_events, quiet.engine_events);
+
+  // The counter honours the warmup gate like every other metric: only
+  // measured (counted) decisions report their truncation.
+  cfg.warmup_s = 300.0;  // half the default 600 s arrival window
+  const Metrics warmed = runSimulation(cfg, verbose);
+  EXPECT_EQ(warmed.truncated_rationales, warmed.new_requests);
+  EXPECT_LT(warmed.truncated_rationales, 25);
+  EXPECT_GT(warmed.truncated_rationales, 0);
+}
+
 }  // namespace
 }  // namespace facs::sim

@@ -1,31 +1,53 @@
 /// \file facs_cli.cpp
 /// Operator command line for the FACS simulator: run any registered policy
-/// on any catalogued scenario, single runs or replicated sweeps. See
-/// --help, --list-policies and --list-scenarios.
+/// on any catalogued scenario — or a scenario *file* (--scenario-file /
+/// --dump-scenario) — single runs or replicated sweeps. See --help,
+/// --list-policies and --list-scenarios.
 
 #include <iostream>
 
 #include "cellular/policy_registry.hpp"
 #include "cli/cli.hpp"
 #include "sim/experiment.hpp"
+#include "sim/scenario_file.hpp"
 
 int main(int argc, char** argv) {
   using namespace facs;
+  // The CLI's composition scope: one policy runtime (a snapshot of the
+  // registrar seed) and one scenario catalog (the built-ins) per process
+  // invocation. An embedding front end would extend these per run instead.
+  const cellular::PolicyRuntime runtime;
+  const sim::ScenarioCatalog catalog;
   try {
     const sim::CliOptions options =
-        sim::parseCli({argv + 1, argv + argc});
+        sim::parseCli({argv + 1, argv + argc}, runtime, catalog);
     if (options.help) {
-      std::cout << sim::cliUsage();
+      std::cout << sim::cliUsage(runtime, catalog);
       return 0;
     }
     if (options.list_policies) {
-      std::cout << "registered policies:\n"
-                << cellular::PolicyRegistry::global().describeAll();
+      std::cout << "registered policies:\n" << runtime.describeAll();
       return 0;
     }
     if (options.list_scenarios) {
-      std::cout << "catalogued scenarios:\n"
-                << sim::ScenarioCatalog::global().describeAll();
+      std::cout << "catalogued scenarios:\n" << catalog.describeAll();
+      return 0;
+    }
+    if (!options.dump_scenario.empty()) {
+      if (options.dump_scenario == "-") {
+        // The composed run itself — scenario base plus every flag override
+        // — as a scenario file. This is the parse→write fixed point the CI
+        // round-trip gate checks, and it snapshots hand-tuned command
+        // lines as reusable files.
+        sim::ScenarioSpec spec;
+        spec.name = options.scenario.empty() ? "custom" : options.scenario;
+        spec.summary = options.scenario_summary;
+        spec.policy = options.policy;
+        spec.config = options.config;
+        std::cout << sim::writeScenarioFile(spec);
+      } else {
+        std::cout << sim::writeScenarioFile(catalog.at(options.dump_scenario));
+      }
       return 0;
     }
 
@@ -40,8 +62,8 @@ int main(int argc, char** argv) {
       sim::CurveSpec curve;
       curve.label = options.policy;
       curve.base = options.config;
-      curve.make_controller = sim::makeFactory(options);
-      const sim::SweepResult result = sim::runSweep(sweep, {curve});
+      curve.policy = options.policy;  // resolved by runSweep via the runtime
+      const sim::SweepResult result = sim::runSweep(runtime, sweep, {curve});
       if (options.csv) {
         sim::printCsv(std::cout, result);
       } else {
@@ -51,7 +73,19 @@ int main(int argc, char** argv) {
     }
 
     const sim::Metrics metrics =
-        sim::runSimulation(options.config, sim::makeFactory(options));
+        sim::runSimulation(options.config, sim::makeFactory(options, runtime));
+    if (metrics.truncated_rationales > 0) {
+      // Once per run, on stderr so it never perturbs diffable output:
+      // explain-mode rationales lost their tails at the inline capacity.
+      std::cerr << "facs_cli: warning: " << metrics.truncated_rationales
+                << " decision rationale(s) truncated at "
+                << cellular::ReasonText::kCapacity
+                << " chars (ReasonText::truncated())\n";
+    }
+    if (options.json) {
+      std::cout << metrics.toJson() << "\n";
+      return 0;
+    }
     std::cout << "policy: " << options.policy << "\n";
     if (!options.scenario.empty()) {
       std::cout << "scenario: " << options.scenario << "\n";
