@@ -8,7 +8,8 @@
 /// metrics bit for bit — any divergence is reported and fails the process.
 ///
 ///   multi_cell_scaling [--quick] [--requests N] [--shards LIST]
-///                      [--policy SPEC] [--no-precompute] [--csv] [--json]
+///                      [--groups LIST] [--policy SPEC] [--no-precompute]
+///                      [--csv] [--json]
 ///
 /// --quick shrinks the run for CI smoke jobs. --no-precompute keeps
 /// snapshot-only policy work (FACS FLC1) on the serialized commit path, so
@@ -22,6 +23,16 @@
 /// (their serialized admission work caps the speedup, per Amdahl).
 /// --json emits one machine-readable object (used by the CI bench-smoke
 /// artifact to track events/sec and commit share per commit).
+///
+/// --groups sweeps the two-level commit lanes (default "1,4"): each group
+/// count runs at every shard count. commit% is the SERIALIZED share — at
+/// groups>1 the lane replay runs concurrently and moves out of the serial
+/// bucket (lane% column), so the commit% trajectory across the group list
+/// is exactly the Amdahl ceiling the two-level scheme buys back. The
+/// determinism audit tightens accordingly: within one group count every
+/// shard count must reproduce the same bits (groups=1 additionally matches
+/// the historical serialized engine); different group counts are different
+/// documented visibility semantics and are NOT compared to each other.
 
 #include <chrono>
 #include <cstdint>
@@ -70,16 +81,19 @@ std::vector<int> parseShardList(const std::string& value) {
   return out;
 }
 
-/// One measured run at a given shard count.
+/// One measured run at a given (groups, shards) point.
 struct Sample {
+  int groups = 0;
   int shards = 0;
   double seconds = 0.0;
   std::uint64_t events = 0;
   double events_per_sec = 0.0;
   double speedup = 1.0;
   double commit_share = 0.0;   ///< Serialized fraction of engine wall time.
+  double lane_share = 0.0;     ///< Parallel group-lane fraction (groups>1).
   double prepare_share = 0.0;
   double local_share = 0.0;
+  std::uint64_t reservations = 0;  ///< Cross-group claims posted.
 };
 
 }  // namespace
@@ -87,6 +101,7 @@ struct Sample {
 int main(int argc, char** argv) {
   int requests = 6000;
   std::vector<int> shard_counts{1, 2, 4, 8};
+  std::vector<int> group_counts{1, 4};
   std::string policy_spec = "guard:8";
   bool csv = false;
   bool json = false;
@@ -99,6 +114,8 @@ int main(int argc, char** argv) {
       requests = std::stoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shard_counts = parseShardList(argv[++i]);
+    } else if (std::strcmp(argv[i], "--groups") == 0 && i + 1 < argc) {
+      group_counts = parseShardList(argv[++i]);
     } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
       policy_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--no-precompute") == 0) {
@@ -109,8 +126,8 @@ int main(int argc, char** argv) {
       json = true;
     } else {
       std::cerr << "usage: multi_cell_scaling [--quick] [--requests N] "
-                   "[--shards LIST] [--policy SPEC] [--no-precompute] "
-                   "[--csv] [--json]\n";
+                   "[--shards LIST] [--groups LIST] [--policy SPEC] "
+                   "[--no-precompute] [--csv] [--json]\n";
       return 2;
     }
   }
@@ -127,78 +144,102 @@ int main(int argc, char** argv) {
 
   const bool table = !csv && !json;
   if (csv) {
-    std::cout << "shards,seconds,events,events_per_sec,speedup,"
-                 "commit_share,prepare_share,local_share\n";
+    std::cout << "groups,shards,seconds,events,events_per_sec,speedup,"
+                 "commit_share,lane_share,prepare_share,local_share,"
+                 "reservations\n";
   } else if (table) {
     std::cout << "Sharded engine scaling: " << requests
               << " GPS-tracked requests over 19 cells (policy "
               << policy_spec << ", precompute "
               << (precompute ? "on" : "off") << ")\n\n"
-              << std::left << std::setw(8) << "shards" << std::setw(12)
-              << "seconds" << std::setw(12) << "events" << std::setw(14)
-              << "events/sec" << std::setw(10) << "speedup" << "commit%"
-              << "\n";
+              << std::left << std::setw(8) << "groups" << std::setw(8)
+              << "shards" << std::setw(12) << "seconds" << std::setw(12)
+              << "events" << std::setw(14) << "events/sec" << std::setw(10)
+              << "speedup" << std::setw(10) << "commit%" << std::setw(10)
+              << "lane%" << "resv" << "\n";
   }
 
-  sim::Metrics reference;
+  sim::Metrics summary_reference;
   std::vector<Sample> samples;
   double serial_s = 0.0;
   bool deterministic = true;
-  for (std::size_t i = 0; i < shard_counts.size(); ++i) {
-    cfg.shards = shard_counts[i];
-    const auto t0 = std::chrono::steady_clock::now();
-    const sim::Metrics m = sim::runSimulation(cfg, factory);
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+  for (std::size_t gi = 0; gi < group_counts.size(); ++gi) {
+    cfg.commit_groups = group_counts[gi];
+    // Determinism reference per group count: the same groups must give the
+    // same bits at every shard count (group counts differ by design).
+    sim::Metrics reference;
+    for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+      cfg.shards = shard_counts[i];
+      const auto t0 = std::chrono::steady_clock::now();
+      const sim::Metrics m = sim::runSimulation(cfg, factory);
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
 
-    if (i == 0) {
-      reference = m;
-      serial_s = secs;
-    } else if (m.new_accepted != reference.new_accepted ||
-               m.handoff_dropped != reference.handoff_dropped ||
-               m.busy_bu_seconds != reference.busy_bu_seconds ||
-               m.engine_events != reference.engine_events) {
-      deterministic = false;
-    }
+      if (i == 0) {
+        reference = m;
+        if (gi == 0) {
+          summary_reference = m;
+          serial_s = secs;
+        }
+      } else if (m.new_accepted != reference.new_accepted ||
+                 m.handoff_dropped != reference.handoff_dropped ||
+                 m.busy_bu_seconds != reference.busy_bu_seconds ||
+                 m.engine_events != reference.engine_events ||
+                 m.reservations_posted != reference.reservations_posted) {
+        deterministic = false;
+      }
 
-    Sample s;
-    s.shards = cfg.shards;
-    s.seconds = secs;
-    s.events = m.engine_events;
-    s.events_per_sec =
-        secs > 0.0 ? static_cast<double>(m.engine_events) / secs : 0.0;
-    s.speedup = secs > 0.0 ? serial_s / secs : 0.0;
-    s.commit_share = m.commitShare();
-    const double phases = m.prepare_phase_s + m.local_phase_s +
-                          m.commit_phase_s;
-    if (phases > 0.0) {
-      s.prepare_share = m.prepare_phase_s / phases;
-      s.local_share = m.local_phase_s / phases;
-    }
-    samples.push_back(s);
+      Sample s;
+      s.groups = m.commit_groups;
+      s.shards = cfg.shards;
+      s.seconds = secs;
+      s.events = m.engine_events;
+      s.events_per_sec =
+          secs > 0.0 ? static_cast<double>(m.engine_events) / secs : 0.0;
+      s.speedup = secs > 0.0 ? serial_s / secs : 0.0;
+      s.commit_share = m.commitShare();
+      s.reservations = m.reservations_posted;
+      const double phases = m.prepare_phase_s + m.local_phase_s +
+                            m.commit_phase_s + m.commit_lane_s;
+      if (phases > 0.0) {
+        s.lane_share = m.commit_lane_s / phases;
+        s.prepare_share = m.prepare_phase_s / phases;
+        s.local_share = m.local_phase_s / phases;
+      }
+      samples.push_back(s);
 
-    if (csv) {
-      std::cout << s.shards << "," << s.seconds << "," << s.events << ","
-                << s.events_per_sec << "," << s.speedup << ","
-                << s.commit_share << "," << s.prepare_share << ","
-                << s.local_share << "\n";
-    } else if (table) {
-      std::ostringstream speedup;
-      speedup << std::fixed << std::setprecision(2) << s.speedup << "x";
-      std::cout << std::left << std::setw(8) << s.shards << std::fixed
-                << std::setprecision(3) << std::setw(12) << s.seconds
-                << std::setw(12) << s.events << std::setprecision(0)
-                << std::setw(14) << s.events_per_sec << std::setw(10)
-                << speedup.str() << std::setprecision(1)
-                << 100.0 * s.commit_share << "%\n";
+      if (csv) {
+        std::cout << s.groups << "," << s.shards << "," << s.seconds << ","
+                  << s.events << "," << s.events_per_sec << "," << s.speedup
+                  << "," << s.commit_share << "," << s.lane_share << ","
+                  << s.prepare_share << "," << s.local_share << ","
+                  << s.reservations << "\n";
+      } else if (table) {
+        std::ostringstream speedup;
+        speedup << std::fixed << std::setprecision(2) << s.speedup << "x";
+        std::ostringstream commit_pct;
+        commit_pct << std::fixed << std::setprecision(1)
+                   << 100.0 * s.commit_share << "%";
+        std::ostringstream lane_pct;
+        lane_pct << std::fixed << std::setprecision(1)
+                 << 100.0 * s.lane_share << "%";
+        std::cout << std::left << std::setw(8) << s.groups << std::setw(8)
+                  << s.shards << std::fixed << std::setprecision(3)
+                  << std::setw(12) << s.seconds << std::setw(12) << s.events
+                  << std::setprecision(0) << std::setw(14)
+                  << s.events_per_sec << std::setw(10) << speedup.str()
+                  << std::setw(10) << commit_pct.str() << std::setw(10)
+                  << lane_pct.str() << s.reservations << "\n";
+      }
     }
   }
 
   if (json) {
-    // Self-contained object for the CI artifact: per-shard events/sec and
-    // the measured serialized (commit-phase) share, so serial-fraction
-    // regressions show up in the per-PR numbers.
+    // Self-contained object for the CI artifact: per-(groups, shards)
+    // events/sec plus the measured serialized (commit-phase) share, so
+    // serial-fraction regressions — and the commit-share trajectory over
+    // the group counts — show up in the per-PR numbers.
     std::cout << "{\n  \"policy\": \"" << policy_spec << "\",\n"
               << "  \"requests\": " << requests << ",\n"
               << "  \"precompute\": " << (precompute ? "true" : "false")
@@ -206,28 +247,31 @@ int main(int argc, char** argv) {
               << (deterministic ? "true" : "false") << ",\n  \"runs\": [\n";
     for (std::size_t i = 0; i < samples.size(); ++i) {
       const Sample& s = samples[i];
-      std::cout << "    {\"shards\": " << s.shards << ", \"seconds\": "
-                << s.seconds << ", \"events\": " << s.events
-                << ", \"events_per_sec\": " << s.events_per_sec
-                << ", \"speedup\": " << s.speedup << ", \"commit_share\": "
-                << s.commit_share << ", \"prepare_share\": "
-                << s.prepare_share << ", \"local_share\": " << s.local_share
-                << "}" << (i + 1 < samples.size() ? "," : "") << "\n";
+      std::cout << "    {\"commit_groups\": " << s.groups << ", \"shards\": "
+                << s.shards << ", \"seconds\": " << s.seconds
+                << ", \"events\": " << s.events << ", \"events_per_sec\": "
+                << s.events_per_sec << ", \"speedup\": " << s.speedup
+                << ", \"commit_share\": " << s.commit_share
+                << ", \"lane_share\": " << s.lane_share
+                << ", \"prepare_share\": " << s.prepare_share
+                << ", \"local_share\": " << s.local_share
+                << ", \"reservations\": " << s.reservations << "}"
+                << (i + 1 < samples.size() ? "," : "") << "\n";
     }
     std::cout << "  ]\n}\n";
   }
 
   if (table) {
-    std::cout << "\nreference run: " << reference.summary() << "\n";
+    std::cout << "\nreference run: " << summary_reference.summary() << "\n";
   }
   if (!deterministic) {
-    std::cerr << "FAIL: shard counts disagreed on the metrics — the engine "
-                 "broke its bit-identical determinism contract\n";
+    std::cerr << "FAIL: shard counts disagreed on the metrics within one "
+                 "group count — the engine broke its determinism contract\n";
     return 1;
   }
   if (table) {
-    std::cout << "determinism: every shard count reproduced the serial "
-                 "metrics bit for bit\n";
+    std::cout << "determinism: every shard count reproduced its group "
+                 "count's metrics bit for bit\n";
   }
   return 0;
 }

@@ -200,6 +200,25 @@ struct AdmissionDecision {
 static_assert(std::is_trivially_copyable_v<AdmissionDecision>,
               "decide() returns by value on the hot path; keep it memcpy-able");
 
+/// How much shared state, beyond the immutable configuration, one
+/// decide()/onAdmitted()/onReleased()/onRejected() call may read or write.
+/// The sharded simulator consults this to decide whether decisions for
+/// disjoint cell groups may commit concurrently (two-level commit lanes).
+enum class CommitScope : std::uint8_t {
+  /// The call touches only the target cell's ledger (context.station) and
+  /// controller state that is immutable or per-thread. Decisions for
+  /// different cells are then independent, and the engine may commit them
+  /// from concurrent per-group lanes. Declaring CellLocal is a PROMISE:
+  /// concurrent calls for different cells must be data-race free and must
+  /// produce the same bits regardless of which thread runs them.
+  CellLocal,
+  /// The call may consult or mutate state spanning cells (SCC shadow
+  /// accumulators, SIR interference from every station's utilization,
+  /// cross-cell reservations). The engine serializes every commit —
+  /// commit_groups degrades to one lane. The safe default.
+  Global,
+};
+
 /// Abstract CAC policy (stateful: policies may track per-cell bookkeeping).
 ///
 /// Protocol, driven by the simulator:
@@ -213,6 +232,14 @@ class AdmissionController {
   virtual ~AdmissionController() = default;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Which shared state the decision protocol reaches — see CommitScope.
+  /// Policies whose decisions are a pure function of the request and the
+  /// target cell's ledger should override this to CellLocal so the sharded
+  /// engine can commit cell groups in parallel.
+  [[nodiscard]] virtual CommitScope commitScope() const noexcept {
+    return CommitScope::Global;
+  }
 
   [[nodiscard]] virtual AdmissionDecision decide(
       const CallRequest& request, const AdmissionContext& context) = 0;

@@ -1,5 +1,6 @@
 #include "cellular/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -82,6 +83,33 @@ BandwidthUnits HexNetwork::totalCapacityBu() const noexcept {
   BandwidthUnits total = 0;
   for (const BaseStation& s : stations_) total += s.capacityBu();
   return total;
+}
+
+CellGroupPartition::CellGroupPartition(const HexNetwork& network, int groups) {
+  const std::size_t cells = network.cellCount();
+  if (groups < 1) throw std::invalid_argument("commit groups must be >= 1");
+  groups_ = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(groups), cells));
+
+  // Contiguous balanced ranges: cell c belongs to floor(c * G / cells).
+  // Monotone in c, every group non-empty, sizes differ by at most one.
+  group_of_.resize(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    group_of_[c] = static_cast<int>((c * static_cast<std::size_t>(groups_)) /
+                                    cells);
+  }
+
+  interior_.assign(cells, true);
+  for (const Cell& cell : network.cells()) {
+    const std::size_t i = static_cast<std::size_t>(cell.id);
+    for (const CellId n : network.neighbors(cell.id)) {
+      if (group_of_[static_cast<std::size_t>(n)] != group_of_[i]) {
+        interior_[i] = false;
+        break;
+      }
+    }
+    if (!interior_[i]) ++boundary_cells_;
+  }
 }
 
 }  // namespace facs::cellular

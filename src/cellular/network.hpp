@@ -77,4 +77,48 @@ class HexNetwork {
   std::vector<std::vector<CellId>> neighbors_;
 };
 
+/// Deterministic partition of a network's cells into commit groups — the
+/// cell-to-lane mapping of the simulator's two-level commit scheme (and, in
+/// the paper's terms, the assignment of base stations to coordination
+/// domains that exchange inter-BS handoff messages).
+///
+/// Cells are split into contiguous id ranges of near-equal size. Spiral hex
+/// ids make contiguous ranges spatially coherent (whole rings and arcs), so
+/// most neighbours land in the same group and most handoffs stay
+/// group-local. The mapping is a pure function of (cell count, groups):
+/// independent of shard count, seed, and run history — which is what makes
+/// grouped runs reproducible.
+class CellGroupPartition {
+ public:
+  /// \param groups requested group count; clamped to [1, cellCount] so a
+  ///        partition always exists (empty groups are pointless).
+  CellGroupPartition(const HexNetwork& network, int groups);
+
+  /// Effective group count after clamping.
+  [[nodiscard]] int groups() const noexcept { return groups_; }
+
+  [[nodiscard]] int groupOf(CellId cell) const {
+    return group_of_.at(static_cast<std::size_t>(cell));
+  }
+
+  /// True iff the cell and every in-network neighbour share one group —
+  /// i.e. any handoff out of this cell commits without a cross-group
+  /// reservation.
+  [[nodiscard]] bool interior(CellId cell) const {
+    return interior_.at(static_cast<std::size_t>(cell));
+  }
+
+  /// Cells with at least one neighbour in another group (the inter-BS
+  /// boundary where reservations happen).
+  [[nodiscard]] std::size_t boundaryCells() const noexcept {
+    return boundary_cells_;
+  }
+
+ private:
+  int groups_;
+  std::vector<int> group_of_;
+  std::vector<bool> interior_;
+  std::size_t boundary_cells_ = 0;
+};
+
 }  // namespace facs::cellular

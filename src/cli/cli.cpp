@@ -185,6 +185,14 @@ CliOptions parseCli(const std::vector<std::string>& args,
                        std::to_string(shards));
       }
       opt.config.shards = shards;
+    } else if (a == "--commit-groups") {
+      const int groups = parseInt(next(a), a);
+      if (groups < 1 || groups > kMaxShards) {
+        throw CliError("flag --commit-groups: must be in [1, " +
+                       std::to_string(kMaxShards) + "], got " +
+                       std::to_string(groups));
+      }
+      opt.config.commit_groups = groups;
     } else if (a == "--no-precompute") {
       opt.config.precompute_cv = false;
     } else if (a == "--guard-bu") {
@@ -270,6 +278,12 @@ run:
   --seed N              RNG seed (default 1)
   --shards N            worker shards for one run (default from scenario;
                         results are bit-identical at any shard count)
+  --commit-groups N     commit lanes for the two-level commit (default 1 =
+                        one serialized commit phase, bit-identical to the
+                        ungrouped engine; N>1 needs a cell-local policy
+                        and changes cross-group visibility — see README
+                        "Commit groups & reservations"; deterministic at
+                        any shard count)
   --no-precompute       keep snapshot-only policy work (FACS FLC1) on the
                         serialized commit path (results are bit-identical;
                         only the phase profile moves)
@@ -280,7 +294,9 @@ run:
   --threads N           sweep worker threads (default: hardware); sweeps
                         budget threads*shards against the machine
   --csv                 CSV output for sweeps
-  --json                metrics as JSON (single runs; diffable — the CI
+  --json                metrics as JSON; with --sweep, one document with a
+                        full metrics object per (curve, x, replication) so
+                        CI can diff whole figures (diffable — the CI
                         round-trip gate compares these byte for byte)
 )";
   return os.str();

@@ -72,6 +72,7 @@ class CliError : public std::runtime_error {
 ///   --tracking-window S --gps-error M          --no-gps
 ///   --poisson           --warmup S             --handoffs
 ///   --shards N          (worker shards; bit-identical at any count)
+///   --commit-groups N   (two-level commit lanes; 1 = serialized commit)
 ///   --explain           (rationales on; truncations counted + warned)
 ///   --guard-bu N        --facs-threshold T     (legacy spec shorthands)
 ///   --sweep X1,X2,...   --reps N               --threads N

@@ -52,6 +52,10 @@ void validateConfig(const SccConfig& config) {
   if (config.rebuild_every < 0) {
     throw std::invalid_argument("SCC rebuild period must be >= 0 (0 = off)");
   }
+  if (config.reach < 0) {
+    throw std::invalid_argument(
+        "SCC accounting reach must be >= 0 (0 = unbounded)");
+  }
 }
 
 }  // namespace
@@ -72,6 +76,27 @@ ShadowClusterController::ShadowClusterController(
       }
     }
   }
+  all_cells_.reserve(network_.cellCount());
+  for (const cellular::Cell& cell : network_.cells()) {
+    all_cells_.push_back(cell.id);
+  }
+  if (config_.reach > 0) {
+    footprints_.resize(network_.cellCount());
+    for (const cellular::Cell& center : network_.cells()) {
+      for (const cellular::Cell& cell : network_.cells()) {
+        if (cellular::hexDistance(center.coord, cell.coord) <=
+            config_.reach) {
+          footprints_[static_cast<std::size_t>(center.id)].push_back(cell.id);
+        }
+      }
+    }
+  }
+}
+
+const std::vector<cellular::CellId>& ShadowClusterController::footprint(
+    cellular::CellId anchor) const {
+  if (footprints_.empty()) return all_cells_;
+  return footprints_[static_cast<std::size_t>(anchor)];
 }
 
 double ShadowClusterController::contribution(const Shadow& shadow, CellId cell,
@@ -100,12 +125,15 @@ double ShadowClusterController::contribution(const Shadow& shadow, CellId cell,
 }
 
 void ShadowClusterController::applyShadow(const Shadow& shadow, double sign) {
-  for (const cellular::Cell& cell : network_.cells()) {
+  // Group-local accounting: a bounded reach confines the write set to the
+  // shadow's anchor neighbourhood (flat in the network size); reach = 0
+  // visits every cell — the original global accumulation.
+  for (const cellular::CellId cell : footprint(shadow.anchor)) {
     for (int k = 0; k < config_.intervals; ++k) {
-      demand_[static_cast<std::size_t>(cell.id) *
+      demand_[static_cast<std::size_t>(cell) *
                   static_cast<std::size_t>(config_.intervals) +
               static_cast<std::size_t>(k)] +=
-          sign * contribution(shadow, cell.id, k);
+          sign * contribution(shadow, cell, k);
     }
   }
   ++updates_since_rebuild_;
@@ -130,12 +158,15 @@ void ShadowClusterController::maybeRebuild() {
   std::fill(demand_.begin(), demand_.end(), 0.0);
   for (const cellular::CallId id : ids) {
     const Shadow& shadow = shadows_.find(id)->second;
-    for (const cellular::Cell& cell : network_.cells()) {
+    // The rebuild honours the same footprint as the incremental updates,
+    // so it reconstructs exactly what they accumulated (minus the float
+    // residue it exists to cancel).
+    for (const cellular::CellId cell : footprint(shadow.anchor)) {
       for (int k = 0; k < config_.intervals; ++k) {
-        demand_[static_cast<std::size_t>(cell.id) *
+        demand_[static_cast<std::size_t>(cell) *
                     static_cast<std::size_t>(config_.intervals) +
                 static_cast<std::size_t>(k)] +=
-            contribution(shadow, cell.id, k);
+            contribution(shadow, cell, k);
       }
     }
   }
@@ -226,6 +257,7 @@ void ShadowClusterController::onAdmitted(const CallRequest& request,
   shadow.state =
       motionFromSnapshot(request.snapshot, network_.cell(center).center);
   shadow.demand_bu = static_cast<double>(request.demand_bu);
+  shadow.anchor = center;
   // Handoffs refresh the kinematics of an already-tracked call: retract
   // the stale shadow from the accumulators before casting the new one.
   const auto [it, inserted] = shadows_.try_emplace(request.call, shadow);
@@ -257,11 +289,11 @@ const PolicyRegistrar register_scc{
      "Shadow Cluster Concept (Levine et al. 1997): probabilistic demand "
      "projection over neighbouring cells.",
      "scc[:THETA][,theta=T,sigma=S,growth=G,intervals=N,interval-s=S,"
-     "radius=R,holding=S,coverage=0|1,rebuild=N]"},
+     "radius=R,holding=S,coverage=0|1,rebuild=N,reach=N]"},
     [](const PolicySpec& spec) -> cellular::ControllerFactory {
       spec.expectOnly(1, {"theta", "sigma", "growth", "intervals",
                           "interval-s", "radius", "holding", "coverage",
-                          "rebuild"});
+                          "rebuild", "reach"});
       SccConfig cfg;
       cfg.threshold = spec.numberFor("theta", spec.numberAt(0, cfg.threshold));
       cfg.sigma_base_km = spec.numberFor("sigma", cfg.sigma_base_km);
@@ -273,6 +305,7 @@ const PolicyRegistrar register_scc{
       cfg.require_coverage =
           spec.intFor("coverage", cfg.require_coverage ? 1 : 0) != 0;
       cfg.rebuild_every = spec.intFor("rebuild", cfg.rebuild_every);
+      cfg.reach = spec.intFor("reach", cfg.reach);
       try {
         validateConfig(cfg);  // fail at parse time, not mid-run
       } catch (const std::invalid_argument& e) {

@@ -62,6 +62,27 @@ struct SccConfig {
   /// algorithm). Disable for single-cell studies where everything
   /// eventually "leaves".
   bool require_coverage = true;
+  /// Shadow accounting footprint in cell hops around the shadow's anchor
+  /// (the cell of its last report). 0 (default) = unbounded: every update
+  /// touches every cell's accumulator — the historical behaviour at
+  /// O(cells x intervals) per update. A positive reach bounds each update
+  /// (and the periodic rebuild) to the cells within that many hops —
+  /// group-LOCAL shadow accounting: the cost becomes flat in the network
+  /// size, and a shadow's writes stay inside a bounded neighbourhood (the
+  /// precondition for SCC ever committing from the engine's parallel
+  /// cell-group lanes).
+  ///
+  /// Size it to the projection horizon, not to the Gaussian spread: the
+  /// footprint is anchored at the LAST-REPORT cell, but contribution()
+  /// centres each interval's Gaussian on the call's PREDICTED position —
+  /// up to speed x (intervals x interval_s) ahead of the anchor. A reach
+  /// smaller than that projected distance (in cell hops) cuts off the
+  /// cells the mobile is headed for, silently disabling the predictive
+  /// reservation for fast traffic — the bulk of the demand, not a tail.
+  /// reach >= ceil(v_max * horizon / cell_pitch) + a hop for the spread
+  /// keeps only the far Gaussian tails out; anything less is a knowingly
+  /// more myopic model. Spec key: reach=N.
+  int reach = 0;
 };
 
 /// Projected bandwidth demand for one cell over the horizon.
@@ -92,6 +113,17 @@ class ShadowClusterController final : public cellular::AdmissionController {
 
   [[nodiscard]] std::string name() const override { return "SCC"; }
 
+  /// Explicitly Global: decide() reads demand rows of the whole cluster
+  /// and onAdmitted()/onReleased() write accumulators around the shadow's
+  /// anchor, so commits for different cells share state. The engine
+  /// therefore serializes SCC commits (commit_groups degrades to 1). A
+  /// bounded `reach` already keeps each shadow's writes inside a known
+  /// neighbourhood — the remaining blocker for group-parallel SCC lanes is
+  /// the shared shadow map and the global rebuild (see ROADMAP).
+  [[nodiscard]] cellular::CommitScope commitScope() const noexcept override {
+    return cellular::CommitScope::Global;
+  }
+
   [[nodiscard]] cellular::AdmissionDecision decide(
       const cellular::CallRequest& request,
       const cellular::AdmissionContext& context) override;
@@ -114,11 +146,19 @@ class ShadowClusterController final : public cellular::AdmissionController {
 
   [[nodiscard]] const SccConfig& config() const noexcept { return config_; }
 
+  /// Cells one shadow anchored at \p anchor may touch: all of them at
+  /// reach = 0, the precomputed <= reach-hop neighbourhood otherwise.
+  [[nodiscard]] const std::vector<cellular::CellId>& footprint(
+      cellular::CellId anchor) const;
+
  private:
-  /// Per-call shadow source: last reported kinematics + demand.
+  /// Per-call shadow source: last reported kinematics + demand, anchored
+  /// at the cell of the last report (admission or handoff refresh) — the
+  /// centre of its accounting footprint when reach bounds it.
   struct Shadow {
     mobility::MotionState state;
     double demand_bu = 0.0;
+    cellular::CellId anchor = 0;
   };
 
   /// Probability-weighted demand contribution of one shadow to one cell at
@@ -152,6 +192,11 @@ class ShadowClusterController final : public cellular::AdmissionController {
   /// Precomputed cluster membership (cells within cluster_radius), so the
   /// decide() hot path never allocates.
   std::vector<std::vector<cellular::CellId>> clusters_;
+  /// Precomputed accounting footprints (cells within reach hops), indexed
+  /// by anchor cell; empty when reach == 0 (unbounded accounting) — then
+  /// footprint() answers with all_cells_.
+  std::vector<std::vector<cellular::CellId>> footprints_;
+  std::vector<cellular::CellId> all_cells_;
   /// Shadow updates since the last exact rebuild of demand_.
   std::uint64_t updates_since_rebuild_ = 0;
 };

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <exception>
 #include <iomanip>
 #include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -95,7 +98,11 @@ SweepResult runSweep(const cellular::PolicyRuntime& runtime,
   const std::size_t reps = static_cast<std::size_t>(sweep.replications);
   const std::size_t per_curve = sweep.xs.size() * reps;
   const std::size_t total = curves.size() * per_curve;
-  std::vector<double> values(total, 0.0);
+  // Full metrics per run (not just the extracted measure): the JSON
+  // rendering ships every counter of every replication, so CI diffs whole
+  // figures. Each task writes only its own slot — the parallel fan-out
+  // below stays bit-identical to the serial fold.
+  std::vector<Metrics> values(total);
 
   const auto runTask = [&](std::size_t task) {
     const std::size_t c = task / per_curve;
@@ -104,8 +111,7 @@ SweepResult runSweep(const cellular::PolicyRuntime& runtime,
     SimulationConfig cfg = curves[c].base;
     cfg.total_requests = sweep.xs[xi];
     cfg.seed = replicationSeed(sweep.base_seed, rep);
-    values[task] =
-        extract(runSimulation(cfg, curves[c].make_controller), measure);
+    values[task] = runSimulation(cfg, curves[c].make_controller);
   };
 
   // Auto thread count divides the machine by the widest per-run shard
@@ -157,12 +163,19 @@ SweepResult runSweep(const cellular::PolicyRuntime& runtime,
     cr.label = curves[c].label;
     for (std::size_t xi = 0; xi < sweep.xs.size(); ++xi) {
       RunningStat stat;
+      PointResult point;
+      point.runs.reserve(reps);
       for (std::size_t rep = 0; rep < reps; ++rep) {
-        stat.add(values[c * per_curve + xi * reps + rep]);
+        const Metrics& m = values[c * per_curve + xi * reps + rep];
+        stat.add(extract(m, measure));
+        point.runs.push_back(m);
       }
-      cr.points.push_back(
-          {sweep.xs[xi], stat.mean(), stat.stddev(), stat.ci95(),
-           stat.count()});
+      point.x = sweep.xs[xi];
+      point.mean = stat.mean();
+      point.stddev = stat.stddev();
+      point.ci95 = stat.ci95();
+      point.replications = stat.count();
+      cr.points.push_back(std::move(point));
     }
     result.curves.push_back(std::move(cr));
   }
@@ -191,6 +204,91 @@ void printTable(std::ostream& os, const SweepResult& result) {
     }
     os << "\n";
   }
+  os.flush();
+}
+
+namespace {
+
+/// Escapes a label for a JSON string literal (quotes, backslashes,
+/// control characters — labels are operator text, not trusted data).
+std::string jsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Indents every line of a multi-line JSON fragment by \p pad.
+std::string indented(const std::string& text, const std::string& pad) {
+  std::string out = pad;
+  for (const char c : text) {
+    out += c;
+    if (c == '\n') out += pad;
+  }
+  return out;
+}
+
+}  // namespace
+
+void printJson(std::ostream& os, const SweepResult& result) {
+  os << "{\n"
+     << "  \"title\": \"" << jsonEscape(result.spec.title) << "\",\n"
+     << "  \"x_label\": \"" << jsonEscape(result.spec.x_label) << "\",\n"
+     << "  \"y_label\": \"" << jsonEscape(result.spec.y_label) << "\",\n"
+     << "  \"replications\": " << result.spec.replications << ",\n"
+     << "  \"base_seed\": " << result.spec.base_seed << ",\n"
+     << "  \"curves\": [\n";
+  for (std::size_t c = 0; c < result.curves.size(); ++c) {
+    const CurveResult& curve = result.curves[c];
+    os << "    {\n"
+       << "      \"label\": \"" << jsonEscape(curve.label) << "\",\n"
+       << "      \"points\": [\n";
+    for (std::size_t i = 0; i < curve.points.size(); ++i) {
+      const PointResult& p = curve.points[i];
+      os << "        {\n"
+         << "          \"x\": " << p.x << ",\n"
+         << "          \"mean\": " << shortestNumber(p.mean) << ",\n"
+         << "          \"stddev\": " << shortestNumber(p.stddev) << ",\n"
+         << "          \"ci95\": " << shortestNumber(p.ci95) << ",\n"
+         << "          \"runs\": [\n";
+      for (std::size_t r = 0; r < p.runs.size(); ++r) {
+        os << indented(p.runs[r].toJson(), "            ")
+           << (r + 1 < p.runs.size() ? "," : "") << "\n";
+      }
+      os << "          ]\n"
+         << "        }" << (i + 1 < curve.points.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n"
+       << "    }" << (c + 1 < result.curves.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n"
+     << "}\n";
   os.flush();
 }
 

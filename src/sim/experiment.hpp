@@ -76,6 +76,10 @@ struct PointResult {
   double stddev = 0.0;
   double ci95 = 0.0;
   int replications = 0;
+  /// Full metrics of every replication of this point, in replication
+  /// order — the raw material of printJson(), so CI can diff a whole
+  /// figure (every counter of every run) instead of one extracted scalar.
+  std::vector<Metrics> runs;
 };
 
 struct CurveResult {
@@ -112,5 +116,13 @@ void printTable(std::ostream& os, const SweepResult& result);
 
 /// Renders CSV: x, then mean and stddev per curve.
 void printCsv(std::ostream& os, const SweepResult& result);
+
+/// Renders the whole sweep as one JSON document: the sweep shape, the
+/// aggregated points, and — per (curve, x, replication) — the full
+/// deterministic metrics object (Metrics::toJson). Like the single-run
+/// --json output this is byte-diffable: two builds that agree produce
+/// identical text, so CI can gate on whole figures. Wall-clock phase
+/// timings are excluded with the rest of Metrics::toJson's exclusions.
+void printJson(std::ostream& os, const SweepResult& result);
 
 }  // namespace facs::sim

@@ -46,6 +46,10 @@ std::string Metrics::toJson() const {
      << "  \"observed_span_s\": " << shortestNumber(observed_span_s) << ",\n"
      << "  \"total_capacity_bu\": " << total_capacity_bu << ",\n"
      << "  \"engine_events\": " << engine_events << ",\n"
+     << "  \"commit_groups\": " << commit_groups << ",\n"
+     << "  \"reservations_posted\": " << reservations_posted << ",\n"
+     << "  \"reservations_admitted\": " << reservations_admitted << ",\n"
+     << "  \"reservations_dropped\": " << reservations_dropped << ",\n"
      << "  \"truncated_rationales\": " << truncated_rationales << ",\n"
      << "  \"percent_accepted\": " << shortestNumber(percentAccepted()) << ",\n"
      << "  \"blocking_probability\": " << shortestNumber(blockingProbability())

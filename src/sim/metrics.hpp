@@ -46,6 +46,22 @@ struct Metrics {
   /// Identical for a given (config, seed) at every shard count.
   std::uint64_t engine_events = 0;
 
+  /// Commit lanes the run actually used: SimulationConfig::commit_groups
+  /// clamped to the cell count, degraded to 1 when the policy declares a
+  /// Global commit scope (cellular::CommitScope). Deterministic — part of
+  /// the JSON so grouped runs are self-describing.
+  int commit_groups = 1;
+
+  /// Cross-group handoff reservations (the inter-BS messages): claims
+  /// posted into foreign group mailboxes, and how they resolved at the
+  /// tick-window barrier. posted == admitted + dropped. Warmup-gated like
+  /// every other counter; always 0 at commit_groups == 1 (every handoff
+  /// commits inside its lane). Deterministic for fixed (config, seed,
+  /// commit_groups) at any shard count.
+  std::uint64_t reservations_posted = 0;
+  std::uint64_t reservations_admitted = 0;
+  std::uint64_t reservations_dropped = 0;
+
   /// Rationales cut at ReasonText's inline capacity during this run's
   /// measured (post-warmup) span, like every other counter. Only ever
   /// non-zero when the run decided with explain on
@@ -58,14 +74,22 @@ struct Metrics {
   // determinism contract (timings vary run to run even at a fixed seed) —
   // bit-identity comparisons must skip these. The commit phase is the
   // serialized section, so commitShare() is the measured serial fraction
-  // that caps sharded speedup (Amdahl).
+  // that caps sharded speedup (Amdahl). With commit_groups > 1 the
+  // per-group lane section runs concurrently and is accounted separately
+  // (commit_lane_s); commit_phase_s then covers only what stays serialized:
+  // routing the merged mailboxes and draining reservations at the barrier.
+  // At commit_groups == 1 the single lane IS the serialized commit, so its
+  // time stays in commit_phase_s and commit_lane_s is 0 — the baseline the
+  // grouped share is compared against.
   double prepare_phase_s = 0.0;  ///< Parallel: arrival draws, GPS tracking.
   double local_phase_s = 0.0;    ///< Parallel: per-shard queue draining.
   double commit_phase_s = 0.0;   ///< Serial: ledger/controller mutations.
+  double commit_lane_s = 0.0;    ///< Parallel: group commit lanes (groups>1).
 
-  /// Fraction of engine wall time spent in the serialized commit phase.
+  /// Fraction of engine wall time spent in the serialized commit section.
   [[nodiscard]] double commitShare() const noexcept {
-    const double total = prepare_phase_s + local_phase_s + commit_phase_s;
+    const double total =
+        prepare_phase_s + local_phase_s + commit_phase_s + commit_lane_s;
     if (total <= 0.0) return 0.0;
     return commit_phase_s / total;
   }

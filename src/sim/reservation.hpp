@@ -1,0 +1,78 @@
+#pragma once
+/// \file reservation.hpp
+/// Cross-group handoff reservations — the paper's inter-BS messages made
+/// explicit. In the two-level commit scheme (sim/simulator.hpp) cells are
+/// partitioned into commit groups whose lanes replay their own events
+/// concurrently; a handoff whose source and target cells sit in different
+/// groups cannot commit inside either lane, because admission must read the
+/// target group's ledger while that lane is still mutating it. Instead the
+/// source lane releases its half at the crossing instant and posts a
+/// Reservation — a bandwidth claim naming the call, the border it crossed
+/// and the demand — into the target group's mailbox. At the tick-window
+/// barrier, after every lane has quiesced, the mailboxes are drained in
+/// canonical order and each claim is validated against the live
+/// HexNetwork ledger (and whatever state the policy consults: SCC demand
+/// projections, guard bands, FLC2) before bandwidth is granted.
+///
+/// Determinism: mailbox drain order is (time, call) — a total order, since
+/// a call crosses at most one border per tick window. Two groups claiming
+/// the last bandwidth unit of one cell therefore resolve the same way at
+/// every shard count and on every run: the earlier crossing wins, call id
+/// breaking exact ties.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "cellular/call.hpp"
+#include "cellular/traffic.hpp"
+
+namespace facs::sim {
+
+/// One inter-group bandwidth claim: "call X crossed from from_cell into
+/// to_cell at time_s and needs demand_bu units there".
+struct Reservation {
+  double time_s = 0.0;               ///< Crossing instant (commit order key).
+  cellular::CallId call = 0;         ///< Tie-break and call-state handle.
+  cellular::CellId from_cell = 0;    ///< Source cell (already released).
+  cellular::CellId to_cell = 0;      ///< Target cell whose lane must grant.
+  cellular::BandwidthUnits demand_bu = 0;  ///< Claim validated at drain.
+  /// Warmup gate evaluated at the crossing instant, carried along so the
+  /// barrier counts the handoff exactly as an in-lane commit would have.
+  bool counted = false;
+};
+
+/// Canonical drain order: earlier crossing first, call id breaking ties.
+struct ReservationEarlier {
+  bool operator()(const Reservation& a, const Reservation& b) const noexcept {
+    if (a.time_s != b.time_s) return a.time_s < b.time_s;
+    return a.call < b.call;
+  }
+};
+
+/// A commit group's inbox of foreign bandwidth claims. Posting happens from
+/// the single-threaded barrier (lanes hand their outgoing claims over after
+/// quiescing), so no locking; drain() canonicalizes the order regardless of
+/// how posts interleaved.
+class ReservationMailbox {
+ public:
+  void post(const Reservation& r) { pending_.push_back(r); }
+
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+
+  /// All pending claims in canonical (time, call) order; the mailbox is
+  /// left empty. Sorting here (not at post) keeps the canonical order a
+  /// property of the drain, independent of posting interleave.
+  [[nodiscard]] std::vector<Reservation> drain() {
+    std::vector<Reservation> out;
+    out.swap(pending_);
+    std::sort(out.begin(), out.end(), ReservationEarlier{});
+    return out;
+  }
+
+ private:
+  std::vector<Reservation> pending_;
+};
+
+}  // namespace facs::sim

@@ -250,9 +250,37 @@ SimulationBuilder& SimulationBuilder::precomputeCv(bool on) {
   return *this;
 }
 
+SimulationBuilder& SimulationBuilder::commitGroups(int n) {
+  config_.commit_groups = n;
+  return *this;
+}
+
+/// Finds or creates the single override entry for \p cell, keeping the
+/// one-entry-per-cell invariant validateConfig() enforces regardless of
+/// which setters ran first.
+CellOverride& SimulationBuilder::overrideFor(cellular::CellId cell) {
+  for (CellOverride& o : config_.cell_overrides) {
+    if (o.cell == cell) return o;
+  }
+  config_.cell_overrides.push_back(CellOverride{cell, {}, {}, {}});
+  return config_.cell_overrides.back();
+}
+
 SimulationBuilder& SimulationBuilder::cellCapacityBu(cellular::CellId cell,
                                                      cellular::BandwidthUnits bu) {
-  config_.cell_capacity_bu.emplace_back(cell, bu);
+  overrideFor(cell).capacity_bu = bu;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::cellArrivalScale(cellular::CellId cell,
+                                                       double scale) {
+  overrideFor(cell).arrival_scale = scale;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::cellTrafficMix(
+    cellular::CellId cell, const cellular::TrafficMix& mix) {
+  overrideFor(cell).mix = mix;
   return *this;
 }
 

@@ -143,9 +143,18 @@ class SimulationBuilder {
   /// Hoist snapshot-only policy work (FACS: FLC1) off the serialized commit
   /// path (default on; results are bit-identical either way).
   SimulationBuilder& precomputeCv(bool on = true);
+  /// Commit lanes for the two-level commit scheme (1 = the serialized
+  /// commit phase; N > 1 needs a CommitScope::CellLocal policy — see
+  /// SimulationConfig::commit_groups).
+  SimulationBuilder& commitGroups(int n);
   /// Per-cell capacity override (heterogeneous deployments); repeatable.
   SimulationBuilder& cellCapacityBu(cellular::CellId cell,
                                     cellular::BandwidthUnits bu);
+  /// Per-cell relative arrival weight (hotspot modelling; default 1).
+  SimulationBuilder& cellArrivalScale(cellular::CellId cell, double scale);
+  /// Per-cell service mix replacing the population-wide one.
+  SimulationBuilder& cellTrafficMix(cellular::CellId cell,
+                                    const cellular::TrafficMix& mix);
   /// Decide with AdmissionContext::explain set (rationales filled and
   /// truncations counted in Metrics::truncated_rationales; decisions are
   /// identical either way).
@@ -188,6 +197,7 @@ class SimulationBuilder {
 
  private:
   [[nodiscard]] const cellular::PolicyRuntime& runtimeOrDefault() const;
+  [[nodiscard]] CellOverride& overrideFor(cellular::CellId cell);
 
   SimulationConfig config_{};
   std::string policy_spec_ = "facs";

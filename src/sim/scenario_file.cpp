@@ -74,8 +74,9 @@ std::string quote(std::string_view text) {
 /// Parses one scenario document; one instance per parse call.
 class Parser {
  public:
-  Parser(std::string_view source, const cellular::PolicyRuntime& runtime)
-      : source_{source}, runtime_{runtime} {}
+  Parser(std::string_view source, const cellular::PolicyRuntime& runtime,
+         const ScenarioBaseResolver& resolve_base)
+      : source_{source}, runtime_{runtime}, resolve_base_{resolve_base} {}
 
   ScenarioSpec run(std::string_view text) {
     std::size_t pos = 0;
@@ -132,6 +133,9 @@ class Parser {
       fail("duplicate key '" + key + "' in [" + scope + "]");
     }
     dispatch(key, value);
+    // Anything after the first key forecloses `extends`: the base would
+    // overwrite what the file already set.
+    extends_allowed_ = false;
   }
 
   void startSection(std::string_view name) {
@@ -142,6 +146,7 @@ class Parser {
         fail("duplicate section [" + std::string{name} + "]");
       }
       section_ = std::string{name};
+      if (name != "scenario") extends_allowed_ = false;
       return;
     }
     if (name.substr(0, 5) == "cell " || name == "cell") {
@@ -152,28 +157,41 @@ class Parser {
         fail("cell id " + std::string{id_text} + " out of range");
       }
       cell_id_ = static_cast<cellular::CellId>(id);
-      for (const auto& [cell, bu] : spec_.config.cell_capacity_bu) {
-        if (cell == cell_id_) {
-          fail("duplicate cell id " + std::to_string(cell_id_) +
-               " (a [cell N] section per cell)");
+      // One section per cell PER FILE; a base's entry (via extends) is
+      // replaced wholesale — the derived file re-describes that cell.
+      if (!file_cells_.insert(cell_id_).second) {
+        fail("duplicate cell id " + std::to_string(cell_id_) +
+             " (a [cell N] section per cell)");
+      }
+      cell_index_ = spec_.config.cell_overrides.size();
+      for (std::size_t i = 0; i < spec_.config.cell_overrides.size(); ++i) {
+        if (spec_.config.cell_overrides[i].cell == cell_id_) {
+          cell_index_ = i;
+          spec_.config.cell_overrides[i] = CellOverride{cell_id_, {}, {}, {}};
+          break;
         }
       }
+      if (cell_index_ == spec_.config.cell_overrides.size()) {
+        spec_.config.cell_overrides.push_back(CellOverride{cell_id_, {}, {}, {}});
+      }
       section_ = "cell";
+      extends_allowed_ = false;
       cell_header_line_ = line_;
-      cell_capacity_seen_ = false;
+      cell_key_seen_ = false;
       return;
     }
     fail("unknown section [" + std::string{name} +
          "] (scenario|network|cell N|run|population|turn)");
   }
 
-  /// A [cell N] section must actually set a capacity — an empty one is a
+  /// A [cell N] section must actually set something — an empty one is a
   /// typo, not a no-op.
   void finishCellSection() {
-    if (section_ == "cell" && !cell_capacity_seen_) {
-      throw ScenarioFileError(source_, cell_header_line_,
-                              "[cell " + std::to_string(cell_id_) +
-                                  "] sets no capacity_bu");
+    if (section_ == "cell" && !cell_key_seen_) {
+      throw ScenarioFileError(
+          source_, cell_header_line_,
+          "[cell " + std::to_string(cell_id_) +
+              "] sets no keys (capacity_bu|arrival_scale|mix)");
     }
   }
 
@@ -181,7 +199,9 @@ class Parser {
     SimulationConfig& cfg = spec_.config;
     ScenarioParams& pop = cfg.scenario;
     if (section_ == "scenario") {
-      if (key == "name") {
+      if (key == "extends") {
+        applyExtends(parseString(value, key));
+      } else if (key == "name") {
         spec_.name = parseString(value, key);
         if (spec_.name.empty()) fail("name must not be empty");
       } else if (key == "summary") {
@@ -194,7 +214,7 @@ class Parser {
           fail(e.what());
         }
       } else {
-        unknownKey(key, "name|summary|policy");
+        unknownKey(key, "extends|name|summary|policy");
       }
     } else if (section_ == "network") {
       if (key == "rings") {
@@ -213,11 +233,23 @@ class Parser {
                    "mobility_update_s");
       }
     } else if (section_ == "cell") {
+      CellOverride& entry = cfg.cell_overrides[cell_index_];
       if (key == "capacity_bu") {
-        cfg.cell_capacity_bu.emplace_back(cell_id_, parseInt(value, key));
-        cell_capacity_seen_ = true;
+        entry.capacity_bu = parseInt(value, key);
+        cell_key_seen_ = true;
+      } else if (key == "arrival_scale") {
+        entry.arrival_scale = parseNumber(value, key);
+        cell_key_seen_ = true;
+      } else if (key == "mix") {
+        const std::vector<double> f = parseList(value, key, 3);
+        try {
+          entry.mix = cellular::TrafficMix{f[0], f[1], f[2]};
+        } catch (const std::invalid_argument& e) {
+          fail(e.what());
+        }
+        cell_key_seen_ = true;
       } else {
-        unknownKey(key, "capacity_bu");
+        unknownKey(key, "capacity_bu|arrival_scale|mix");
       }
     } else if (section_ == "run") {
       if (key == "requests") {
@@ -240,6 +272,8 @@ class Parser {
         cfg.seed = parseUnsigned(value, key);
       } else if (key == "shards") {
         cfg.shards = parseInt(value, key);
+      } else if (key == "commit_groups") {
+        cfg.commit_groups = parseInt(value, key);
       } else if (key == "precompute") {
         cfg.precompute_cv = parseBool(value, key);
       } else if (key == "explain") {
@@ -247,7 +281,7 @@ class Parser {
       } else {
         unknownKey(key,
                    "requests|window_s|arrivals|warmup_s|seed|shards|"
-                   "precompute|explain");
+                   "commit_groups|precompute|explain");
       }
     } else if (section_ == "population") {
       if (key == "speed_kmh") {
@@ -299,6 +333,36 @@ class Parser {
                                std::string_view accepted) const {
     fail("unknown key '" + key + "' in [" + section_ + "] (accepted: " +
          std::string{accepted} + ")");
+  }
+
+  /// `extends = "base"`: replace the (still pristine) spec with the base's
+  /// so everything after overrides it. Only legal as the very first key —
+  /// later, the base would silently clobber what the file already set.
+  /// Nested ScenarioFileErrors (a broken base FILE) propagate untouched so
+  /// they name the base; everything else (unknown base, cycle) is wrapped
+  /// with this file and line.
+  void applyExtends(const std::string& base) {
+    if (!extends_allowed_) {
+      fail("extends must be the first key of the file");
+    }
+    // A base is a scenario NAME — the resolver derives any sibling path
+    // from it. Path spellings ("./self", "sub/../x") would also evade the
+    // string-equality cycle detector, so they are rejected outright.
+    if (base.empty() || base.find('/') != std::string::npos ||
+        base.find('\\') != std::string::npos) {
+      fail("extends expects a scenario name, not a path: \"" + base + "\"");
+    }
+    try {
+      if (resolve_base_) {
+        spec_ = resolve_base_(base);
+      } else {
+        spec_ = ScenarioCatalog::builtins().at(base);
+      }
+    } catch (const ScenarioFileError&) {
+      throw;
+    } catch (const std::exception& e) {
+      fail(std::string{"extends \""} + base + "\": " + e.what());
+    }
   }
 
   double parseNumber(std::string_view value, std::string_view key) const {
@@ -410,14 +474,18 @@ class Parser {
 
   std::string source_;
   const cellular::PolicyRuntime& runtime_;
+  const ScenarioBaseResolver& resolve_base_;
   ScenarioSpec spec_;
   int line_ = 0;
   std::string section_;
   std::set<std::string> seen_;      ///< "section.key" per plain section.
   std::set<std::string> sections_;  ///< Singleton sections seen.
+  std::set<cellular::CellId> file_cells_;  ///< [cell N] ids of THIS file.
   cellular::CellId cell_id_ = 0;    ///< Valid while section_ == "cell".
+  std::size_t cell_index_ = 0;      ///< Index into cell_overrides.
   int cell_header_line_ = 0;
-  bool cell_capacity_seen_ = false;
+  bool cell_key_seen_ = false;
+  bool extends_allowed_ = true;     ///< Cleared by the first key/section.
 };
 
 }  // namespace
@@ -431,25 +499,73 @@ ScenarioFileError::ScenarioFileError(std::string_view source, int line,
 
 ScenarioSpec parseScenarioFile(std::string_view text,
                                const cellular::PolicyRuntime& runtime,
-                               std::string_view source_name) {
-  return Parser{source_name, runtime}.run(text);
+                               std::string_view source_name,
+                               const ScenarioBaseResolver& resolve_base) {
+  return Parser{source_name, runtime, resolve_base}.run(text);
 }
 
 ScenarioSpec parseScenarioFile(std::istream& in,
                                const cellular::PolicyRuntime& runtime,
-                               std::string_view source_name) {
+                               std::string_view source_name,
+                               const ScenarioBaseResolver& resolve_base) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parseScenarioFile(buffer.str(), runtime, source_name);
+  return parseScenarioFile(buffer.str(), runtime, source_name, resolve_base);
 }
 
-ScenarioSpec loadScenarioFile(const std::string& path,
-                              const cellular::PolicyRuntime& runtime) {
+namespace {
+
+/// Directory part of a path (empty when the path has none), so extends
+/// bases resolve relative to the extending file.
+[[nodiscard]] std::string directoryOf(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  return slash == std::string::npos ? std::string{} : path.substr(0, slash + 1);
+}
+
+/// loadScenarioFile with the chain of files currently being resolved, so a
+/// cycle (a.scn extends b.scn extends a.scn) fails with a readable chain
+/// instead of recursing forever. \p chain holds the paths in resolution
+/// order, the innermost last.
+ScenarioSpec loadScenarioFileChained(const std::string& path,
+                                     const cellular::PolicyRuntime& runtime,
+                                     std::vector<std::string>& chain) {
+  for (const std::string& seen : chain) {
+    if (seen == path) {
+      std::string cycle;
+      for (const std::string& p : chain) cycle += p + " -> ";
+      throw std::runtime_error("extends cycle: " + cycle + path);
+    }
+  }
   std::ifstream in{path};
   if (!in) {
     throw ScenarioFileError(path, 0, "cannot open scenario file");
   }
-  return parseScenarioFile(in, runtime, path);
+  chain.push_back(path);
+  const std::string dir = directoryOf(path);
+  const ScenarioBaseResolver resolver =
+      [&](const std::string& name) -> ScenarioSpec {
+    // A sibling NAME.scn beats a catalog built-in: local families can
+    // shadow and extend shipped scenarios.
+    const std::string sibling = dir + name + ".scn";
+    if (std::ifstream probe{sibling}) {
+      return loadScenarioFileChained(sibling, runtime, chain);
+    }
+    return ScenarioCatalog::builtins().at(name);  // ScenarioError names it
+  };
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ScenarioSpec spec =
+      parseScenarioFile(buffer.str(), runtime, path, resolver);
+  chain.pop_back();
+  return spec;
+}
+
+}  // namespace
+
+ScenarioSpec loadScenarioFile(const std::string& path,
+                              const cellular::PolicyRuntime& runtime) {
+  std::vector<std::string> chain;
+  return loadScenarioFileChained(path, runtime, chain);
 }
 
 std::string writeScenarioFile(const ScenarioSpec& spec) {
@@ -481,9 +597,22 @@ std::string writeScenarioFile(const ScenarioSpec& spec) {
      << "handoffs = " << (cfg.enable_handoffs ? "true" : "false") << "\n"
      << "mobility_update_s = " << shortestNumber(cfg.mobility_update_s)
      << "\n\n";
-  for (const auto& [cell, bu] : cfg.cell_capacity_bu) {
-    os << "[cell " << cell << "]\n"
-       << "capacity_bu = " << bu << "\n\n";
+  for (const CellOverride& o : cfg.cell_overrides) {
+    os << "[cell " << o.cell << "]\n";
+    if (o.capacity_bu) os << "capacity_bu = " << *o.capacity_bu << "\n";
+    if (o.arrival_scale) {
+      os << "arrival_scale = " << shortestNumber(*o.arrival_scale) << "\n";
+    }
+    if (o.mix) {
+      os << "mix = ["
+         << shortestNumber(o.mix->fraction(cellular::ServiceClass::Text))
+         << ", "
+         << shortestNumber(o.mix->fraction(cellular::ServiceClass::Voice))
+         << ", "
+         << shortestNumber(o.mix->fraction(cellular::ServiceClass::Video))
+         << "]\n";
+    }
+    os << "\n";
   }
   os << "[run]\n"
      << "requests = " << cfg.total_requests << "\n"
@@ -495,6 +624,7 @@ std::string writeScenarioFile(const ScenarioSpec& spec) {
      << "warmup_s = " << shortestNumber(cfg.warmup_s) << "\n"
      << "seed = " << cfg.seed << "\n"
      << "shards = " << cfg.shards << "\n"
+     << "commit_groups = " << cfg.commit_groups << "\n"
      << "precompute = " << (cfg.precompute_cv ? "true" : "false") << "\n"
      << "explain = " << (cfg.explain ? "true" : "false") << "\n\n";
   os << "[population]\n"

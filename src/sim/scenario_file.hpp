@@ -13,7 +13,12 @@
 /// `[section]` header):
 ///
 ///   [scenario]
-///   name = "highway"              # required, the catalog key
+///   extends = "highway"           # optional; must be the FIRST key: start
+///                                 # from that scenario (a sibling
+///                                 # NAME.scn file, else a catalog
+///                                 # built-in) and override below
+///   name = "highway"              # required (inherited via extends), the
+///                                 # catalog key
 ///   summary = "one line of docs"
 ///   policy = "facs"               # registry spec; validated at parse time
 ///
@@ -24,8 +29,12 @@
 ///   handoffs = true
 ///   mobility_update_s = 5
 ///
-///   [cell 3]                      # optional, repeatable: heterogeneous
-///   capacity_bu = 80              # capacity for one cell of the disk
+///   [cell 3]                      # optional, repeatable: one section per
+///   capacity_bu = 80              # cell; at least one key each. Replaces
+///   arrival_scale = 3             # the base's [cell 3] wholesale under
+///   mix = [0.2, 0.3, 0.5]         # extends. arrival_scale weights the
+///                                 # spawn draw (hotspots); mix overrides
+///                                 # the per-cell service mix
 ///
 ///   [run]
 ///   requests = 150
@@ -34,6 +43,7 @@
 ///   warmup_s = 0
 ///   seed = 1
 ///   shards = 1
+///   commit_groups = 1             # two-level commit lanes (see README)
 ///   precompute = true
 ///   explain = false
 ///
@@ -51,12 +61,23 @@
 ///   v_ref_kmh = 18                # exponential decay scale over speed
 ///
 /// Every key is optional except `name`; omitted keys keep the paper's
-/// defaults (a minimal file is just `[scenario]` + `name`). Unknown
-/// sections or keys are errors, not warnings — a typo must not silently
-/// run a different workload. Doubles are written in shortest round-trip
-/// form (std::to_chars), so parse(write(spec)) reproduces the spec bit for
-/// bit and write(parse(text)) is a canonical form.
+/// defaults (a minimal file is just `[scenario]` + `name`), or — under
+/// `extends` — the base's values. Unknown sections or keys are errors, not
+/// warnings — a typo must not silently run a different workload. Doubles
+/// are written in shortest round-trip form (std::to_chars), so
+/// parse(write(spec)) reproduces the spec bit for bit and
+/// write(parse(text)) is a canonical form. The writer always emits the
+/// fully resolved document (never an `extends` reference), so the
+/// canonical form of a derived file is self-contained.
+///
+/// `extends` resolution: loadScenarioFile() looks for `NAME.scn` next to
+/// the extending file first, then falls back to the built-in catalog;
+/// chains may nest, and a cycle (a.scn extends b.scn extends a.scn) is
+/// detected and reported with the offending file and line. Parsing from a
+/// string/stream has no directory, so there only built-ins resolve unless
+/// the caller supplies a ScenarioBaseResolver.
 
+#include <functional>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
@@ -65,6 +86,14 @@
 #include "sim/scenario_catalog.hpp"
 
 namespace facs::sim {
+
+/// Resolves the base scenario an `extends = "name"` key refers to. Throwing
+/// (ScenarioFileError from a nested parse, or any std::exception for
+/// unknown names and cycles) fails the parse; a plain exception's message
+/// is wrapped with the extending file and line. An empty function means
+/// `extends` resolves against the built-in catalog only.
+using ScenarioBaseResolver =
+    std::function<ScenarioSpec(const std::string& name)>;
 
 /// Error raised by the scenario-file parser, carrying the source label
 /// (file path, or "<string>" for in-memory text) and the 1-based line.
@@ -88,12 +117,14 @@ class ScenarioFileError : public std::runtime_error {
 ///         validateConfig() rejects).
 [[nodiscard]] ScenarioSpec parseScenarioFile(
     std::string_view text, const cellular::PolicyRuntime& runtime,
-    std::string_view source_name = "<string>");
+    std::string_view source_name = "<string>",
+    const ScenarioBaseResolver& resolve_base = {});
 
 /// Reads a scenario document from a stream (e.g. std::ifstream).
 [[nodiscard]] ScenarioSpec parseScenarioFile(
     std::istream& in, const cellular::PolicyRuntime& runtime,
-    std::string_view source_name = "<stream>");
+    std::string_view source_name = "<stream>",
+    const ScenarioBaseResolver& resolve_base = {});
 
 /// Opens and parses the file at \p path; errors name the path.
 /// \throws ScenarioFileError (also when the file cannot be read).

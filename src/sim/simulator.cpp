@@ -11,6 +11,7 @@
 
 #include "mobility/gps.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/reservation.hpp"
 #include "sim/shard.hpp"
 
 namespace facs::sim {
@@ -40,7 +41,9 @@ enum class CallPhase : std::uint8_t {
 };
 
 /// Everything one call owns. Shard workers touch only calls their cells
-/// carry; the commit phase may touch any call (it runs alone).
+/// carry; within the commit phase, exactly one group lane (the lane of the
+/// call's current cell) may touch a call per window, and the barrier drain
+/// runs alone.
 struct CallState {
   CallRequest request;  ///< target_cell kept current across handoffs.
   MotionState state;    ///< Ground truth.
@@ -50,6 +53,8 @@ struct CallState {
   CallPhase phase = CallPhase::Pending;
   /// Ownership generation: bumped when the call changes shard (handoff) so
   /// event copies left in the old owner's queue are recognisably stale.
+  /// Also bumped when a cross-group reservation is posted, so no event can
+  /// execute while the claim is in flight to the barrier.
   std::uint32_t epoch = 0;
   /// Snapshot-only policy work precomputed off the serialized commit path:
   /// set by the parallel prepare phase for the initial decision, re-run by
@@ -63,21 +68,35 @@ struct CallState {
       : model{turn} {}
 };
 
+/// How many commit lanes a run gets: the configured group count when the
+/// policy promises cell-local commits, one serialized lane otherwise (the
+/// partition further clamps to the cell count).
+[[nodiscard]] int requestedLanes(const SimulationConfig& cfg,
+                                 const cellular::AdmissionController& c) {
+  if (c.commitScope() != cellular::CommitScope::CellLocal) return 1;
+  return std::max(1, cfg.commit_groups);
+}
+
 class Engine {
  public:
   Engine(const SimulationConfig& cfg, const ControllerFactory& make_controller)
       : cfg_{cfg},
         network_{cfg.rings, cfg.cell_radius_km, cfg.capacity_bu,
-                 cfg.cell_capacity_bu},
+                 capacityOverrides(cfg)},
         controller_{make_controller(network_)},
+        partition_{network_,
+                   controller_ ? requestedLanes(cfg, *controller_) : 1},
         shard_count_{std::max(1, std::min(cfg.shards, kMaxShards))},
         pool_{shard_count_},
         queues_(static_cast<std::size_t>(shard_count_)),
         outboxes_(static_cast<std::size_t>(shard_count_)),
-        local_events_(static_cast<std::size_t>(shard_count_), 0) {
+        local_events_(static_cast<std::size_t>(shard_count_), 0),
+        lanes_(static_cast<std::size_t>(partition_.groups())),
+        mailboxes_(static_cast<std::size_t>(partition_.groups())) {
     if (!controller_) {
       throw std::invalid_argument("controller factory returned nullptr");
     }
+    prepareCellOverrides();
   }
 
   Metrics execute() {
@@ -94,6 +113,7 @@ class Engine {
     prepareArrivals();
     auto t1 = stamp();
     metrics_.prepare_phase_s = since(t0, t1);
+    metrics_.commit_groups = partition_.groups();
 
     // Tick windows: with handoffs the barrier period is the mobility update
     // (the minimum latency at which one cell's state can matter to
@@ -102,6 +122,7 @@ class Engine {
     const double window_s = cfg_.enable_handoffs
                                 ? cfg_.mobility_update_s
                                 : std::numeric_limits<double>::infinity();
+    const bool grouped = partition_.groups() > 1;
 
     while (const auto next = nextEventTime()) {
       double window_end = std::numeric_limits<double>::infinity();
@@ -112,15 +133,37 @@ class Engine {
       t0 = stamp();
       runLocalPhase(window_end);
       t1 = stamp();
-      commitPhase(window_end);
-      const auto t2 = stamp();
       metrics_.local_phase_s += since(t0, t1);
-      metrics_.commit_phase_s += since(t1, t2);
+
+      // Commit: route the merged mailboxes to the group lanes (serial),
+      // replay each lane (concurrent when grouped; THE serialized commit
+      // when not), then drain cross-group reservations and flush deferred
+      // events at the barrier (serial). With one lane everything lands in
+      // commit_phase_s — the pre-grouped accounting; with several, the
+      // lane replay is no longer serialized and is reported separately.
+      routeCommits();
+      const auto t2 = stamp();
+      runLanes(window_end);
+      const auto t3 = stamp();
+      drainBarrier(window_end);
+      const auto t4 = stamp();
+      if (grouped) {
+        metrics_.commit_phase_s += since(t1, t2) + since(t3, t4);
+        metrics_.commit_lane_s += since(t2, t3);
+      } else {
+        metrics_.commit_phase_s += since(t1, t4);
+      }
     }
 
-    metrics_.observed_span_s = std::max(0.0, last_change_s_ - cfg_.warmup_s);
+    // Fold the per-lane slices in group order — deterministic for a fixed
+    // partition, and a plain copy when there is one lane.
+    double last_change_s = 0.0;
+    for (const GroupLane& lane : lanes_) {
+      mergeLane(lane);
+      last_change_s = std::max(last_change_s, lane.last_change_s);
+    }
+    metrics_.observed_span_s = std::max(0.0, last_change_s - cfg_.warmup_s);
     metrics_.total_capacity_bu = network_.totalCapacityBu();
-    metrics_.engine_events = commit_events_;
     for (const std::uint64_t n : local_events_) metrics_.engine_events += n;
     return metrics_;
   }
@@ -128,9 +171,85 @@ class Engine {
  private:
   using Queue = EventQueue<ShardEvent>;
 
+  /// Per-window deferred schedule: an event that belongs to a later window
+  /// and must be pushed into a shard queue — which lanes cannot do
+  /// concurrently (two groups' cells may share a shard queue), so lanes
+  /// buffer these and the barrier flushes them serially.
+  struct DeferredEvent {
+    double time_s = 0.0;
+    CellId cell = 0;
+    ShardEvent event;
+  };
+
+  /// One commit lane: the canonical-order replay queue of one cell group
+  /// plus everything the lane accumulates privately — outgoing reservation
+  /// claims, deferred schedules, its group's slice of the occupancy
+  /// integral and of the counters. Lanes never touch each other's state;
+  /// the barrier folds them in group order.
+  struct GroupLane {
+    std::priority_queue<CommitEntry, std::vector<CommitEntry>, CommitLater>
+        queue;
+    std::vector<Reservation> outgoing;
+    std::vector<DeferredEvent> deferred;
+    /// Group-local occupancy integral: occupied BU over this group's
+    /// cells, integrated at each committed change exactly like the
+    /// pre-grouped engine integrated the network total.
+    double last_change_s = 0.0;
+    double busy_bu_seconds = 0.0;
+    cellular::BandwidthUnits occupied_bu = 0;
+    /// Counter slice (only the counters lanes touch are merged).
+    Metrics partial;
+    std::uint64_t events = 0;
+  };
+
+  [[nodiscard]] static std::vector<cellular::CellCapacityOverride>
+  capacityOverrides(const SimulationConfig& cfg) {
+    std::vector<cellular::CellCapacityOverride> out;
+    for (const CellOverride& o : cfg.cell_overrides) {
+      if (o.capacity_bu) out.emplace_back(o.cell, *o.capacity_bu);
+    }
+    return out;
+  }
+
+  /// Digests cell_overrides into the spawn-weight CDF and per-cell mix
+  /// table. Both stay empty when no override needs them, keeping the
+  /// unscaled run on the exact legacy draw sequence (bit-identical).
+  void prepareCellOverrides() {
+    bool weighted = false;
+    bool mixed = false;
+    for (const CellOverride& o : cfg_.cell_overrides) {
+      if (o.arrival_scale && *o.arrival_scale != 1.0) weighted = true;
+      if (o.mix) mixed = true;
+    }
+    if (weighted) {
+      std::vector<double> weight(network_.cellCount(), 1.0);
+      for (const CellOverride& o : cfg_.cell_overrides) {
+        if (o.arrival_scale) {
+          weight[static_cast<std::size_t>(o.cell)] = *o.arrival_scale;
+        }
+      }
+      spawn_cdf_.resize(weight.size());
+      double total = 0.0;
+      for (std::size_t i = 0; i < weight.size(); ++i) {
+        total += weight[i];
+        spawn_cdf_[i] = total;
+      }
+    }
+    if (mixed) {
+      cell_mix_.resize(network_.cellCount());
+      for (const CellOverride& o : cfg_.cell_overrides) {
+        if (o.mix) cell_mix_[static_cast<std::size_t>(o.cell)] = o.mix;
+      }
+    }
+  }
+
   [[nodiscard]] int shardOf(CellId cell) const noexcept {
     return static_cast<int>(static_cast<std::size_t>(cell) %
                             static_cast<std::size_t>(shard_count_));
+  }
+
+  [[nodiscard]] int laneOf(CellId cell) const {
+    return partition_.groupOf(cell);
   }
 
   [[nodiscard]] CallState& call(CallId id) { return calls_[id - 1]; }
@@ -144,15 +263,16 @@ class Engine {
     return best;
   }
 
-  /// Integrates occupied-BU time up to \p now (call before any change).
-  /// Commit-phase only: ledgers change nowhere else.
-  void noteOccupancy(double now) {
-    const double from = std::max(last_change_s_, cfg_.warmup_s);
+  /// Integrates a group's occupied-BU time up to \p now (call before any
+  /// change to that group's ledgers). Touched only by the lane that owns
+  /// the group or by the single-threaded barrier drain.
+  void noteOccupancy(GroupLane& lane, double now) {
+    const double from = std::max(lane.last_change_s, cfg_.warmup_s);
     if (now > from) {
-      metrics_.busy_bu_seconds +=
-          static_cast<double>(network_.totalOccupiedBu()) * (now - from);
+      lane.busy_bu_seconds +=
+          static_cast<double>(lane.occupied_bu) * (now - from);
     }
-    last_change_s_ = now;
+    lane.last_change_s = now;
   }
 
   [[nodiscard]] bool counted(double now) const noexcept {
@@ -164,11 +284,33 @@ class Engine {
   /// silently dropping tails. Respects the warmup gate like every other
   /// counter — only measured decisions are reported. Deterministic:
   /// decisions do not depend on it.
-  void noteRationale(const cellular::AdmissionDecision& decision,
-                     bool count) noexcept {
+  static void noteRationale(Metrics& into,
+                            const cellular::AdmissionDecision& decision,
+                            bool count) noexcept {
     if (count && decision.rationale.truncated()) {
-      ++metrics_.truncated_rationales;
+      ++into.truncated_rationales;
     }
+  }
+
+  /// Folds one lane's private slice into the run metrics — every counter a
+  /// lane may touch, in group order so the double accumulation is
+  /// reproducible.
+  void mergeLane(const GroupLane& lane) {
+    const Metrics& p = lane.partial;
+    metrics_.new_requests += p.new_requests;
+    metrics_.new_accepted += p.new_accepted;
+    metrics_.new_blocked += p.new_blocked;
+    metrics_.handoff_requests += p.handoff_requests;
+    metrics_.handoff_accepted += p.handoff_accepted;
+    metrics_.handoff_dropped += p.handoff_dropped;
+    metrics_.completed += p.completed;
+    for (std::size_t i = 0; i < p.class_requests.size(); ++i) {
+      metrics_.class_requests[i] += p.class_requests[i];
+      metrics_.class_accepted[i] += p.class_accepted[i];
+    }
+    metrics_.truncated_rationales += p.truncated_rationales;
+    metrics_.busy_bu_seconds += lane.busy_bu_seconds;
+    metrics_.engine_events += lane.events;
   }
 
   // ---------------------------------------------------------------- prepare
@@ -218,17 +360,47 @@ class Engine {
     }
   }
 
+  /// Where a fresh request spawns: the legacy uniform pick, or — as soon
+  /// as any cell carries an arrival_scale override — a weighted draw over
+  /// the per-cell CDF (hotspot modelling). The two paths consume the
+  /// call's RNG differently, so the weighted draw only engages when a
+  /// scale actually differs from 1 — unscaled configs keep their exact
+  /// historical draw sequence.
+  [[nodiscard]] CellId drawSpawnCell(Rng& rng) {
+    if (spawn_cdf_.empty()) {
+      std::uniform_int_distribution<std::size_t> cell_pick{
+          0, network_.cellCount() - 1};
+      return static_cast<CellId>(cell_pick(rng));
+    }
+    const double u = sampleUniform(rng, 0.0, spawn_cdf_.back());
+    const auto it = std::upper_bound(spawn_cdf_.begin(), spawn_cdf_.end(), u);
+    const std::size_t i = std::min(
+        static_cast<std::size_t>(it - spawn_cdf_.begin()),
+        spawn_cdf_.size() - 1);
+    return static_cast<CellId>(i);
+  }
+
   /// Builds one call: spawn draw, tracking walk, snapshot. Uses only the
   /// call's own stream — safe to run for many calls concurrently.
   void prepareCall(CallId id, double arrival_s) {
     CallState& c = call(id);
     c.rng = makeRng(cfg_.seed, kCallStreamBase + static_cast<std::uint64_t>(id));
 
-    std::uniform_int_distribution<std::size_t> cell_pick{
-        0, network_.cellCount() - 1};
-    const CellId spawn_cell = static_cast<CellId>(cell_pick(c.rng));
-    const RequestPlan plan = drawRequest(
-        cfg_.scenario, network_.cell(spawn_cell).center, spawn_cell, c.rng);
+    const CellId spawn_cell = drawSpawnCell(c.rng);
+    const bool mixed = !cell_mix_.empty() &&
+                       cell_mix_[static_cast<std::size_t>(spawn_cell)];
+    RequestPlan plan;
+    if (mixed) {
+      // Hotspot cells skew their own service mix; everything else about
+      // the population stays the scenario's.
+      ScenarioParams local = cfg_.scenario;
+      local.mix = *cell_mix_[static_cast<std::size_t>(spawn_cell)];
+      plan = drawRequest(local, network_.cell(spawn_cell).center, spawn_cell,
+                         c.rng);
+    } else {
+      plan = drawRequest(cfg_.scenario, network_.cell(spawn_cell).center,
+                         spawn_cell, c.rng);
+    }
     c.state = plan.initial;
 
     const double window = cfg_.scenario.tracking_window_s;
@@ -339,18 +511,45 @@ class Engine {
 
   // ----------------------------------------------------------- commit phase
 
-  /// Replays the merged mailboxes — plus any follow-up events they spawn
-  /// inside the window — in canonical (time, kind, call) order, mutating
-  /// ledgers, controller state and metrics exactly as a serial run would.
-  void commitPhase(double window_end) {
+  /// Serial routing step: every mailbox entry goes to the lane of the
+  /// call's current cell. All of a call's events of one window route to
+  /// one lane (pending calls do not move, and active calls change cells
+  /// only when that same lane — or the barrier — commits the crossing),
+  /// so lanes touch disjoint call and ledger state by construction.
+  void routeCommits() {
     for (auto& outbox : outboxes_) {
-      for (const CommitEntry& e : outbox) commit_queue_.push(e);
+      for (const CommitEntry& e : outbox) {
+        const CellId cell = call(e.event.call).request.target_cell;
+        lanes_[static_cast<std::size_t>(laneOf(cell))].queue.push(e);
+      }
       outbox.clear();
     }
+  }
 
-    while (!commit_queue_.empty()) {
-      const CommitEntry e = commit_queue_.top();
-      commit_queue_.pop();
+  /// Replays every lane to quiescence. One lane runs inline (it IS the
+  /// serialized commit phase of the pre-grouped engine); several fan out
+  /// over the shard pool, each worker walking the lanes it owns.
+  void runLanes(double window_end) {
+    const int lane_count = partition_.groups();
+    if (lane_count == 1) {
+      runLane(0, window_end);
+      return;
+    }
+    pool_.run([&](int shard) {
+      for (int g = shard; g < lane_count; g += shard_count_) {
+        runLane(g, window_end);
+      }
+    });
+  }
+
+  /// Drains one lane's queue — plus any follow-up events commits push back
+  /// inside the window — in canonical (time, kind, call) order, mutating
+  /// only this group's ledgers and the lane's private slice.
+  void runLane(int g, double window_end) {
+    GroupLane& lane = lanes_[static_cast<std::size_t>(g)];
+    while (!lane.queue.empty()) {
+      const CommitEntry e = lane.queue.top();
+      lane.queue.pop();
       const double now = e.time_s;
       CallState& c = call(e.event.call);
       // Only events that execute count toward engine_events; stale entries
@@ -358,49 +557,55 @@ class Engine {
       switch (e.event.kind) {
         case ShardEventKind::Decision:
           if (c.phase == CallPhase::Pending) {
-            ++commit_events_;
-            commitDecision(c, now, window_end);
+            ++lane.events;
+            commitDecision(lane, c, now, window_end);
           }
           break;
         case ShardEventKind::End:
           if (c.phase == CallPhase::Active && e.event.epoch == c.epoch) {
-            ++commit_events_;
-            commitEnd(c, now);
+            ++lane.events;
+            commitEnd(lane, c, now);
           }
           break;
         case ShardEventKind::Move:
           if (c.phase == CallPhase::Active && e.event.epoch == c.epoch) {
-            ++commit_events_;
-            commitCrossing(c, now, window_end);
+            ++lane.events;
+            commitCrossing(g, lane, c, now, window_end);
           }
           break;
       }
     }
   }
 
-  /// Schedules an admitted call's departure: into the commit queue when it
-  /// still falls inside this window, else into its owner shard's queue.
-  void scheduleEnd(const CallState& c, CallId id, double window_end) {
+  /// Schedules an admitted call's departure: into the lane's own queue when
+  /// it still falls inside this window (the call's cell stays in this
+  /// group), else deferred for the barrier to push into its owner shard's
+  /// queue.
+  void scheduleEnd(GroupLane& lane, const CallState& c, CallId id,
+                   double window_end) {
     const ShardEvent ev{ShardEventKind::End, id, c.epoch};
     if (c.end_time_s < window_end) {
-      commit_queue_.push(CommitEntry{c.end_time_s, ev});
+      lane.queue.push(CommitEntry{c.end_time_s, ev});
     } else {
-      queues_[static_cast<std::size_t>(shardOf(c.request.target_cell))].push(
-          c.end_time_s, ev);
+      lane.deferred.push_back(
+          DeferredEvent{c.end_time_s, c.request.target_cell, ev});
     }
   }
 
   /// First mobility step after \p now: the next multiple of the update
   /// period strictly ahead of it (always >= window_end, i.e. next window).
-  void scheduleFirstMove(const CallState& c, CallId id, double now) {
+  void scheduleFirstMove(GroupLane& lane, const CallState& c, CallId id,
+                         double now) {
     if (!cfg_.enable_handoffs) return;
     const double period = cfg_.mobility_update_s;
     const double next = (std::floor(now / period) + 1.0) * period;
-    queues_[static_cast<std::size_t>(shardOf(c.request.target_cell))].push(
-        next, ShardEvent{ShardEventKind::Move, id, c.epoch});
+    lane.deferred.push_back(DeferredEvent{
+        next, c.request.target_cell, ShardEvent{ShardEventKind::Move, id,
+                                                c.epoch}});
   }
 
-  void commitDecision(CallState& c, double now, double window_end) {
+  void commitDecision(GroupLane& lane, CallState& c, double now,
+                      double window_end) {
     if (c.phase != CallPhase::Pending) return;
     const CallRequest& req = c.request;
     cellular::BaseStation& station = network_.station(req.target_cell);
@@ -410,29 +615,30 @@ class Engine {
 
     const bool count = counted(now);
     if (count) {
-      ++metrics_.new_requests;
-      ++metrics_.class_requests[static_cast<std::size_t>(req.service)];
+      ++lane.partial.new_requests;
+      ++lane.partial.class_requests[static_cast<std::size_t>(req.service)];
     }
 
     const cellular::AdmissionDecision decision = controller_->decide(req, ctx);
-    noteRationale(decision, count);
+    noteRationale(lane.partial, decision, count);
     // Defence in depth: an accept that does not fit would corrupt the
     // ledger, so the simulator re-checks the invariant the policy promised.
     const bool admit = decision.accept && station.canFit(req.demand_bu);
 
     if (!admit) {
-      if (count) ++metrics_.new_blocked;
+      if (count) ++lane.partial.new_blocked;
       controller_->onRejected(req, ctx);
       c.phase = CallPhase::Done;
       return;
     }
 
-    noteOccupancy(now);
+    noteOccupancy(lane, now);
     station.allocate(req.call, req.demand_bu,
                      cellular::profileFor(req.service).real_time);
+    lane.occupied_bu += req.demand_bu;
     if (count) {
-      ++metrics_.new_accepted;
-      ++metrics_.class_accepted[static_cast<std::size_t>(req.service)];
+      ++lane.partial.new_accepted;
+      ++lane.partial.class_accepted[static_cast<std::size_t>(req.service)];
     }
     controller_->onAdmitted(req, ctx);
 
@@ -440,26 +646,49 @@ class Engine {
     c.end_time_s = now + sampleExponential(
                              c.rng,
                              cellular::profileFor(req.service).mean_holding_s);
-    scheduleEnd(c, req.call, window_end);
-    scheduleFirstMove(c, req.call, now);
+    scheduleEnd(lane, c, req.call, window_end);
+    scheduleFirstMove(lane, c, req.call, now);
   }
 
-  void commitEnd(CallState& c, double now) {
+  void commitEnd(GroupLane& lane, CallState& c, double now) {
     cellular::BaseStation& station = network_.station(c.request.target_cell);
-    noteOccupancy(now);
+    noteOccupancy(lane, now);
     station.release(c.request.call);
-    if (counted(now)) ++metrics_.completed;
+    lane.occupied_bu -= c.request.demand_bu;
+    if (counted(now)) ++lane.partial.completed;
     controller_->onReleased(c.request, AdmissionContext{station, now});
     c.phase = CallPhase::Done;
   }
 
-  /// A mobility step detected the call outside its cell: either hand it to
-  /// the new cell (admission permitting) or account a coverage departure.
-  void commitCrossing(CallState& c, double now, double window_end) {
+  /// A mobility step detected the call outside its cell: hand it over
+  /// in-lane when the new cell shares this group, account a coverage
+  /// departure, or — across a group border — release the source half and
+  /// post a Reservation for the barrier to validate (the inter-BS
+  /// message).
+  void commitCrossing(int g, GroupLane& lane, CallState& c, double now,
+                      double window_end) {
     const auto new_cell = network_.cellAt(c.state.position_km);
     if (!new_cell) {
       // Left coverage entirely: account as a completed departure.
-      commitEnd(c, now);
+      commitEnd(lane, c, now);
+      return;
+    }
+
+    if (laneOf(*new_cell) != g) {
+      // Cross-group handoff. The source half — the call leaving this
+      // group's cell — commits here, at the crossing instant; the claim on
+      // the target cell travels to its group's mailbox. Bumping the epoch
+      // supersedes every queued event copy while the claim is in flight,
+      // so nothing can touch the call before the barrier resolves it.
+      cellular::BaseStation& old_station =
+          network_.station(c.request.target_cell);
+      noteOccupancy(lane, now);
+      old_station.release(c.request.call);
+      lane.occupied_bu -= c.request.demand_bu;
+      ++c.epoch;
+      lane.outgoing.push_back(Reservation{now, c.request.call,
+                                          c.request.target_cell, *new_cell,
+                                          c.request.demand_bu, counted(now)});
       return;
     }
 
@@ -474,53 +703,167 @@ class Engine {
         mobility::snapshotFromTruth(c.state, network_.cell(*new_cell).center);
 
     const bool count = counted(now);
-    if (count) ++metrics_.handoff_requests;
+    if (count) ++lane.partial.handoff_requests;
     // c.predicted was refreshed by the local phase when this crossing was
     // detected, from the identical snapshot req now carries.
     const AdmissionContext ctx{new_station, now, cfg_.explain, c.predicted};
     const cellular::AdmissionDecision decision = controller_->decide(req, ctx);
-    noteRationale(decision, count);
+    noteRationale(lane.partial, decision, count);
     const bool admit = decision.accept && new_station.canFit(req.demand_bu);
 
-    noteOccupancy(now);
+    noteOccupancy(lane, now);
     old_station.release(req.call);
+    lane.occupied_bu -= req.demand_bu;
     if (admit) {
       new_station.allocate(req.call, req.demand_bu,
                            cellular::profileFor(req.service).real_time);
-      if (count) ++metrics_.handoff_accepted;
+      lane.occupied_bu += req.demand_bu;
+      if (count) ++lane.partial.handoff_accepted;
       controller_->onAdmitted(req, ctx);  // refreshes SCC kinematics too
       c.request = req;
       // The call changed owner: supersede every event copy still queued
       // under the old epoch, then reschedule its departure and next step
       // with the new one.
       ++c.epoch;
-      scheduleEnd(c, req.call, window_end);
-      queues_[static_cast<std::size_t>(shardOf(*new_cell))].push(
-          now + cfg_.mobility_update_s,
-          ShardEvent{ShardEventKind::Move, req.call, c.epoch});
+      scheduleEnd(lane, c, req.call, window_end);
+      lane.deferred.push_back(DeferredEvent{
+          now + cfg_.mobility_update_s, *new_cell,
+          ShardEvent{ShardEventKind::Move, req.call, c.epoch}});
     } else {
-      if (count) ++metrics_.handoff_dropped;
+      if (count) ++lane.partial.handoff_dropped;
       controller_->onRejected(req, ctx);
       controller_->onReleased(c.request, AdmissionContext{old_station, now});
       c.phase = CallPhase::Done;  // pending End/Move copies die at pop
     }
   }
 
+  // --------------------------------------------------------------- barrier
+
+  /// The tick-window barrier, after every lane has quiesced: cross-group
+  /// reservations are delivered to their target groups' mailboxes and
+  /// drained in canonical (time, call) order with each capacity claim
+  /// re-validated against the live ledger and policy state; then the
+  /// lanes' deferred next-window events are flushed into the shard queues.
+  /// Single-threaded, so it may touch any group.
+  void drainBarrier(double window_end) {
+    for (GroupLane& lane : lanes_) {
+      for (const Reservation& r : lane.outgoing) {
+        mailboxes_[static_cast<std::size_t>(laneOf(r.to_cell))].post(r);
+      }
+      lane.outgoing.clear();
+    }
+    for (std::size_t g = 0; g < mailboxes_.size(); ++g) {
+      if (mailboxes_[g].empty()) continue;
+      for (const Reservation& r : mailboxes_[g].drain()) {
+        commitReservation(lanes_[g], r, window_end);
+      }
+    }
+    for (GroupLane& lane : lanes_) {
+      for (const DeferredEvent& d : lane.deferred) {
+        queues_[static_cast<std::size_t>(shardOf(d.cell))].push(d.time_s,
+                                                                d.event);
+      }
+      lane.deferred.clear();
+    }
+  }
+
+  /// Resolves one inter-group bandwidth claim at the barrier. The grant is
+  /// decided by the policy plus the hard ledger, exactly like an in-lane
+  /// handoff — but against the target group's end-of-window state, which
+  /// is the documented visibility difference of commit_groups > 1: the
+  /// target lane's own events of this window committed first, and the
+  /// granted bandwidth occupies the new cell from the barrier instant.
+  void commitReservation(GroupLane& lane, const Reservation& r,
+                         double window_end) {
+    CallState& c = call(r.call);
+    cellular::BaseStation& new_station = network_.station(r.to_cell);
+
+    // The reservation is the authoritative inter-BS message: the handoff
+    // request presented to the policy is rebuilt from its fields (the
+    // demand claimed, the border crossed) plus the call's motion truth.
+    CallRequest req = c.request;
+    req.is_handoff = true;
+    req.target_cell = r.to_cell;
+    req.demand_bu = r.demand_bu;
+    req.snapshot =
+        mobility::snapshotFromTruth(c.state, network_.cell(r.to_cell).center);
+
+    const bool count = r.counted;
+    if (count) {
+      ++metrics_.handoff_requests;
+      ++metrics_.reservations_posted;
+    }
+    // c.predicted was refreshed when the crossing was detected, from this
+    // same snapshot.
+    const AdmissionContext ctx{new_station, r.time_s, cfg_.explain,
+                               c.predicted};
+    const cellular::AdmissionDecision decision = controller_->decide(req, ctx);
+    noteRationale(metrics_, decision, count);
+    const bool admit = decision.accept && new_station.canFit(req.demand_bu);
+
+    if (!admit) {
+      if (count) {
+        ++metrics_.handoff_dropped;
+        ++metrics_.reservations_dropped;
+      }
+      controller_->onRejected(req, ctx);
+      controller_->onReleased(
+          c.request, AdmissionContext{network_.station(r.from_cell), r.time_s});
+      c.phase = CallPhase::Done;
+      return;
+    }
+
+    noteOccupancy(lane, window_end);
+    new_station.allocate(req.call, req.demand_bu,
+                         cellular::profileFor(req.service).real_time);
+    lane.occupied_bu += req.demand_bu;
+    if (count) {
+      ++metrics_.handoff_accepted;
+      ++metrics_.reservations_admitted;
+    }
+    controller_->onAdmitted(req, ctx);
+    c.request = req;  // epoch was already bumped when the claim was posted
+
+    if (c.end_time_s < window_end) {
+      // The departure instant passed while the claim was in flight: settle
+      // it here (the call held no bandwidth in the new cell for measurable
+      // time — the claim existed only to decide dropped vs handed over).
+      noteOccupancy(lane, window_end);
+      new_station.release(req.call);
+      lane.occupied_bu -= req.demand_bu;
+      if (counted(c.end_time_s)) ++metrics_.completed;
+      controller_->onReleased(c.request,
+                              AdmissionContext{new_station, window_end});
+      c.phase = CallPhase::Done;
+      return;
+    }
+    queues_[static_cast<std::size_t>(shardOf(r.to_cell))].push(
+        c.end_time_s, ShardEvent{ShardEventKind::End, r.call, c.epoch});
+    queues_[static_cast<std::size_t>(shardOf(r.to_cell))].push(
+        r.time_s + cfg_.mobility_update_s,
+        ShardEvent{ShardEventKind::Move, r.call, c.epoch});
+  }
+
   SimulationConfig cfg_;
   HexNetwork network_;
   std::unique_ptr<cellular::AdmissionController> controller_;
+  cellular::CellGroupPartition partition_;
   int shard_count_;
   ShardPool pool_;
 
   std::vector<Queue> queues_;                        ///< One per shard.
   std::vector<std::vector<CommitEntry>> outboxes_;   ///< One per shard.
   std::vector<std::uint64_t> local_events_;          ///< One per shard.
-  std::priority_queue<CommitEntry, std::vector<CommitEntry>, CommitLater>
-      commit_queue_;
+  std::vector<GroupLane> lanes_;                     ///< One per group.
+  std::vector<ReservationMailbox> mailboxes_;        ///< One per group.
   std::vector<CallState> calls_;  ///< Indexed by call id - 1.
 
-  double last_change_s_ = 0.0;
-  std::uint64_t commit_events_ = 0;
+  /// Spawn-cell weighting (empty = legacy uniform draw) and per-cell mix
+  /// overrides (empty = scenario mix everywhere), both digested once from
+  /// cell_overrides.
+  std::vector<double> spawn_cdf_;
+  std::vector<std::optional<cellular::TrafficMix>> cell_mix_;
+
   Metrics metrics_;
 };
 
@@ -556,28 +899,43 @@ void validateConfig(const SimulationConfig& cfg) {
     throw std::invalid_argument("shards must be in [1, " +
                                 std::to_string(kMaxShards) + "]");
   }
+  if (cfg.commit_groups < 1 || cfg.commit_groups > kMaxShards) {
+    throw std::invalid_argument("commit groups must be in [1, " +
+                                std::to_string(kMaxShards) + "]");
+  }
   {
     // Mirror HexNetwork's override checks so a bad scenario fails at
     // validate time with config vocabulary, not mid-construction.
     const auto cells =
         static_cast<std::size_t>(cellular::hexDiskCellCount(cfg.rings));
     std::vector<bool> seen(cells, false);
-    for (const auto& [cell, bu] : cfg.cell_capacity_bu) {
-      if (static_cast<std::size_t>(cell) >= cells) {
+    for (const CellOverride& o : cfg.cell_overrides) {
+      if (static_cast<std::size_t>(o.cell) >= cells) {
         throw std::invalid_argument(
-            "cell capacity override for cell " + std::to_string(cell) +
+            "cell override for cell " + std::to_string(o.cell) +
             " outside the " + std::to_string(cells) + "-cell disk");
       }
-      if (seen[cell]) {
-        throw std::invalid_argument("duplicate cell capacity override for cell " +
-                                    std::to_string(cell));
+      if (seen[o.cell]) {
+        throw std::invalid_argument("duplicate cell override for cell " +
+                                    std::to_string(o.cell));
       }
-      if (bu <= 0) {
+      if (o.emptyOverride()) {
+        throw std::invalid_argument("cell override for cell " +
+                                    std::to_string(o.cell) +
+                                    " sets no field");
+      }
+      if (o.capacity_bu && *o.capacity_bu <= 0) {
         throw std::invalid_argument("cell capacity override for cell " +
-                                    std::to_string(cell) +
+                                    std::to_string(o.cell) +
                                     " must be positive");
       }
-      seen[cell] = true;
+      if (o.arrival_scale &&
+          (!std::isfinite(*o.arrival_scale) || !(*o.arrival_scale > 0.0))) {
+        throw std::invalid_argument("arrival scale for cell " +
+                                    std::to_string(o.cell) +
+                                    " must be positive and finite");
+      }
+      seen[o.cell] = true;
     }
   }
   const ScenarioParams& s = cfg.scenario;

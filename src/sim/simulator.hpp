@@ -13,14 +13,32 @@
 /// Within a window, shards do the call-local work concurrently — GPS
 /// tracking, mobility integration, boundary detection — and hand every
 /// shared-state mutation (admission decisions, releases, handoffs) to a
-/// single-threaded commit phase at the tick barrier, which replays the
-/// merged per-shard mailboxes in canonical (time, kind, call) order. All
-/// randomness is drawn from per-call SplitMix-derived streams, so runs are
-/// bit-identical for a fixed seed at ANY shard count, including shards=1
-/// (the serial path: same phases, no worker threads).
+/// commit phase at the tick barrier, which replays the merged per-shard
+/// mailboxes in canonical (time, kind, call) order. All randomness is
+/// drawn from per-call SplitMix-derived streams, so runs are bit-identical
+/// for a fixed seed at ANY shard count, including shards=1 (the serial
+/// path: same phases, no worker threads).
+///
+/// Two-level commit (commit_groups > 1): instead of one serialized commit
+/// thread, cells are partitioned into commit groups
+/// (cellular::CellGroupPartition) and each group's lane replays its own
+/// events concurrently, in the same canonical order. Handoffs that cross a
+/// group border cannot commit inside either lane; the source lane releases
+/// its half at the crossing instant and posts a Reservation (the paper's
+/// inter-BS message, sim/reservation.hpp) into the target group's mailbox,
+/// drained in canonical order at the tick-window barrier with every
+/// capacity claim re-validated against the live ledger and policy state.
+/// Group-parallel lanes require the policy to declare
+/// cellular::CommitScope::CellLocal; Global-scope policies (SCC, SIR)
+/// degrade to one lane. commit_groups == 1 is bit-identical to the
+/// single-threaded commit at any shard count; commit_groups > 1 changes
+/// cross-group visibility (see README "Commit groups & reservations") but
+/// stays deterministic: fixed (config, seed, groups) gives the same bits
+/// at any shard count.
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cellular/admission.hpp"
@@ -41,6 +59,30 @@ enum class ArrivalProcess {
   Poisson,
 };
 
+/// Per-cell deviations from the uniform network defaults (heterogeneous
+/// deployments and hotspot modelling; scenario files spell these as
+/// `[cell N]` sections). Ids must be inside the hex disk and unique; an
+/// override must set at least one field.
+struct CellOverride {
+  cellular::CellId cell = 0;
+  /// Capacity replacing SimulationConfig::capacity_bu for this cell.
+  std::optional<cellular::BandwidthUnits> capacity_bu;
+  /// Relative spawn weight of this cell (default weight 1 everywhere): 3
+  /// means new requests originate here three times as often as in an
+  /// unscaled cell. Must be positive and finite. Any scale != 1 switches
+  /// the spawn draw from uniform to weighted — see prepareArrivals().
+  std::optional<double> arrival_scale;
+  /// Service-class arrival mix for requests spawning in this cell,
+  /// replacing the population-wide ScenarioParams::mix (a stadium cell
+  /// skews video-heavy while the precinct stays at the paper default).
+  std::optional<cellular::TrafficMix> mix;
+
+  /// True when no field is set — a no-op entry validateConfig() rejects.
+  [[nodiscard]] bool emptyOverride() const noexcept {
+    return !capacity_bu && !arrival_scale && !mix;
+  }
+};
+
 /// Everything one run needs.
 struct SimulationConfig {
   /// Network shape. The paper's evaluation is effectively single-cell
@@ -49,10 +91,8 @@ struct SimulationConfig {
   int rings = 0;
   double cell_radius_km = 10.0;
   cellular::BandwidthUnits capacity_bu = cellular::kPaperCellCapacityBu;
-  /// Per-cell capacities replacing capacity_bu for the named cells
-  /// (heterogeneous deployments; scenario files spell these as `[cell N]`
-  /// sections). Ids must be inside the hex disk and unique.
-  std::vector<cellular::CellCapacityOverride> cell_capacity_bu{};
+  /// Per-cell capacity/traffic overrides, at most one entry per cell.
+  std::vector<CellOverride> cell_overrides{};
 
   /// The paper's x-axis: how many connections request admission.
   int total_requests = 50;
@@ -79,6 +119,19 @@ struct SimulationConfig {
   /// above the cell count still help: request preparation (GPS tracking)
   /// is sharded by call, not by cell. Must be in [1, kMaxShards].
   int shards = 1;
+
+  /// Commit lanes for the two-level commit scheme. 1 (default) = one
+  /// serialized commit phase, bit-identical to the pre-grouped engine at
+  /// any shard count. N > 1 partitions cells into N contiguous groups
+  /// whose lanes commit concurrently, exchanging cross-group handoffs as
+  /// Reservations at the tick-window barrier. Requires a policy with
+  /// cellular::CommitScope::CellLocal — Global-scope policies silently
+  /// degrade to one lane (Metrics::commit_groups reports the effective
+  /// count). Deterministic for fixed (config, seed): the same groups give
+  /// the same bits at any shard count, but different group counts are
+  /// different (documented) visibility semantics, not reorderings of one
+  /// truth. Must be in [1, kMaxShards].
+  int commit_groups = 1;
 
   /// Hoist snapshot-only policy work (FACS: the FLC1 prediction) into the
   /// parallel prepare/local phases via AdmissionController::precompute(),

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 #include "cellular/call.hpp"
 
@@ -89,6 +90,51 @@ TEST(CallStateNames, ToString) {
   EXPECT_EQ(toString(CallState::Completed), "completed");
   EXPECT_EQ(toString(CallState::Blocked), "blocked");
   EXPECT_EQ(toString(CallState::Dropped), "dropped");
+}
+
+TEST(CellGroupPartition, ContiguousBalancedAndComplete) {
+  const HexNetwork net{2};  // 19 cells
+  const CellGroupPartition part{net, 4};
+  EXPECT_EQ(part.groups(), 4);
+  // Monotone over the spiral ids (contiguous ranges), every group
+  // non-empty, sizes within one of each other.
+  std::vector<int> size(4, 0);
+  int prev = 0;
+  for (CellId c = 0; c < net.cellCount(); ++c) {
+    const int g = part.groupOf(static_cast<CellId>(c));
+    ASSERT_GE(g, prev);
+    ASSERT_LT(g, 4);
+    prev = g;
+    ++size[static_cast<std::size_t>(g)];
+  }
+  for (const int s : size) EXPECT_GT(s, 0);
+  const auto [lo, hi] = std::minmax_element(size.begin(), size.end());
+  EXPECT_LE(*hi - *lo, 1);
+}
+
+TEST(CellGroupPartition, ClampsToCellCountAndRejectsNonsense) {
+  const HexNetwork net{1};  // 7 cells
+  EXPECT_EQ(CellGroupPartition(net, 64).groups(), 7);
+  EXPECT_EQ(CellGroupPartition(net, 1).groups(), 1);
+  EXPECT_THROW(CellGroupPartition(net, 0), std::invalid_argument);
+}
+
+TEST(CellGroupPartition, InteriorCellsHaveNoForeignNeighbours) {
+  const HexNetwork net{2};
+  const CellGroupPartition part{net, 3};
+  std::size_t boundary = 0;
+  for (CellId c = 0; c < net.cellCount(); ++c) {
+    bool local = true;
+    for (const CellId n : net.neighbors(c)) {
+      if (part.groupOf(n) != part.groupOf(c)) local = false;
+    }
+    EXPECT_EQ(part.interior(c), local) << "cell " << c;
+    if (!local) ++boundary;
+  }
+  EXPECT_EQ(part.boundaryCells(), boundary);
+  // One group = no borders at all.
+  const CellGroupPartition whole{net, 1};
+  EXPECT_EQ(whole.boundaryCells(), 0u);
 }
 
 }  // namespace

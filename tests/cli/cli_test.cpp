@@ -96,6 +96,20 @@ TEST(Cli, ShardsFlagParsesAndValidates) {
   EXPECT_THROW((void)parseCli({"--shards", "two"}), CliError);
 }
 
+TEST(Cli, CommitGroupsFlagParsesAndValidates) {
+  EXPECT_EQ(parseCli({}).config.commit_groups, 1);
+  EXPECT_EQ(parseCli({"--commit-groups", "4"}).config.commit_groups, 4);
+  EXPECT_EQ(parseCli({"--scenario", "highway", "--commit-groups", "7"})
+                .config.commit_groups,
+            7);
+  EXPECT_THROW((void)parseCli({"--commit-groups", "0"}), CliError);
+  EXPECT_THROW((void)parseCli({"--commit-groups", "-1"}), CliError);
+  EXPECT_THROW((void)parseCli({"--commit-groups", "100000"}), CliError);
+  EXPECT_THROW((void)parseCli({"--commit-groups", "four"}), CliError);
+  // The usage text teaches the knob.
+  EXPECT_NE(cliUsage().find("--commit-groups"), std::string::npos);
+}
+
 TEST(Cli, ListScenariosShowsCellCounts) {
   // Operators pick shard counts by cell count, so the catalog dump carries
   // it: "[7 cells, shards 4]" style annotations per entry.

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
+
+#include "cellular/policy_registry.hpp"
 
 namespace facs::scc {
 namespace {
@@ -354,6 +357,84 @@ TEST(ShadowCluster, DecisionsMatchCacheState) {
   // the cached near-term demand must already sit within 10 BU of budget.
   EXPECT_GT(profile[0] + 10.0, budget);
   EXPECT_LE(profile[0], budget + 1e-9);
+}
+
+TEST(ShadowCluster, BoundedReachLocalizesTheAccounting) {
+  // rings = 2: the disk spans hex distance 2 from the centre. reach = 1
+  // keeps a centre-anchored shadow out of ring-2 accumulators entirely,
+  // while the unbounded controller leaks its Gaussian tail everywhere.
+  const HexNetwork net{2};
+  SccConfig bounded_cfg;
+  bounded_cfg.reach = 1;
+  ShadowClusterController bounded{net, bounded_cfg};
+  ShadowClusterController unbounded{net};
+  const AdmissionContext ctx{net.station(0), 0.0};
+  const CallRequest r =
+      makeRequest(1, ServiceClass::Video, {0.5, 0.0}, 0.0, 0.0, 0);
+  bounded.onAdmitted(r, ctx);
+  unbounded.onAdmitted(r, ctx);
+
+  // Ring-2 cells (ids 7..18 in the spiral layout) stay untouched under the
+  // bounded reach; the unbounded accumulation reaches them.
+  const DemandProfile far_bounded = bounded.projectedDemand(8);
+  const DemandProfile far_unbounded = unbounded.projectedDemand(8);
+  for (const double d : far_bounded) EXPECT_EQ(d, 0.0);
+  EXPECT_GT(far_unbounded[0], 0.0);
+
+  // Inside the footprint both controllers account the identical value —
+  // bounding the reach truncates, it does not redistribute.
+  EXPECT_EQ(bounded.projectedDemand(0)[0], unbounded.projectedDemand(0)[0]);
+  EXPECT_EQ(bounded.projectedDemand(1)[0], unbounded.projectedDemand(1)[0]);
+
+  // Releases retract through the same footprint: everything returns to
+  // exactly zero.
+  bounded.onReleased(r, ctx);
+  for (cellular::CellId c = 0; c < net.cellCount(); ++c) {
+    for (const double d : bounded.projectedDemand(c)) EXPECT_EQ(d, 0.0);
+  }
+}
+
+TEST(ShadowCluster, ReachSpanningTheDiskMatchesUnbounded) {
+  // reach >= the disk diameter touches every cell, so the bounded and
+  // unbounded controllers are the same model bit for bit.
+  const HexNetwork net{1};
+  SccConfig wide_cfg;
+  wide_cfg.reach = 4;
+  ShadowClusterController wide{net, wide_cfg};
+  ShadowClusterController unbounded{net};
+  const AdmissionContext ctx{net.station(0), 0.0};
+  for (int i = 1; i <= 6; ++i) {
+    const CallRequest r = makeRequest(
+        static_cast<cellular::CallId>(i), ServiceClass::Voice,
+        {0.3 * i, 0.1 * i}, 20.0 * i, 15.0 * i, 0);
+    wide.onAdmitted(r, ctx);
+    unbounded.onAdmitted(r, ctx);
+  }
+  for (cellular::CellId c = 0; c < net.cellCount(); ++c) {
+    const DemandProfile a = wide.projectedDemand(c);
+    const DemandProfile b = unbounded.projectedDemand(c);
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k], b[k]) << "cell " << c << " interval " << k;
+    }
+  }
+}
+
+TEST(ShadowCluster, ReachSpecKeyAndValidation) {
+  EXPECT_THROW(
+      (void)ShadowClusterController(HexNetwork{1}, [] {
+        SccConfig c;
+        c.reach = -1;
+        return c;
+      }()),
+      std::invalid_argument);
+  // The registry spec wires reach through, and rejects bad values at
+  // parse time.
+  const auto& runtime = cellular::PolicyRuntime::defaultRuntime();
+  const HexNetwork net{1};
+  auto controller = runtime.makeFactory("scc:reach=2")(net);
+  EXPECT_EQ(controller->name(), "SCC");
+  EXPECT_THROW((void)runtime.makeFactory("scc:reach=-3"),
+               cellular::PolicySpecError);
 }
 
 }  // namespace

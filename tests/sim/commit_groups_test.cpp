@@ -1,0 +1,233 @@
+/// \file commit_groups_test.cpp
+/// Contracts of the two-level commit scheme (commit groups + cross-group
+/// handoff reservations):
+///
+///  * commit_groups = 1 is THE serialized commit phase: bit-identical at
+///    any shard count (and, via the untouched sharding suite, to the
+///    pre-grouped engine), with zero reservation traffic.
+///  * commit_groups > 1 is deterministic: the same (config, seed, groups)
+///    reproduces the same bits on every run and at every shard count —
+///    group lanes and the reservation barrier may only move work, never
+///    change an outcome for a fixed grouping.
+///  * Cross-group handoffs flow through reservations, and contended claims
+///    (several groups after the last bandwidth units of one cell) resolve
+///    deterministically in canonical (time, call) order.
+///  * Policies with a Global commit scope degrade to one lane.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/reservation.hpp"
+#include "sim/scenario_catalog.hpp"
+#include "sim/simulator.hpp"
+
+namespace facs::sim {
+namespace {
+
+/// The sharding suite's contested scenario: GPS-tracked decisions,
+/// accepted and dropped handoffs, coverage exits, warmup — now also a
+/// dense border traffic source for the group lanes.
+SimulationConfig contestedConfig() {
+  SimulationConfig cfg;
+  cfg.rings = 1;
+  cfg.cell_radius_km = 2.0;
+  cfg.total_requests = 120;
+  cfg.arrival_window_s = 400.0;
+  cfg.enable_handoffs = true;
+  cfg.mobility_update_s = 5.0;
+  cfg.warmup_s = 50.0;
+  cfg.seed = 20240731;
+  cfg.scenario.speed_min_kmh = 30.0;
+  cfg.scenario.speed_max_kmh = 110.0;
+  cfg.scenario.distance_max_km = 2.0;
+  cfg.scenario.tracking_window_s = 10.0;
+  cfg.scenario.gps_fix_period_s = 2.0;
+  cfg.scenario.gps_error_m = 10.0;
+  return cfg;
+}
+
+void expectBitIdentical(const Metrics& a, const Metrics& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.new_requests, b.new_requests) << label;
+  EXPECT_EQ(a.new_accepted, b.new_accepted) << label;
+  EXPECT_EQ(a.new_blocked, b.new_blocked) << label;
+  EXPECT_EQ(a.handoff_requests, b.handoff_requests) << label;
+  EXPECT_EQ(a.handoff_accepted, b.handoff_accepted) << label;
+  EXPECT_EQ(a.handoff_dropped, b.handoff_dropped) << label;
+  EXPECT_EQ(a.completed, b.completed) << label;
+  EXPECT_EQ(a.class_requests, b.class_requests) << label;
+  EXPECT_EQ(a.class_accepted, b.class_accepted) << label;
+  EXPECT_EQ(a.busy_bu_seconds, b.busy_bu_seconds) << label;
+  EXPECT_EQ(a.observed_span_s, b.observed_span_s) << label;
+  EXPECT_EQ(a.engine_events, b.engine_events) << label;
+  EXPECT_EQ(a.commit_groups, b.commit_groups) << label;
+  EXPECT_EQ(a.reservations_posted, b.reservations_posted) << label;
+  EXPECT_EQ(a.reservations_admitted, b.reservations_admitted) << label;
+  EXPECT_EQ(a.reservations_dropped, b.reservations_dropped) << label;
+}
+
+TEST(CommitGroups, GroupsOneIsBitIdenticalAcrossShardCounts) {
+  SimulationConfig cfg = contestedConfig();
+  cfg.commit_groups = 1;
+  cfg.shards = 1;
+  const Metrics serial = SimulationBuilder{cfg}.policy("guard:8").run();
+  EXPECT_EQ(serial.commit_groups, 1);
+  EXPECT_EQ(serial.reservations_posted, 0u);
+  for (const int shards : {4}) {
+    cfg.shards = shards;
+    const Metrics m = SimulationBuilder{cfg}.policy("guard:8").run();
+    expectBitIdentical(serial, m,
+                       "groups=1 shards=" + std::to_string(shards));
+  }
+  // Not setting commit_groups at all IS groups=1 — the default engine.
+  SimulationConfig untouched = contestedConfig();
+  untouched.shards = 4;
+  const Metrics d = SimulationBuilder{untouched}.policy("guard:8").run();
+  expectBitIdentical(serial, d, "default config vs explicit groups=1");
+}
+
+TEST(CommitGroups, GroupedRunsAreShardInvariantAndSeedStable) {
+  for (const char* policy : {"guard:8", "facs"}) {
+    for (const int groups : {2, 4}) {
+      SimulationConfig cfg = contestedConfig();
+      cfg.commit_groups = groups;
+      cfg.shards = 1;
+      const Metrics first = SimulationBuilder{cfg}.policy(policy).run();
+      EXPECT_EQ(first.commit_groups, groups) << policy;
+      for (const int shards : {2, 4}) {
+        cfg.shards = shards;
+        const Metrics m = SimulationBuilder{cfg}.policy(policy).run();
+        expectBitIdentical(first, m,
+                           std::string{policy} + " groups=" +
+                               std::to_string(groups) + " shards=" +
+                               std::to_string(shards));
+      }
+      // Seed stability: a second identical run reproduces the bits.
+      cfg.shards = 1;
+      const Metrics again = SimulationBuilder{cfg}.policy(policy).run();
+      expectBitIdentical(first, again,
+                         std::string{policy} + " repeated groups=" +
+                             std::to_string(groups));
+    }
+  }
+}
+
+TEST(CommitGroups, CrossGroupHandoffsFlowThroughReservations) {
+  // One group per cell: every handoff crosses a group border, so the
+  // entire handoff stream is reservation traffic — and the books must
+  // balance: posted = admitted + dropped, and every counted handoff
+  // request is either an in-lane commit (none here) or a reservation.
+  SimulationConfig cfg = contestedConfig();
+  cfg.warmup_s = 0.0;  // counters and reservation gates see everything
+  cfg.commit_groups = 7;
+  const Metrics m = SimulationBuilder{cfg}.policy("guard:8").run();
+  EXPECT_EQ(m.commit_groups, 7);
+  ASSERT_GT(m.handoff_requests, 0);
+  EXPECT_GT(m.reservations_posted, 0u);
+  EXPECT_EQ(m.reservations_posted,
+            m.reservations_admitted + m.reservations_dropped);
+  EXPECT_EQ(m.reservations_posted,
+            static_cast<std::uint64_t>(m.handoff_requests));
+  EXPECT_EQ(m.handoff_requests, m.handoff_accepted + m.handoff_dropped);
+}
+
+TEST(CommitGroups, ContendedLastUnitsResolveDeterministically) {
+  // Starve the cells (two voice calls fill one) so reservation claims
+  // regularly fight over the last units at the barrier. The winner must be
+  // the same on every run and at every shard count — canonical (time,
+  // call) drain order, not thread scheduling, decides.
+  SimulationConfig cfg = contestedConfig();
+  cfg.capacity_bu = 10;
+  cfg.total_requests = 200;
+  cfg.warmup_s = 0.0;
+  cfg.commit_groups = 7;
+  cfg.scenario.mix = cellular::TrafficMix{0.0, 1.0, 0.0};  // 5 BU voice
+  cfg.shards = 1;
+  const Metrics first = SimulationBuilder{cfg}.policy("cs").run();
+  ASSERT_GT(first.reservations_posted, 0u);
+  ASSERT_GT(first.reservations_dropped, 0u)
+      << "scenario too roomy to contend the last units";
+  for (const int shards : {2, 4}) {
+    cfg.shards = shards;
+    const Metrics m = SimulationBuilder{cfg}.policy("cs").run();
+    expectBitIdentical(first, m,
+                       "contended shards=" + std::to_string(shards));
+  }
+  cfg.shards = 1;
+  const Metrics again = SimulationBuilder{cfg}.policy("cs").run();
+  expectBitIdentical(first, again, "contended repeat");
+}
+
+TEST(CommitGroups, GlobalScopePoliciesDegradeToOneLane) {
+  // SCC reads cluster-wide demand and writes accumulators across cells —
+  // CommitScope::Global — so a grouped config must serialize (and report
+  // that it did), with results identical to an explicit groups=1 run.
+  SimulationConfig cfg = contestedConfig();
+  cfg.commit_groups = 4;
+  const Metrics grouped = SimulationBuilder{cfg}.policy("scc").run();
+  EXPECT_EQ(grouped.commit_groups, 1);
+  EXPECT_EQ(grouped.reservations_posted, 0u);
+  cfg.commit_groups = 1;
+  const Metrics serial = SimulationBuilder{cfg}.policy("scc").run();
+  expectBitIdentical(serial, grouped, "scc grouped vs serial");
+}
+
+TEST(CommitGroups, GroupCountClampsToCellCount) {
+  // 7 cells, 64 requested lanes: the partition clamps, the run reports
+  // the effective count, and the result is exactly the 7-lane run.
+  SimulationConfig cfg = contestedConfig();
+  cfg.commit_groups = 64;
+  const Metrics wide = SimulationBuilder{cfg}.policy("guard:8").run();
+  EXPECT_EQ(wide.commit_groups, 7);
+  cfg.commit_groups = 7;
+  const Metrics exact = SimulationBuilder{cfg}.policy("guard:8").run();
+  expectBitIdentical(exact, wide, "groups=64 over 7 cells");
+}
+
+TEST(CommitGroups, ConfigValidatesAndBuilderSurfacesTheKnob) {
+  SimulationConfig cfg;
+  cfg.commit_groups = 0;
+  EXPECT_THROW(validateConfig(cfg), std::invalid_argument);
+  cfg.commit_groups = kMaxShards + 1;
+  EXPECT_THROW(validateConfig(cfg), std::invalid_argument);
+  const SimulationConfig built = SimulationBuilder{}.commitGroups(6).build();
+  EXPECT_EQ(built.commit_groups, 6);
+}
+
+TEST(CommitGroups, MetricsJsonCarriesTheGroupFields) {
+  SimulationConfig cfg = contestedConfig();
+  cfg.commit_groups = 7;
+  cfg.warmup_s = 0.0;
+  const Metrics m = SimulationBuilder{cfg}.policy("guard:8").run();
+  const std::string json = m.toJson();
+  EXPECT_NE(json.find("\"commit_groups\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"reservations_posted\": "), std::string::npos);
+  EXPECT_NE(json.find("\"reservations_admitted\": "), std::string::npos);
+  EXPECT_NE(json.find("\"reservations_dropped\": "), std::string::npos);
+}
+
+// ------------------------------------------------------------ reservations
+
+TEST(ReservationMailbox, DrainsInCanonicalTimeThenCallOrder) {
+  ReservationMailbox box;
+  // Posted out of order, including an exact time tie — the paper's "two
+  // BSs claim the last unit at once": the lower call id wins the earlier
+  // slot, on every platform, at every shard count.
+  box.post(Reservation{30.0, 9, 1, 2, 5, true});
+  box.post(Reservation{10.0, 7, 3, 2, 5, true});
+  box.post(Reservation{30.0, 2, 4, 2, 5, true});
+  box.post(Reservation{20.0, 5, 5, 2, 5, true});
+  ASSERT_EQ(box.size(), 4u);
+  const auto drained = box.drain();
+  ASSERT_EQ(drained.size(), 4u);
+  EXPECT_EQ(drained[0].call, 7);
+  EXPECT_EQ(drained[1].call, 5);
+  EXPECT_EQ(drained[2].call, 2);  // tie at t=30: call 2 before call 9
+  EXPECT_EQ(drained[3].call, 9);
+  EXPECT_TRUE(box.empty());
+  EXPECT_TRUE(box.drain().empty());
+}
+
+}  // namespace
+}  // namespace facs::sim

@@ -165,5 +165,40 @@ TEST(Rendering, CsvHasHeaderAndOneRowPerX) {
   EXPECT_EQ(lines, 4);  // header + 3 rows
 }
 
+TEST(Rendering, JsonCarriesAFullMetricsObjectPerRun) {
+  SweepSpec spec;
+  spec.title = "JSON sweep";
+  spec.xs = {5, 10};
+  spec.replications = 3;
+  const SweepResult r = runSweep(spec, {csCurve("cs")});
+  // Every point kept its replications' full metrics, in replication order.
+  for (const CurveResult& curve : r.curves) {
+    for (const PointResult& p : curve.points) {
+      ASSERT_EQ(p.runs.size(), 3u);
+    }
+  }
+  std::ostringstream os;
+  printJson(os, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"title\": \"JSON sweep\""), std::string::npos);
+  EXPECT_NE(out.find("\"label\": \"cs\""), std::string::npos);
+  EXPECT_NE(out.find("\"x\": 5"), std::string::npos);
+  EXPECT_NE(out.find("\"x\": 10"), std::string::npos);
+  // 2 points x 3 replications = 6 embedded metrics objects.
+  int runs = 0;
+  for (std::size_t at = out.find("\"engine_events\"");
+       at != std::string::npos; at = out.find("\"engine_events\"", at + 1)) {
+    ++runs;
+  }
+  EXPECT_EQ(runs, 6);
+
+  // Byte-diffable: an identical sweep renders the identical document (the
+  // figure-level analogue of the single-run JSON gate).
+  const SweepResult again = runSweep(spec, {csCurve("cs")});
+  std::ostringstream os2;
+  printJson(os2, again);
+  EXPECT_EQ(out, os2.str());
+}
+
 }  // namespace
 }  // namespace facs::sim

@@ -178,16 +178,22 @@ TEST(SimulationBuilder, CellCapacityOverridesValidateAndApply) {
                         .policy("cs")
                         .run();
   EXPECT_EQ(m.total_capacity_bu, 5);
-  // Out-of-disk and duplicate overrides fail at build() time.
+  // Out-of-disk and non-positive overrides fail at build() time.
   EXPECT_THROW((void)SimulationBuilder{}.cellCapacityBu(7, 5).build(),
-               std::invalid_argument);
-  EXPECT_THROW((void)SimulationBuilder{}
-                   .cellCapacityBu(0, 5)
-                   .cellCapacityBu(0, 9)
-                   .build(),
                std::invalid_argument);
   EXPECT_THROW((void)SimulationBuilder{}.cellCapacityBu(0, 0).build(),
                std::invalid_argument);
+  // Repeating a setter updates the cell's single override entry (last
+  // wins), so capacity/arrival/mix setters for one cell always compose
+  // into the one-entry-per-cell shape validateConfig() demands.
+  const SimulationConfig merged = SimulationBuilder{}
+                                      .cellCapacityBu(0, 5)
+                                      .cellCapacityBu(0, 9)
+                                      .cellArrivalScale(0, 2.0)
+                                      .build();
+  ASSERT_EQ(merged.cell_overrides.size(), 1u);
+  EXPECT_EQ(merged.cell_overrides[0].capacity_bu, 9);
+  EXPECT_EQ(merged.cell_overrides[0].arrival_scale, 2.0);
 }
 
 TEST(SimulationBuilder, CatalogEntriesRunUnderEveryPolicy) {

@@ -120,11 +120,13 @@ TEST(ScenarioFile, ParsesEveryConfigField) {
   EXPECT_EQ(cfg.capacity_bu, 60);
   EXPECT_TRUE(cfg.enable_handoffs);
   EXPECT_DOUBLE_EQ(cfg.mobility_update_s, 2.5);
-  ASSERT_EQ(cfg.cell_capacity_bu.size(), 2u);
-  EXPECT_EQ(cfg.cell_capacity_bu[0],
-            (cellular::CellCapacityOverride{3, 80}));
-  EXPECT_EQ(cfg.cell_capacity_bu[1],
-            (cellular::CellCapacityOverride{11, 20}));
+  ASSERT_EQ(cfg.cell_overrides.size(), 2u);
+  EXPECT_EQ(cfg.cell_overrides[0].cell, 3);
+  EXPECT_EQ(cfg.cell_overrides[0].capacity_bu, 80);
+  EXPECT_FALSE(cfg.cell_overrides[0].arrival_scale.has_value());
+  EXPECT_FALSE(cfg.cell_overrides[0].mix.has_value());
+  EXPECT_EQ(cfg.cell_overrides[1].cell, 11);
+  EXPECT_EQ(cfg.cell_overrides[1].capacity_bu, 20);
   EXPECT_EQ(cfg.total_requests, 321);
   EXPECT_DOUBLE_EQ(cfg.arrival_window_s, 123.5);
   EXPECT_EQ(cfg.arrivals, ArrivalProcess::Poisson);
@@ -161,7 +163,7 @@ TEST(ScenarioFile, CapacityOverridesShapeTheRun) {
       "[cell 0]\ncapacity_bu = 5\n",
       runtime());
   ScenarioSpec roomy = starved;
-  roomy.config.cell_capacity_bu.clear();
+  roomy.config.cell_overrides.clear();
   const ControllerFactory cs = runtime().makeFactory("cs");
   const Metrics tight = runSimulation(starved.config, cs);
   const Metrics loose = runSimulation(roomy.config, cs);
@@ -217,7 +219,7 @@ TEST(ScenarioFile, CellSectionProblems) {
   expectError("[scenario]\nname = \"x\"\n[cell]\ncapacity_bu = 5\n", 3,
               "needs an id");
   expectError("[scenario]\nname = \"x\"\n[cell 0]\n", 3,
-              "sets no capacity_bu");
+              "sets no keys");
   expectError("[scenario]\nname = \"x\"\n[cell 0]\nrings = 1\n", 4,
               "unknown key 'rings'");
   // Out-of-disk ids are a whole-file (validate-time) error: the disk size
@@ -363,6 +365,203 @@ TEST(ScenarioCatalogFiles, AddFileCataloguesAndRejectsDuplicates) {
           .noGps()
           .run();
   EXPECT_EQ(from_catalog.new_requests, 25);
+}
+
+// ----------------------------------------------- per-cell traffic overrides
+
+TEST(ScenarioFile, PerCellTrafficOverridesParseAndRoundTrip) {
+  const ScenarioSpec spec = parseScenarioFile(
+      "[scenario]\nname = \"hotspot\"\npolicy = \"cs\"\n"
+      "[network]\nrings = 1\n"
+      "[cell 0]\ncapacity_bu = 80\narrival_scale = 3\nmix = [0, 0.25, 0.75]\n"
+      "[cell 2]\narrival_scale = 0.5\n"
+      "[cell 5]\nmix = [1, 0, 0]\n",
+      runtime());
+  ASSERT_EQ(spec.config.cell_overrides.size(), 3u);
+  const CellOverride& hot = spec.config.cell_overrides[0];
+  EXPECT_EQ(hot.cell, 0);
+  EXPECT_EQ(hot.capacity_bu, 80);
+  EXPECT_EQ(hot.arrival_scale, 3.0);
+  ASSERT_TRUE(hot.mix.has_value());
+  EXPECT_DOUBLE_EQ(hot.mix->fraction(cellular::ServiceClass::Video), 0.75);
+  EXPECT_FALSE(spec.config.cell_overrides[1].capacity_bu.has_value());
+  EXPECT_EQ(spec.config.cell_overrides[1].arrival_scale, 0.5);
+  EXPECT_FALSE(spec.config.cell_overrides[2].arrival_scale.has_value());
+  ASSERT_TRUE(spec.config.cell_overrides[2].mix.has_value());
+
+  // Canonical-form fixed point, partial overrides included.
+  const std::string text = writeScenarioFile(spec);
+  EXPECT_EQ(writeScenarioFile(parseScenarioFile(text, runtime())), text);
+}
+
+TEST(ScenarioFile, PerCellMixShapesTheTraffic) {
+  // Single-cell network, [cell 0] all-video: every arrival must be video
+  // even though the population-wide mix is the paper's 60/30/10.
+  const ScenarioSpec spec = parseScenarioFile(
+      "[scenario]\nname = \"video-cell\"\npolicy = \"cs\"\n"
+      "[run]\nrequests = 40\n"
+      "[population]\ntracking_window_s = 0\ngps_error_m = none\n"
+      "[cell 0]\nmix = [0, 0, 1]\n",
+      runtime());
+  const Metrics m =
+      runSimulation(spec.config, runtime().makeFactory("cs"));
+  EXPECT_EQ(m.class_requests[static_cast<std::size_t>(
+                cellular::ServiceClass::Video)],
+            40);
+  EXPECT_EQ(m.class_requests[static_cast<std::size_t>(
+                cellular::ServiceClass::Text)],
+            0);
+}
+
+TEST(ScenarioFile, ArrivalScaleConcentratesSpawns) {
+  // 7 cells; cell 0 weighted 1000:1. With per-cell capacity starved to 5
+  // BU in cell 0 and no mobility, nearly every request lands there, so
+  // blocking must be far above the uniform-spawn run's.
+  const std::string hot_text =
+      "[scenario]\nname = \"hot\"\npolicy = \"cs\"\n"
+      "[network]\nrings = 1\n"
+      "[run]\nrequests = 80\n"
+      "[population]\ntracking_window_s = 0\ngps_error_m = none\n"
+      "distance_km = [0, 1]\n"
+      "[cell 0]\ncapacity_bu = 5\narrival_scale = 1000\n";
+  const ScenarioSpec hot = parseScenarioFile(hot_text, runtime());
+  ScenarioSpec uniform = hot;
+  uniform.config.cell_overrides[0].arrival_scale.reset();
+  const ControllerFactory cs = runtime().makeFactory("cs");
+  const Metrics concentrated = runSimulation(hot.config, cs);
+  const Metrics spread = runSimulation(uniform.config, cs);
+  EXPECT_GT(concentrated.new_blocked, spread.new_blocked);
+
+  // A scale of exactly 1 keeps the legacy uniform draw: bit-identical to
+  // an entry with no scale at all.
+  ScenarioSpec unit = hot;
+  unit.config.cell_overrides[0].arrival_scale = 1.0;
+  expectSameMetrics(runSimulation(unit.config, cs), spread,
+                    "arrival_scale=1 vs absent");
+}
+
+TEST(ScenarioFile, PerCellOverrideErrors) {
+  expectError(
+      "[scenario]\nname = \"x\"\n[cell 0]\narrival_scale = 0\n", 0,
+      "arrival scale for cell 0 must be positive and finite");
+  expectError(
+      "[scenario]\nname = \"x\"\n[cell 0]\narrival_scale = nope\n", 4,
+      "arrival_scale expects a finite number");
+  expectError("[scenario]\nname = \"x\"\n[cell 0]\nmix = [1, 1]\n", 4,
+              "expects exactly 3 values");
+  expectError("[scenario]\nname = \"x\"\n[cell 0]\nmix = [0.5, 0.1, 0.1]\n",
+              4, "sum to 1");
+}
+
+// ------------------------------------------------------------------ extends
+
+TEST(ScenarioFile, ExtendsStartsFromACatalogBase) {
+  // In-memory parse: bases resolve against the built-in catalog. The
+  // derived file inherits everything it does not override.
+  const ScenarioSpec base = ScenarioCatalog::builtins().at("highway");
+  const ScenarioSpec derived = parseScenarioFile(
+      "[scenario]\nextends = \"highway\"\nname = \"highway-packed\"\n"
+      "[run]\nrequests = 400\n",
+      runtime());
+  EXPECT_EQ(derived.name, "highway-packed");
+  EXPECT_EQ(derived.summary, base.summary);
+  EXPECT_EQ(derived.policy, base.policy);
+  EXPECT_EQ(derived.config.rings, base.config.rings);
+  EXPECT_EQ(derived.config.total_requests, 400);
+  EXPECT_EQ(derived.config.arrival_window_s, base.config.arrival_window_s);
+  // Without a name of its own the derived file keeps the base's.
+  EXPECT_EQ(parseScenarioFile("[scenario]\nextends = \"highway\"\n",
+                              runtime())
+                .name,
+            "highway");
+}
+
+TEST(ScenarioFile, ExtendsMustComeFirstAndNameKnownBases) {
+  expectError("[scenario]\nname = \"x\"\nextends = \"highway\"\n", 3,
+              "extends must be the first key");
+  expectError("[network]\nrings = 1\n[scenario]\nextends = \"highway\"\n", 4,
+              "extends must be the first key");
+  expectError("[scenario]\nextends = \"no-such-base\"\n", 2,
+              "unknown scenario");
+  // Path spellings are rejected up front: a base is a scenario name (they
+  // would also dodge the string-equality cycle detector — "./self" never
+  // string-equals the chain entry it loops back to).
+  expectError("[scenario]\nextends = \"./self\"\n", 2,
+              "expects a scenario name, not a path");
+  expectError("[scenario]\nextends = \"sub/../highway\"\n", 2,
+              "expects a scenario name, not a path");
+  expectError("[scenario]\nextends = \"\"\n", 2,
+              "expects a scenario name");
+}
+
+TEST(ScenarioFile, ExtendsResolvesSiblingFilesAndDetectsCycles) {
+  const std::string dir = testing::TempDir();
+  {
+    std::ofstream out{dir + "/family-base.scn"};
+    out << "[scenario]\nname = \"family-base\"\npolicy = \"guard:8\"\n"
+           "[network]\nrings = 1\n"
+           "[run]\nrequests = 30\n"
+           "[cell 0]\ncapacity_bu = 10\n"
+           "[population]\ntracking_window_s = 0\ngps_error_m = none\n";
+  }
+  {
+    std::ofstream out{dir + "/family-variant.scn"};
+    out << "[scenario]\nextends = \"family-base\"\nname = \"variant\"\n"
+           "[run]\nrequests = 60\n"
+           "[cell 0]\ncapacity_bu = 20\narrival_scale = 2\n";
+  }
+  const ScenarioSpec variant =
+      loadScenarioFile(dir + "/family-variant.scn", runtime());
+  EXPECT_EQ(variant.name, "variant");
+  EXPECT_EQ(variant.policy, "guard:8");
+  EXPECT_EQ(variant.config.rings, 1);
+  EXPECT_EQ(variant.config.total_requests, 60);
+  // The derived [cell 0] section replaced the base's entry wholesale.
+  ASSERT_EQ(variant.config.cell_overrides.size(), 1u);
+  EXPECT_EQ(variant.config.cell_overrides[0].capacity_bu, 20);
+  EXPECT_EQ(variant.config.cell_overrides[0].arrival_scale, 2.0);
+
+  // A sibling chain that loops back on itself must fail with the chain in
+  // the message, anchored at the extending file and line.
+  {
+    std::ofstream out{dir + "/loop-a.scn"};
+    out << "[scenario]\nextends = \"loop-b\"\nname = \"loop-a\"\n";
+  }
+  {
+    std::ofstream out{dir + "/loop-b.scn"};
+    out << "[scenario]\nextends = \"loop-a\"\nname = \"loop-b\"\n";
+  }
+  try {
+    (void)loadScenarioFile(dir + "/loop-a.scn", runtime());
+    FAIL() << "expected a cycle error";
+  } catch (const ScenarioFileError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("extends cycle"), std::string::npos) << what;
+    EXPECT_NE(what.find("loop-b.scn:2"), std::string::npos)
+        << "cycle should be reported at the extends key that closed it: "
+        << what;
+    EXPECT_NE(what.find("loop-a.scn"), std::string::npos) << what;
+  }
+
+  // Self-extension is the smallest cycle.
+  {
+    std::ofstream out{dir + "/loop-self.scn"};
+    out << "[scenario]\nextends = \"loop-self\"\nname = \"self\"\n";
+  }
+  EXPECT_THROW((void)loadScenarioFile(dir + "/loop-self.scn", runtime()),
+               ScenarioFileError);
+}
+
+TEST(ScenarioFile, ExtendedSpecsWriteFullyResolved) {
+  // The canonical form of a derived scenario is self-contained: writing it
+  // emits no extends key, and re-parsing reproduces it without needing the
+  // base.
+  const ScenarioSpec derived = parseScenarioFile(
+      "[scenario]\nextends = \"highway\"\nname = \"resolved\"\n", runtime());
+  const std::string text = writeScenarioFile(derived);
+  EXPECT_EQ(text.find("extends"), std::string::npos);
+  const ScenarioSpec reparsed = parseScenarioFile(text, runtime());
+  EXPECT_EQ(writeScenarioFile(reparsed), text);
 }
 
 }  // namespace

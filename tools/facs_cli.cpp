@@ -64,7 +64,11 @@ int main(int argc, char** argv) {
       curve.base = options.config;
       curve.policy = options.policy;  // resolved by runSweep via the runtime
       const sim::SweepResult result = sim::runSweep(runtime, sweep, {curve});
-      if (options.csv) {
+      if (options.json) {
+        // One document per figure, a full metrics object per (curve, x,
+        // replication) — CI diffs whole figures, not single runs.
+        sim::printJson(std::cout, result);
+      } else if (options.csv) {
         sim::printCsv(std::cout, result);
       } else {
         sim::printTable(std::cout, result);
