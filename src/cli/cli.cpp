@@ -193,6 +193,21 @@ CliOptions parseCli(const std::vector<std::string>& args,
                        std::to_string(groups));
       }
       opt.config.commit_groups = groups;
+    } else if (a == "--serve") {
+      opt.serve = true;
+    } else if (a == "--metrics-every") {
+      opt.metrics_every_s = parseDouble(next(a), a);
+      if (opt.metrics_every_s < 0.0) {
+        throw CliError("flag --metrics-every: must be >= 0, got " +
+                       std::to_string(opt.metrics_every_s));
+      }
+    } else if (a == "--serve-duration") {
+      opt.serve_duration_s = parseDouble(next(a), a);
+      if (opt.serve_duration_s < 0.0) {
+        throw CliError("flag --serve-duration: must be >= 0, got " +
+                       std::to_string(opt.serve_duration_s));
+      }
+      opt.serve = true;  // a duration only makes sense when streaming
     } else if (a == "--no-precompute") {
       opt.config.precompute_cv = false;
     } else if (a == "--guard-bu") {
@@ -289,6 +304,16 @@ run:
                         only the phase profile moves)
   --explain             decide with rationales on (identical decisions;
                         truncated rationales are counted and warned about)
+  --serve               streaming service mode: one JSON Lines record per
+                        metrics window on stdout (window deltas, cumulative
+                        state, call-pool / ring-buffer stats), final line
+                        carries the batch-identical totals — see README
+                        "Streaming service mode"
+  --metrics-every S     streaming emission period, simulated seconds
+                        (default 60; 0 = a record at every barrier)
+  --serve-duration S    always-on mode: keep Poisson arrivals running
+                        until simulated time S, then drain (implies
+                        --serve; requires --poisson)
   --sweep X1,X2,...     sweep total_requests and print a table
   --reps N              replications per sweep point (default 5)
   --threads N           sweep worker threads (default: hardware); sweeps

@@ -40,6 +40,13 @@ struct CliOptions {
   /// save a hand-tuned command line as a scenario file.
   std::string dump_scenario;
   bool explain = false;  ///< --explain: rationale-filled decisions.
+  bool serve = false;    ///< --serve: stream one JSONL record per window.
+  /// --metrics-every S: streaming emission period in simulated seconds
+  /// (0 = a record at every engine barrier). Only meaningful with --serve.
+  double metrics_every_s = 60.0;
+  /// --serve-duration S: always-on mode — keep Poisson arrivals coming
+  /// until this simulated instant, then drain (0 = batch workload).
+  double serve_duration_s = 0.0;
   bool json = false;     ///< --json: metrics as diffable JSON.
   bool csv = false;
   bool help = false;
@@ -73,6 +80,7 @@ class CliError : public std::runtime_error {
 ///   --poisson           --warmup S             --handoffs
 ///   --shards N          (worker shards; bit-identical at any count)
 ///   --commit-groups N   (two-level commit lanes; 1 = serialized commit)
+///   --serve             --metrics-every S      --serve-duration S
 ///   --explain           (rationales on; truncations counted + warned)
 ///   --guard-bu N        --facs-threshold T     (legacy spec shorthands)
 ///   --sweep X1,X2,...   --reps N               --threads N

@@ -33,7 +33,7 @@ void GpsEstimator::addFix(const GpsFix& fix) {
     throw std::invalid_argument("GPS fixes must have increasing timestamps");
   }
   fixes_.push_back(fix);
-  while (fixes_.size() > window_) fixes_.pop_front();
+  while (fixes_.size() > window_) fixes_.erase(fixes_.begin());
 }
 
 std::optional<MotionState> GpsEstimator::motion() const {

@@ -11,9 +11,9 @@
 /// the property the paper leans on — controller inputs are noisy and the
 /// admission logic must tolerate that (hence fuzzy logic).
 
-#include <deque>
 #include <optional>
 #include <random>
+#include <vector>
 
 #include "cellular/call.hpp"
 #include "mobility/model.hpp"
@@ -60,6 +60,12 @@ class GpsEstimator {
   /// \throws std::invalid_argument on a non-monotonic timestamp.
   void addFix(const GpsFix& fix);
 
+  /// Forgets every fix but keeps the window and the fix storage, so one
+  /// estimator instance can track many calls in sequence without
+  /// reallocating — the streaming engine's per-shard scratch estimators
+  /// rely on this for allocation-free steady state.
+  void reset() noexcept { fixes_.clear(); }
+
   [[nodiscard]] std::size_t fixCount() const noexcept { return fixes_.size(); }
   [[nodiscard]] bool ready() const noexcept { return fixes_.size() >= 2; }
 
@@ -73,7 +79,10 @@ class GpsEstimator {
 
  private:
   std::size_t window_;
-  std::deque<GpsFix> fixes_;
+  /// Sliding window kept in a vector (capacity is retained across
+  /// reset()); the window is a handful of fixes, so the front erase is
+  /// cheaper than deque's per-block allocation.
+  std::vector<GpsFix> fixes_;
 };
 
 /// Convenience: builds a noiseless UserSnapshot straight from ground truth

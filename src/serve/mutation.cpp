@@ -1,0 +1,77 @@
+#include "serve/mutation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace facs::serve {
+
+void validateMutation(const ScenarioMutation& m, std::size_t index,
+                      std::size_t cell_count, bool poisson_arrivals) {
+  const std::string where = "mutation " + std::to_string(index) + " ([at " +
+                            std::to_string(m.at_s) + "]): ";
+  if (!std::isfinite(m.at_s) || m.at_s < 0.0) {
+    throw std::invalid_argument(where + "time must be finite and >= 0");
+  }
+  if (m.cell && static_cast<std::size_t>(*m.cell) >= cell_count) {
+    throw std::invalid_argument(where + "cell " + std::to_string(*m.cell) +
+                                " outside the " +
+                                std::to_string(cell_count) + "-cell disk");
+  }
+  switch (m.op) {
+    case MutationOp::ArrivalScale:
+      if (!std::isfinite(m.scale) || !(m.scale > 0.0)) {
+        throw std::invalid_argument(where +
+                                    "arrival_scale must be positive and "
+                                    "finite");
+      }
+      if (!m.cell && !poisson_arrivals) {
+        throw std::invalid_argument(
+            where +
+            "a global arrival_scale needs arrivals = \"poisson\" (a "
+            "uniform burst draws every instant up front; target a cell "
+            "instead, or switch the arrival process)");
+      }
+      break;
+    case MutationOp::Outage:
+    case MutationOp::Restore:
+      if (!m.cell) {
+        throw std::invalid_argument(where + mutationOpName(m.op) +
+                                    " needs a cell");
+      }
+      break;
+    case MutationOp::Mix:
+      if (!m.mix) {
+        throw std::invalid_argument(where + "mix op carries no mix");
+      }
+      break;
+  }
+}
+
+std::vector<std::size_t> mutationSchedule(
+    const std::vector<ScenarioMutation>& list) {
+  std::vector<std::size_t> order(list.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return list[a].at_s < list[b].at_s;
+                   });
+  return order;
+}
+
+std::string mutationOpName(MutationOp op) {
+  switch (op) {
+    case MutationOp::ArrivalScale:
+      return "arrival_scale";
+    case MutationOp::Outage:
+      return "outage";
+    case MutationOp::Restore:
+      return "restore";
+    case MutationOp::Mix:
+      return "mix";
+  }
+  return "unknown";
+}
+
+}  // namespace facs::serve

@@ -1,0 +1,77 @@
+#pragma once
+/// \file mutation.hpp
+/// Live scenario mutations — time-stamped workload changes an always-on
+/// run applies while it serves traffic, the serve-mode analogue of
+/// ROOT-Sim's PCS model treating time-varying load as a model input
+/// rather than a fixed batch parameter. A mutation never executes mid-
+/// window: the engine clamps the tick window so a barrier lands exactly
+/// at `at_s`, applies every mutation due at that barrier (in file order
+/// for equal timestamps), and only then opens the next window. Barrier
+/// times are pure functions of the config, so a mutation script is
+/// deterministic at any shard count and seed-stable like everything else.
+///
+/// Scenario files spell these as repeatable `[at T]` sections (see
+/// sim/scenario_file.hpp); SimulationConfig::mutations carries them in
+/// file order.
+///
+/// What each op does at its barrier:
+///  * ArrivalScale, no cell  — multiply the Poisson arrival rate by
+///    `scale` from T on (the flash-crowd ramp). Requires Poisson arrivals:
+///    a uniform burst draws every instant up front, so there is no rate
+///    to change. The residual of the already-drawn next arrival is
+///    rescaled memorylessly, so no draw is lost or reordered.
+///  * ArrivalScale + cell    — set that cell's spawn weight to `scale`
+///    (hotspot forming/cooling); the spawn CDF rebuilds at the barrier.
+///  * Outage + cell          — mark the cell down: every live call there
+///    is force-dropped at the barrier (deterministically, in call-id
+///    order) and all admissions into it — new, handoff, reservation —
+///    are denied until restore.
+///  * Restore + cell         — bring the cell back up.
+///  * Mix, no cell           — replace the population-wide traffic mix
+///    for calls materialized from T on.
+///  * Mix + cell             — replace that cell's spawn mix likewise.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cellular/call.hpp"
+#include "cellular/traffic.hpp"
+
+namespace facs::serve {
+
+enum class MutationOp {
+  ArrivalScale,  ///< Global rate ramp (no cell) or per-cell spawn weight.
+  Outage,        ///< Cell down: live calls dropped, admissions denied.
+  Restore,       ///< Cell back up.
+  Mix,           ///< Traffic-mix swap, population-wide or per-cell.
+};
+
+/// One scheduled workload change. Aggregate — scenario-file parsing and
+/// tests build these directly.
+struct ScenarioMutation {
+  double at_s = 0.0;  ///< Barrier instant the change applies at.
+  MutationOp op = MutationOp::ArrivalScale;
+  /// Target cell; required for Outage/Restore, optional (= global) for
+  /// ArrivalScale and Mix.
+  std::optional<cellular::CellId> cell;
+  double scale = 1.0;  ///< ArrivalScale only; positive and finite.
+  std::optional<cellular::TrafficMix> mix;  ///< Mix only.
+};
+
+/// Validates one mutation against a network of \p cell_count cells and
+/// the configured arrival process.
+/// \throws std::invalid_argument naming the entry index and the problem.
+void validateMutation(const ScenarioMutation& m, std::size_t index,
+                      std::size_t cell_count, bool poisson_arrivals);
+
+/// The mutation list in application order: sorted by at_s, stable for
+/// equal timestamps (file order is the tie-break, so "outage then
+/// restore" at one instant means what it says). Indices into \p list.
+[[nodiscard]] std::vector<std::size_t> mutationSchedule(
+    const std::vector<ScenarioMutation>& list);
+
+/// Human-readable op name (scenario-file writer, logs, tests).
+[[nodiscard]] std::string mutationOpName(MutationOp op);
+
+}  // namespace facs::serve

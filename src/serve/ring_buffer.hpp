@@ -1,0 +1,87 @@
+#pragma once
+/// \file ring_buffer.hpp
+/// Fixed-capacity single-producer/single-consumer ring buffer for the
+/// streaming engine's mailboxes. The capacity is rounded up to a power of
+/// two so the head/tail indices are masked instead of wrapped with a
+/// modulo, and the slots are allocated once at construction — pushing and
+/// popping in steady state never touches the allocator, which is the
+/// memory contract serve mode asserts (src/serve/service.hpp).
+///
+/// This is deliberately NOT a lock-free MPMC queue: every ring in the
+/// engine is owned by exactly one shard (filled during the local phase,
+/// drained by the single-threaded routing step at the barrier), so plain
+/// unsynchronized indices are correct. What the type guarantees is FIFO
+/// order, zero steady-state allocation, and an honest backpressure signal:
+/// tryPush() returns false when full instead of growing, and the caller
+/// decides how to spill (the engine keeps a counted overflow vector, so
+/// exhaustion is visible in the window stats rather than fatal).
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace facs::serve {
+
+/// Smallest power of two >= n (and >= 2, so the mask is never 0).
+[[nodiscard]] constexpr std::size_t ringCapacityFor(std::size_t n) noexcept {
+  std::size_t cap = 2;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// Allocates the slot array once; \p min_capacity is rounded up to a
+  /// power of two (so capacity() may exceed the request).
+  explicit RingBuffer(std::size_t min_capacity = 1024)
+      : slots_(ringCapacityFor(min_capacity)),
+        mask_{slots_.size() - 1} {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_ - head_);
+  }
+  [[nodiscard]] bool empty() const noexcept { return head_ == tail_; }
+  [[nodiscard]] bool full() const noexcept { return size() == capacity(); }
+
+  /// Largest size() ever observed — the sizing signal the per-window stats
+  /// report, so operators can see how close a ring runs to exhaustion.
+  [[nodiscard]] std::size_t highWater() const noexcept { return high_water_; }
+
+  /// FIFO append. Returns false (and changes nothing) when full — the
+  /// backpressure path; the ring never allocates to make room.
+  [[nodiscard]] bool tryPush(T value) {
+    if (full()) return false;
+    slots_[static_cast<std::size_t>(tail_) & mask_] = std::move(value);
+    ++tail_;
+    if (size() > high_water_) high_water_ = size();
+    return true;
+  }
+
+  /// FIFO removal; nullopt when empty.
+  [[nodiscard]] std::optional<T> tryPop() {
+    if (empty()) return std::nullopt;
+    T out = std::move(slots_[static_cast<std::size_t>(head_) & mask_]);
+    ++head_;
+    return out;
+  }
+
+  /// Drops every element (high-water mark is preserved — it documents the
+  /// run, not the moment).
+  void clear() noexcept { head_ = tail_; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_;
+  /// Free-running indices, masked on access: head_ == tail_ is empty,
+  /// tail_ - head_ is the live count. 64-bit, so wrap-around of the
+  /// counters themselves is not a practical concern.
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace facs::serve

@@ -50,6 +50,9 @@ std::string Metrics::toJson() const {
      << "  \"reservations_posted\": " << reservations_posted << ",\n"
      << "  \"reservations_admitted\": " << reservations_admitted << ",\n"
      << "  \"reservations_dropped\": " << reservations_dropped << ",\n"
+     << "  \"mutations_applied\": " << mutations_applied << ",\n"
+     << "  \"outage_forced_drops\": " << outage_forced_drops << ",\n"
+     << "  \"peak_concurrent_calls\": " << peak_concurrent_calls << ",\n"
      << "  \"truncated_rationales\": " << truncated_rationales << ",\n"
      << "  \"percent_accepted\": " << shortestNumber(percentAccepted()) << ",\n"
      << "  \"blocking_probability\": " << shortestNumber(blockingProbability())

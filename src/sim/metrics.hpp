@@ -62,6 +62,23 @@ struct Metrics {
   std::uint64_t reservations_admitted = 0;
   std::uint64_t reservations_dropped = 0;
 
+  /// Scheduled scenario mutations (SimulationConfig::mutations) applied at
+  /// tick-window barriers so far. NOT warmup-gated — a mutation is a
+  /// config event, not a traffic sample. Deterministic: barrier times are
+  /// pure functions of the config.
+  int mutations_applied = 0;
+
+  /// Live calls force-dropped by cell-outage mutations (warmup-gated at
+  /// the outage instant like every traffic counter). These calls are
+  /// neither completed nor handoff-dropped — the outage took them.
+  int outage_forced_drops = 0;
+
+  /// High-water mark of simultaneously live calls in the engine's call
+  /// pool — the number memory is proportional to in the flat-memory
+  /// engine (cumulative calls only pass through). Deterministic for a
+  /// fixed (config, seed, commit_groups) at any shard count.
+  std::uint64_t peak_concurrent_calls = 0;
+
   /// Rationales cut at ReasonText's inline capacity during this run's
   /// measured (post-warmup) span, like every other counter. Only ever
   /// non-zero when the run decided with explain on

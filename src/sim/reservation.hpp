@@ -40,6 +40,10 @@ struct Reservation {
   /// Warmup gate evaluated at the crossing instant, carried along so the
   /// barrier counts the handoff exactly as an in-lane commit would have.
   bool counted = false;
+  /// Call-pool slot of the in-flight call (the epoch bump at post time
+  /// keeps every queued event stale, so the slot stays owned until the
+  /// barrier resolves the claim).
+  std::uint32_t slot = 0;
 };
 
 /// Canonical drain order: earlier crossing first, call id breaking ties.

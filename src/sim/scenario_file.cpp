@@ -90,6 +90,7 @@ class Parser {
       pos = eol + 1;
     }
     finishCellSection();
+    finishAtSection();
     if (spec_.name.empty()) {
       throw ScenarioFileError(source_, 0,
                               "missing [scenario] name = \"...\" entry");
@@ -126,9 +127,12 @@ class Parser {
     if (section_.empty()) {
       fail("key '" + key + "' before any [section] header");
     }
-    // Per-section duplicate-key tracking; each [cell N] is its own scope.
+    // Per-section duplicate-key tracking; each [cell N] is its own scope,
+    // and each [at T] section (repeatable, even at one instant) likewise.
     const std::string scope =
-        section_ == "cell" ? "cell " + std::to_string(cell_id_) : section_;
+        section_ == "cell" ? "cell " + std::to_string(cell_id_)
+        : section_ == "at" ? "at#" + std::to_string(at_index_)
+                           : section_;
     if (!seen_.insert(scope + "." + key).second) {
       fail("duplicate key '" + key + "' in [" + scope + "]");
     }
@@ -140,6 +144,7 @@ class Parser {
 
   void startSection(std::string_view name) {
     finishCellSection();
+    finishAtSection();
     if (name == "scenario" || name == "network" || name == "run" ||
         name == "population" || name == "turn") {
       if (!sections_.insert(std::string{name}).second) {
@@ -180,8 +185,24 @@ class Parser {
       cell_key_seen_ = false;
       return;
     }
+    if (name.substr(0, 3) == "at " || name == "at") {
+      const std::string_view t_text = trim(name.substr(2));
+      if (t_text.empty()) fail("[at] needs a time: [at T]");
+      const double t = parseNumber(t_text, "at time");
+      // Append order is file order; under extends the base's mutations are
+      // already in the vector, so the derived file's sections come after —
+      // the documented equal-timestamp tie-break.
+      spec_.config.mutations.push_back(serve::ScenarioMutation{});
+      spec_.config.mutations.back().at_s = t;
+      at_index_ = spec_.config.mutations.size() - 1;
+      section_ = "at";
+      extends_allowed_ = false;
+      at_header_line_ = line_;
+      at_action_seen_ = false;
+      return;
+    }
     fail("unknown section [" + std::string{name} +
-         "] (scenario|network|cell N|run|population|turn)");
+         "] (scenario|network|cell N|run|population|turn|at T)");
   }
 
   /// A [cell N] section must actually set something — an empty one is a
@@ -192,6 +213,16 @@ class Parser {
           source_, cell_header_line_,
           "[cell " + std::to_string(cell_id_) +
               "] sets no keys (capacity_bu|arrival_scale|mix)");
+    }
+  }
+
+  /// An [at T] section must name exactly one action; validateMutation
+  /// rejects doubled actions as they dispatch, and this catches zero.
+  void finishAtSection() {
+    if (section_ == "at" && !at_action_seen_) {
+      throw ScenarioFileError(
+          source_, at_header_line_,
+          "[at] section sets no action (arrival_scale|outage|restore|mix)");
     }
   }
 
@@ -317,6 +348,43 @@ class Parser {
         unknownKey(key,
                    "speed_kmh|angle_deg|distance_km|mix|tracking_window_s|"
                    "gps_fix_period_s|gps_error_m");
+      }
+    } else if (section_ == "at") {
+      serve::ScenarioMutation& m = cfg.mutations[at_index_];
+      const auto setOp = [&](serve::MutationOp op) {
+        if (at_action_seen_) {
+          fail(
+              "[at] sections take exactly one action key "
+              "(arrival_scale|outage|restore|mix)");
+        }
+        m.op = op;
+        at_action_seen_ = true;
+      };
+      if (key == "cell") {
+        const std::uint64_t id = parseUnsigned(value, key);
+        if (id > std::numeric_limits<cellular::CellId>::max()) {
+          fail("cell id " + std::string{value} + " out of range");
+        }
+        m.cell = static_cast<cellular::CellId>(id);
+      } else if (key == "arrival_scale") {
+        setOp(serve::MutationOp::ArrivalScale);
+        m.scale = parseNumber(value, key);
+      } else if (key == "outage") {
+        if (!parseBool(value, key)) fail("outage only takes true");
+        setOp(serve::MutationOp::Outage);
+      } else if (key == "restore") {
+        if (!parseBool(value, key)) fail("restore only takes true");
+        setOp(serve::MutationOp::Restore);
+      } else if (key == "mix") {
+        const std::vector<double> f = parseList(value, key, 3);
+        try {
+          m.mix = cellular::TrafficMix{f[0], f[1], f[2]};
+        } catch (const std::invalid_argument& e) {
+          fail(e.what());
+        }
+        setOp(serve::MutationOp::Mix);
+      } else {
+        unknownKey(key, "cell|arrival_scale|outage|restore|mix");
       }
     } else {  // turn
       if (key == "sigma_max_deg") {
@@ -485,6 +553,9 @@ class Parser {
   std::size_t cell_index_ = 0;      ///< Index into cell_overrides.
   int cell_header_line_ = 0;
   bool cell_key_seen_ = false;
+  std::size_t at_index_ = 0;        ///< Valid while section_ == "at".
+  int at_header_line_ = 0;
+  bool at_action_seen_ = false;
   bool extends_allowed_ = true;     ///< Cleared by the first key/section.
 };
 
@@ -648,6 +719,32 @@ std::string writeScenarioFile(const ScenarioSpec& spec) {
   os << "[turn]\n"
      << "sigma_max_deg = " << shortestNumber(pop.turn.sigma_max_deg) << "\n"
      << "v_ref_kmh = " << shortestNumber(pop.turn.v_ref_kmh) << "\n";
+  // Mutations in config (= file) order; the parser re-appends them in the
+  // same order, so equal-timestamp tie-breaks survive the round trip.
+  for (const serve::ScenarioMutation& m : cfg.mutations) {
+    os << "\n[at " << shortestNumber(m.at_s) << "]\n";
+    if (m.cell) os << "cell = " << *m.cell << "\n";
+    switch (m.op) {
+      case serve::MutationOp::ArrivalScale:
+        os << "arrival_scale = " << shortestNumber(m.scale) << "\n";
+        break;
+      case serve::MutationOp::Outage:
+        os << "outage = true\n";
+        break;
+      case serve::MutationOp::Restore:
+        os << "restore = true\n";
+        break;
+      case serve::MutationOp::Mix:
+        os << "mix = ["
+           << shortestNumber(m.mix->fraction(cellular::ServiceClass::Text))
+           << ", "
+           << shortestNumber(m.mix->fraction(cellular::ServiceClass::Voice))
+           << ", "
+           << shortestNumber(m.mix->fraction(cellular::ServiceClass::Video))
+           << "]\n";
+        break;
+    }
+  }
   return os.str();
 }
 

@@ -60,6 +60,18 @@
 ///   sigma_max_deg = 10            # heading diffusion at speed 0
 ///   v_ref_kmh = 18                # exponential decay scale over speed
 ///
+///   [at 120]                      # optional, repeatable: a scheduled
+///   arrival_scale = 2.5           # scenario mutation applied at the tick
+///                                 # barrier at T=120 s (serve/mutation.hpp).
+///   [at 300]                      # Exactly one action key per section:
+///   cell = 3                      # arrival_scale (global rate ramp, or a
+///   outage = true                 # cell's spawn weight when cell is set),
+///                                 # outage / restore (need cell), or
+///   [at 360]                      # mix = [text, voice, video] (global or
+///   cell = 3                      # per-cell). Equal timestamps apply in
+///   restore = true                # file order. Under extends, the file's
+///                                 # [at] sections append after the base's.
+///
 /// Every key is optional except `name`; omitted keys keep the paper's
 /// defaults (a minimal file is just `[scenario]` + `name`), or — under
 /// `extends` — the base's values. Unknown sections or keys are errors, not

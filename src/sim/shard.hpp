@@ -45,6 +45,11 @@ struct ShardEvent {
   /// that migrates between shards (handoff) bumps its epoch; stale copies
   /// left in the old owner's queue fail the epoch check and are dropped.
   std::uint32_t epoch = 0;
+  /// Call-pool slot the call occupied when the event was scheduled. The
+  /// pool recycles slots of finished calls, so an event is only live when
+  /// the slot's occupant still equals `call` — the cross-lifetime
+  /// staleness check (epoch covers staleness within one call's lifetime).
+  std::uint32_t slot = 0;
 };
 
 /// Canonical commit order: time, then kind rank, then call id. Independent

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "mobility/gps.hpp"
+#include "serve/call_pool.hpp"
+#include "serve/ring_buffer.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/reservation.hpp"
 #include "sim/shard.hpp"
@@ -29,9 +31,18 @@ using mobility::MotionState;
 /// Where randomness streams live in the (seed, stream) split space. Every
 /// call owns stream kCallStreamBase + id, so its draws (spawn, GPS noise,
 /// holding time, mobility) never depend on how calls interleave — the
-/// foundation of shard-count-independent results.
+/// foundation of shard-count-independent results, and of the lazy window
+/// materialization below: WHEN a call is built cannot change WHAT it
+/// draws.
 constexpr std::uint64_t kArrivalStream = 0;
 constexpr std::uint64_t kCallStreamBase = 16;
+
+/// Per-shard outbox ring capacity (entries). A window's outbox holds at
+/// most the events that commit in that window, which tracks concurrent
+/// calls, not cumulative ones; overflow spills to a counted vector, so an
+/// undersized ring degrades visibly (EngineWindowStats::ring_spills), not
+/// fatally.
+constexpr std::size_t kOutboxRingCapacity = 4096;
 
 /// Lifecycle of one simulated call.
 enum class CallPhase : std::uint8_t {
@@ -40,10 +51,10 @@ enum class CallPhase : std::uint8_t {
   Done,     ///< Completed, blocked, dropped, or left coverage.
 };
 
-/// Everything one call owns. Shard workers touch only calls their cells
-/// carry; within the commit phase, exactly one group lane (the lane of the
-/// call's current cell) may touch a call per window, and the barrier drain
-/// runs alone.
+/// Everything one call owns, living in a pool slot for exactly the call's
+/// lifetime. Shard workers touch only calls their cells carry; within the
+/// commit phase, exactly one group lane (the lane of the call's current
+/// cell) may touch a call per window, and the barrier drain runs alone.
 struct CallState {
   CallRequest request;  ///< target_cell kept current across handoffs.
   MotionState state;    ///< Ground truth.
@@ -56,6 +67,10 @@ struct CallState {
   /// Also bumped when a cross-group reservation is posted, so no event can
   /// execute while the claim is in flight to the barrier.
   std::uint32_t epoch = 0;
+  /// The pool slot this call occupies — stamped at acquire so commits can
+  /// schedule follow-up events carrying it (events are validated against
+  /// the slot's occupant, the cross-lifetime staleness check).
+  std::uint32_t slot = serve::kNoSlot;
   /// Snapshot-only policy work precomputed off the serialized commit path:
   /// set by the parallel prepare phase for the initial decision, re-run by
   /// the local phase whenever a mobility step produces the new snapshot a
@@ -77,10 +92,108 @@ struct CallState {
   return std::max(1, cfg.commit_groups);
 }
 
+/// Arrival-instant source. The batch engine drew every instant up front;
+/// serve mode cannot (an always-on run has no "all arrivals"), so the
+/// source draws lazily from the same kArrivalStream in the same order —
+/// the consumed RNG sequence is identical, which keeps lazy materialized
+/// runs bit-identical to the historical upfront path.
+class ArrivalSource {
+ public:
+  void init(const SimulationConfig& cfg, double serve_duration_s) {
+    rng_ = makeRng(cfg.seed, kArrivalStream);
+    mode_ = cfg.arrivals;
+    if (mode_ == ArrivalProcess::UniformBurst) {
+      times_.reserve(static_cast<std::size_t>(cfg.total_requests));
+      for (int i = 0; i < cfg.total_requests; ++i) {
+        times_.push_back(
+            sampleUniform(rng_, 0.0, cfg.arrival_window_s));
+      }
+      std::sort(times_.begin(), times_.end());
+      return;
+    }
+    base_rate_ =
+        static_cast<double>(cfg.total_requests) / cfg.arrival_window_s;
+    duration_s_ = serve_duration_s;
+    remaining_ = serve_duration_s > 0.0
+                     ? std::numeric_limits<long long>::max()
+                     : static_cast<long long>(cfg.total_requests);
+    drawNext();
+  }
+
+  /// Next arrival instant, if any.
+  [[nodiscard]] std::optional<double> peek() const noexcept {
+    if (mode_ == ArrivalProcess::UniformBurst) {
+      if (index_ < times_.size()) return times_[index_];
+      return std::nullopt;
+    }
+    if (have_pending_) return pending_;
+    return std::nullopt;
+  }
+
+  void pop() {
+    if (mode_ == ArrivalProcess::UniformBurst) {
+      ++index_;
+      return;
+    }
+    drawNext();
+  }
+
+  /// Global rate ramp at a barrier: scale the rate of every draw from
+  /// \p at_s on, and rescale the residual of the already-drawn pending
+  /// arrival memorylessly (exponential residuals are themselves
+  /// exponential, so stretching the part past the barrier by the rate
+  /// ratio preserves the process without losing or reordering a draw).
+  void rescale(double new_scale, double at_s) {
+    if (mode_ != ArrivalProcess::Poisson) return;  // validated upstream
+    if (have_pending_ && pending_ > at_s) {
+      pending_ = at_s + (pending_ - at_s) * (scale_ / new_scale);
+      last_ = pending_;
+    }
+    scale_ = new_scale;
+  }
+
+ private:
+  void drawNext() {
+    if (remaining_ <= 0) {
+      have_pending_ = false;
+      return;
+    }
+    const double mean = 1.0 / (base_rate_ * scale_);
+    const double t = last_ + sampleExponential(rng_, mean);
+    if (duration_s_ > 0.0 && t >= duration_s_) {
+      // Service window over: drain from here on.
+      have_pending_ = false;
+      remaining_ = 0;
+      return;
+    }
+    pending_ = t;
+    last_ = t;
+    have_pending_ = true;
+    --remaining_;
+  }
+
+  ArrivalProcess mode_ = ArrivalProcess::UniformBurst;
+  Rng rng_;
+  // UniformBurst: all instants drawn and sorted up front (the paper's
+  // burst has no steady state to stream).
+  std::vector<double> times_;
+  std::size_t index_ = 0;
+  // Poisson: one draw ahead.
+  double base_rate_ = 0.0;
+  double scale_ = 1.0;
+  double pending_ = 0.0;
+  double last_ = 0.0;
+  bool have_pending_ = false;
+  long long remaining_ = 0;
+  double duration_s_ = 0.0;
+};
+
 class Engine {
  public:
-  Engine(const SimulationConfig& cfg, const ControllerFactory& make_controller)
+  Engine(const SimulationConfig& cfg, const ControllerFactory& make_controller,
+         const ServiceHooks& hooks)
       : cfg_{cfg},
+        hooks_{hooks},
         network_{cfg.rings, cfg.cell_radius_km, cfg.capacity_bu,
                  capacityOverrides(cfg)},
         controller_{make_controller(network_)},
@@ -89,7 +202,9 @@ class Engine {
         shard_count_{std::max(1, std::min(cfg.shards, kMaxShards))},
         pool_{shard_count_},
         queues_(static_cast<std::size_t>(shard_count_)),
-        outboxes_(static_cast<std::size_t>(shard_count_)),
+        rings_(static_cast<std::size_t>(shard_count_),
+               serve::RingBuffer<CommitEntry>{kOutboxRingCapacity}),
+        spills_(static_cast<std::size_t>(shard_count_)),
         local_events_(static_cast<std::size_t>(shard_count_), 0),
         lanes_(static_cast<std::size_t>(partition_.groups())),
         mailboxes_(static_cast<std::size_t>(partition_.groups())) {
@@ -97,6 +212,28 @@ class Engine {
       throw std::invalid_argument("controller factory returned nullptr");
     }
     prepareCellOverrides();
+    mutation_order_ = serve::mutationSchedule(cfg_.mutations);
+    for (const serve::ScenarioMutation& m : cfg_.mutations) {
+      if (m.op == serve::MutationOp::Outage ||
+          m.op == serve::MutationOp::Restore) {
+        down_.assign(network_.cellCount(), 0);
+        break;
+      }
+    }
+    if (cfg_.scenario.tracking_window_s > 0.0) {
+      // Per-shard scratch estimators: call preparation reuses them instead
+      // of constructing one per call, so the steady-state prepare path
+      // never touches the allocator.
+      const int fix_count =
+          static_cast<int>(cfg_.scenario.tracking_window_s /
+                           cfg_.scenario.gps_fix_period_s) +
+          1;
+      scratch_est_.reserve(static_cast<std::size_t>(shard_count_));
+      for (int s = 0; s < shard_count_; ++s) {
+        scratch_est_.emplace_back(
+            static_cast<std::size_t>(std::max(2, fix_count)));
+      }
+    }
   }
 
   Metrics execute() {
@@ -104,13 +241,13 @@ class Engine {
     // fraction (what caps sharded speedup). Timing is observational only —
     // never an input to any simulation outcome.
     const auto stamp = [] { return std::chrono::steady_clock::now(); };
-    const auto since = [](std::chrono::steady_clock::time_point t0,
-                          std::chrono::steady_clock::time_point t1) {
-      return std::chrono::duration<double>(t1 - t0).count();
+    const auto since = [](std::chrono::steady_clock::time_point a,
+                          std::chrono::steady_clock::time_point b) {
+      return std::chrono::duration<double>(b - a).count();
     };
 
     auto t0 = stamp();
-    prepareArrivals();
+    arrivals_.init(cfg_, hooks_.serve_duration_s);
     auto t1 = stamp();
     metrics_.prepare_phase_s = since(t0, t1);
     metrics_.commit_groups = partition_.groups();
@@ -118,22 +255,50 @@ class Engine {
     // Tick windows: with handoffs the barrier period is the mobility update
     // (the minimum latency at which one cell's state can matter to
     // another); without cross-cell traffic one unbounded window suffices —
-    // the commit phase alone replays the run in canonical order.
-    const double window_s = cfg_.enable_handoffs
-                                ? cfg_.mobility_update_s
-                                : std::numeric_limits<double>::infinity();
+    // unless a streaming consumer wants periodic snapshots, in which case
+    // the run is windowed at the emission period instead. Windowing a
+    // no-handoff run is outcome-neutral: with no cross-cell traffic there
+    // is nothing a barrier could reorder, the canonical replay is merely
+    // partitioned. Mutations additionally clamp any window so a barrier
+    // lands exactly at each mutation instant.
+    const double window_s =
+        cfg_.enable_handoffs
+            ? cfg_.mobility_update_s
+            : (hooks_.on_window && hooks_.metrics_every_s > 0.0
+                   ? hooks_.metrics_every_s
+                   : std::numeric_limits<double>::infinity());
     const bool grouped = partition_.groups() > 1;
+    next_emit_s_ = hooks_.metrics_every_s;
 
-    while (const auto next = nextEventTime()) {
+    while (true) {
+      auto next = nextEventTime();
+      // Mutations due before the next event: the window ending at their
+      // instant is empty, so apply them right here (an empty window's
+      // barrier). Rate ramps can move the next arrival, so re-peek.
+      while (next && nextMutationTime() <= *next) {
+        applyNextMutation();
+        next = nextEventTime();
+      }
+      if (!next) break;
+
       double window_end = std::numeric_limits<double>::infinity();
       if (std::isfinite(window_s)) {
         const double k = std::floor(*next / window_s);
         window_end = (k + 1.0) * window_s;
       }
+      // Clamp so a barrier lands exactly at the next mutation instant.
+      // Progress is guaranteed: the pre-step above left
+      // nextMutationTime() > *next.
+      window_end = std::min(window_end, nextMutationTime());
+
       t0 = stamp();
-      runLocalPhase(window_end);
+      materializeWindow(window_end);
       t1 = stamp();
-      metrics_.local_phase_s += since(t0, t1);
+      metrics_.prepare_phase_s += since(t0, t1);
+
+      runLocalPhase(window_end);
+      const auto t2 = stamp();
+      metrics_.local_phase_s += since(t1, t2);
 
       // Commit: route the merged mailboxes to the group lanes (serial),
       // replay each lane (concurrent when grouped; THE serialized commit
@@ -142,30 +307,41 @@ class Engine {
       // commit_phase_s — the pre-grouped accounting; with several, the
       // lane replay is no longer serialized and is reported separately.
       routeCommits();
-      const auto t2 = stamp();
-      runLanes(window_end);
       const auto t3 = stamp();
-      drainBarrier(window_end);
+      runLanes(window_end);
       const auto t4 = stamp();
+      drainBarrier(window_end);
+      releaseFreed();
+      const auto t5 = stamp();
       if (grouped) {
-        metrics_.commit_phase_s += since(t1, t2) + since(t3, t4);
-        metrics_.commit_lane_s += since(t2, t3);
+        metrics_.commit_phase_s += since(t2, t3) + since(t4, t5);
+        metrics_.commit_lane_s += since(t3, t4);
       } else {
-        metrics_.commit_phase_s += since(t1, t4);
+        metrics_.commit_phase_s += since(t2, t5);
       }
+
+      // Mutations due exactly at this barrier apply now, after every
+      // commit of the window (events at the mutation instant itself
+      // belong to the NEXT window — popBefore is strict). The explicit
+      // cursor check matters: at an unbounded window both sides are +inf.
+      while (next_mutation_ < mutation_order_.size() &&
+             nextMutationTime() <= window_end) {
+        applyNextMutation();
+      }
+      maybeEmit(window_end);
     }
 
-    // Fold the per-lane slices in group order — deterministic for a fixed
-    // partition, and a plain copy when there is one lane.
     double last_change_s = 0.0;
     for (const GroupLane& lane : lanes_) {
-      mergeLane(lane);
       last_change_s = std::max(last_change_s, lane.last_change_s);
     }
-    metrics_.observed_span_s = std::max(0.0, last_change_s - cfg_.warmup_s);
-    metrics_.total_capacity_bu = network_.totalCapacityBu();
-    for (const std::uint64_t n : local_events_) metrics_.engine_events += n;
-    return metrics_;
+    // Trailing events can all be stale (dead calls' queued moves), in
+    // which case the last metric change precedes the last emitted barrier
+    // — clamp so the final window never runs backwards.
+    if (hooks_.on_window) {
+      emitWindow(std::max(last_change_s, last_emit_t_), /*final_window=*/true);
+    }
+    return snapshotMetrics();
   }
 
  private:
@@ -183,14 +359,19 @@ class Engine {
 
   /// One commit lane: the canonical-order replay queue of one cell group
   /// plus everything the lane accumulates privately — outgoing reservation
-  /// claims, deferred schedules, its group's slice of the occupancy
-  /// integral and of the counters. Lanes never touch each other's state;
-  /// the barrier folds them in group order.
+  /// claims, deferred schedules, slots its commits finished (recycled at
+  /// the barrier: lanes run concurrently and must not touch the shared
+  /// freelist), its group's slice of the occupancy integral and of the
+  /// counters. Lanes never touch each other's state; the barrier folds
+  /// them in group order.
   struct GroupLane {
     std::priority_queue<CommitEntry, std::vector<CommitEntry>, CommitLater>
         queue;
     std::vector<Reservation> outgoing;
     std::vector<DeferredEvent> deferred;
+    /// Pool slots of calls this lane finished this window; released by the
+    /// single-threaded barrier in lane order (deterministic freelist).
+    std::vector<std::uint32_t> freed;
     /// Group-local occupancy integral: occupied BU over this group's
     /// cells, integrated at each committed change exactly like the
     /// pre-grouped engine integrated the network total.
@@ -222,24 +403,37 @@ class Engine {
       if (o.mix) mixed = true;
     }
     if (weighted) {
-      std::vector<double> weight(network_.cellCount(), 1.0);
-      for (const CellOverride& o : cfg_.cell_overrides) {
-        if (o.arrival_scale) {
-          weight[static_cast<std::size_t>(o.cell)] = *o.arrival_scale;
-        }
-      }
-      spawn_cdf_.resize(weight.size());
-      double total = 0.0;
-      for (std::size_t i = 0; i < weight.size(); ++i) {
-        total += weight[i];
-        spawn_cdf_[i] = total;
-      }
+      ensureSpawnWeights();
+      rebuildSpawnCdf();
     }
     if (mixed) {
       cell_mix_.resize(network_.cellCount());
       for (const CellOverride& o : cfg_.cell_overrides) {
         if (o.mix) cell_mix_[static_cast<std::size_t>(o.cell)] = o.mix;
       }
+    }
+  }
+
+  /// Lazily switches the spawn draw to weighted mode: unit weights seeded
+  /// with whatever arrival_scale overrides the config carries. A per-cell
+  /// ArrivalScale mutation on an unweighted config lands here — calls
+  /// materialized after it draw their spawn cell from the CDF.
+  void ensureSpawnWeights() {
+    if (!spawn_weight_.empty()) return;
+    spawn_weight_.assign(network_.cellCount(), 1.0);
+    for (const CellOverride& o : cfg_.cell_overrides) {
+      if (o.arrival_scale) {
+        spawn_weight_[static_cast<std::size_t>(o.cell)] = *o.arrival_scale;
+      }
+    }
+  }
+
+  void rebuildSpawnCdf() {
+    spawn_cdf_.resize(spawn_weight_.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < spawn_weight_.size(); ++i) {
+      total += spawn_weight_[i];
+      spawn_cdf_[i] = total;
     }
   }
 
@@ -252,7 +446,17 @@ class Engine {
     return partition_.groupOf(cell);
   }
 
-  [[nodiscard]] CallState& call(CallId id) { return calls_[id - 1]; }
+  [[nodiscard]] bool isDown(CellId cell) const noexcept {
+    return !down_.empty() && down_[static_cast<std::size_t>(cell)] != 0;
+  }
+
+  /// Resolves an event to its call iff the slot still carries the call the
+  /// event was scheduled for — the cross-lifetime staleness check (pool
+  /// slots recycle; epochs cover staleness within one lifetime).
+  [[nodiscard]] CallState* liveCall(const ShardEvent& ev) {
+    if (call_pool_.occupantOf(ev.slot) != ev.call) return nullptr;
+    return &call_pool_.at(ev.slot);
+  }
 
   [[nodiscard]] std::optional<double> nextEventTime() const {
     std::optional<double> best;
@@ -260,7 +464,24 @@ class Engine {
       const auto t = q.peekTime();
       if (t && (!best || *t < *best)) best = t;
     }
+    if (const auto t = arrivals_.peek()) {
+      // An unmaterialized arrival's first event is its admission decision.
+      const double d = *t + cfg_.scenario.tracking_window_s;
+      if (!best || d < *best) best = d;
+    }
     return best;
+  }
+
+  [[nodiscard]] double nextMutationTime() const noexcept {
+    if (next_mutation_ >= mutation_order_.size()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return cfg_.mutations[mutation_order_[next_mutation_]].at_s;
+  }
+
+  void applyNextMutation() {
+    applyMutation(cfg_.mutations[mutation_order_[next_mutation_++]]);
+    ++metrics_.mutations_applied;
   }
 
   /// Integrates a group's occupied-BU time up to \p now (call before any
@@ -292,80 +513,140 @@ class Engine {
     }
   }
 
-  /// Folds one lane's private slice into the run metrics — every counter a
-  /// lane may touch, in group order so the double accumulation is
-  /// reproducible.
-  void mergeLane(const GroupLane& lane) {
+  /// Folds one lane's private slice into \p out — every counter a lane may
+  /// touch, in group order so the double accumulation is reproducible.
+  static void mergeLaneInto(Metrics& out, const GroupLane& lane) {
     const Metrics& p = lane.partial;
-    metrics_.new_requests += p.new_requests;
-    metrics_.new_accepted += p.new_accepted;
-    metrics_.new_blocked += p.new_blocked;
-    metrics_.handoff_requests += p.handoff_requests;
-    metrics_.handoff_accepted += p.handoff_accepted;
-    metrics_.handoff_dropped += p.handoff_dropped;
-    metrics_.completed += p.completed;
+    out.new_requests += p.new_requests;
+    out.new_accepted += p.new_accepted;
+    out.new_blocked += p.new_blocked;
+    out.handoff_requests += p.handoff_requests;
+    out.handoff_accepted += p.handoff_accepted;
+    out.handoff_dropped += p.handoff_dropped;
+    out.completed += p.completed;
     for (std::size_t i = 0; i < p.class_requests.size(); ++i) {
-      metrics_.class_requests[i] += p.class_requests[i];
-      metrics_.class_accepted[i] += p.class_accepted[i];
+      out.class_requests[i] += p.class_requests[i];
+      out.class_accepted[i] += p.class_accepted[i];
     }
-    metrics_.truncated_rationales += p.truncated_rationales;
-    metrics_.busy_bu_seconds += lane.busy_bu_seconds;
-    metrics_.engine_events += lane.events;
+    out.truncated_rationales += p.truncated_rationales;
+    out.busy_bu_seconds += lane.busy_bu_seconds;
+    out.engine_events += lane.events;
+  }
+
+  /// The run's full Metrics at this instant, folded exactly like the final
+  /// batch fold (same order, same operations) — so the last streaming
+  /// window's cumulative is bit-identical to the batch return value, and
+  /// this IS the batch return value at end of run. Non-destructive: lanes
+  /// keep accumulating afterwards.
+  [[nodiscard]] Metrics snapshotMetrics() const {
+    Metrics out = metrics_;
+    double last_change_s = 0.0;
+    for (const GroupLane& lane : lanes_) {
+      mergeLaneInto(out, lane);
+      last_change_s = std::max(last_change_s, lane.last_change_s);
+    }
+    out.observed_span_s = std::max(0.0, last_change_s - cfg_.warmup_s);
+    out.total_capacity_bu = network_.totalCapacityBu();
+    for (const std::uint64_t n : local_events_) out.engine_events += n;
+    out.peak_concurrent_calls = call_pool_.stats().high_water;
+    return out;
+  }
+
+  [[nodiscard]] EngineWindowStats windowStats() const {
+    const auto ps = call_pool_.stats();
+    EngineWindowStats s;
+    s.pool_capacity = ps.capacity;
+    s.pool_live = ps.live;
+    s.pool_high_water = ps.high_water;
+    s.pool_acquired = ps.acquired;
+    s.pool_released = ps.released;
+    s.pool_grow_events = ps.grow_events;
+    s.ring_capacity = rings_.empty() ? 0 : rings_.front().capacity();
+    for (const auto& r : rings_) {
+      s.ring_high_water =
+          std::max(s.ring_high_water,
+                   static_cast<std::uint64_t>(r.highWater()));
+    }
+    s.ring_spills = ring_spills_total_;
+    s.mutations_applied = metrics_.mutations_applied;
+    return s;
+  }
+
+  // ------------------------------------------------------------- emission
+
+  void maybeEmit(double t1) {
+    if (!hooks_.on_window || !std::isfinite(t1)) return;
+    const double every = hooks_.metrics_every_s;
+    if (every > 0.0 && t1 < next_emit_s_) return;
+    emitWindow(t1, /*final_window=*/false);
+    if (every > 0.0) {
+      next_emit_s_ = (std::floor(t1 / every) + 1.0) * every;
+    }
+  }
+
+  void emitWindow(double t1, bool final_window) {
+    WindowSnapshot w;
+    w.index = emit_index_++;
+    w.t0 = last_emit_t_;
+    w.t1 = t1;
+    w.final_window = final_window;
+    w.cumulative = snapshotMetrics();
+    w.stats = windowStats();
+    last_emit_t_ = t1;
+    hooks_.on_window(w);
   }
 
   // ---------------------------------------------------------------- prepare
 
-  /// Draws arrival instants, then builds every call — spawn cell, GPS
-  /// tracking through the observation window, the admission-time snapshot —
-  /// in parallel over the shard pool (each call is index-sharded and only
-  /// touches its own state and RNG stream), and finally schedules the
-  /// decision events serially in call order.
-  void prepareArrivals() {
-    std::vector<double> times;
-    times.reserve(static_cast<std::size_t>(cfg_.total_requests));
-    Rng arrival_rng = makeRng(cfg_.seed, kArrivalStream);
-    if (cfg_.arrivals == ArrivalProcess::UniformBurst) {
-      for (int i = 0; i < cfg_.total_requests; ++i) {
-        times.push_back(sampleUniform(arrival_rng, 0.0, cfg_.arrival_window_s));
-      }
-      std::sort(times.begin(), times.end());
-    } else {
-      const double rate =
-          static_cast<double>(cfg_.total_requests) / cfg_.arrival_window_s;
-      double t = 0.0;
-      for (int i = 0; i < cfg_.total_requests; ++i) {
-        t += sampleExponential(arrival_rng, 1.0 / rate);
-        times.push_back(t);
-      }
+  /// Materializes every arrival whose admission decision falls inside the
+  /// window: acquire a pool slot, build the call — spawn cell, GPS
+  /// tracking through the observation window, the admission-time
+  /// snapshot — in parallel over the shard pool (each call only touches
+  /// its own slot and RNG stream), then schedule the decision events
+  /// serially in call order. Lazy-by-window is bit-identical to the old
+  /// everything-up-front preparation: the arrival stream is consumed in
+  /// the same order, and every other draw comes from the call's own
+  /// stream, which does not care when it runs. Decision instants are
+  /// >= every previously drained barrier, so the queue pushes are always
+  /// monotone-safe.
+  void materializeWindow(double window_end) {
+    const double track = cfg_.scenario.tracking_window_s;
+    batch_slots_.clear();
+    batch_times_.clear();
+    while (const auto t = arrivals_.peek()) {
+      if (!(*t + track < window_end)) break;
+      arrivals_.pop();
+      const CallId id = ++next_call_id_;
+      const std::uint32_t slot = call_pool_.acquire(id, cfg_.scenario.turn);
+      call_pool_.at(slot).slot = slot;
+      batch_slots_.push_back(slot);
+      batch_times_.push_back(*t);
     }
-
-    calls_.reserve(times.size());
-    for (std::size_t i = 0; i < times.size(); ++i) {
-      calls_.emplace_back(cfg_.scenario.turn);
-    }
+    if (batch_slots_.empty()) return;
 
     pool_.run([&](int shard) {
-      for (std::size_t i = static_cast<std::size_t>(shard); i < calls_.size();
+      for (std::size_t i = static_cast<std::size_t>(shard);
+           i < batch_slots_.size();
            i += static_cast<std::size_t>(shard_count_)) {
-        prepareCall(static_cast<CallId>(i + 1), times[i]);
+        prepareCall(shard, batch_slots_[i], batch_times_[i]);
       }
     });
 
-    const double window = cfg_.scenario.tracking_window_s;
-    for (std::size_t i = 0; i < calls_.size(); ++i) {
-      const CallId id = static_cast<CallId>(i + 1);
-      const CellId target = call(id).request.target_cell;
-      queues_[static_cast<std::size_t>(shardOf(target))].push(
-          times[i] + window, ShardEvent{ShardEventKind::Decision, id, 0});
+    for (std::size_t i = 0; i < batch_slots_.size(); ++i) {
+      const std::uint32_t slot = batch_slots_[i];
+      const CallState& c = call_pool_.at(slot);
+      queues_[static_cast<std::size_t>(shardOf(c.request.target_cell))].push(
+          batch_times_[i] + track,
+          ShardEvent{ShardEventKind::Decision, c.request.call, 0, slot});
     }
   }
 
   /// Where a fresh request spawns: the legacy uniform pick, or — as soon
-  /// as any cell carries an arrival_scale override — a weighted draw over
-  /// the per-cell CDF (hotspot modelling). The two paths consume the
-  /// call's RNG differently, so the weighted draw only engages when a
-  /// scale actually differs from 1 — unscaled configs keep their exact
-  /// historical draw sequence.
+  /// as any cell carries an arrival_scale (override or mutation) — a
+  /// weighted draw over the per-cell CDF (hotspot modelling). The two
+  /// paths consume the call's RNG differently, so the weighted draw only
+  /// engages when a scale actually differs from 1 — unscaled configs keep
+  /// their exact historical draw sequence.
   [[nodiscard]] CellId drawSpawnCell(Rng& rng) {
     if (spawn_cdf_.empty()) {
       std::uniform_int_distribution<std::size_t> cell_pick{
@@ -380,11 +661,15 @@ class Engine {
     return static_cast<CellId>(i);
   }
 
-  /// Builds one call: spawn draw, tracking walk, snapshot. Uses only the
-  /// call's own stream — safe to run for many calls concurrently.
-  void prepareCall(CallId id, double arrival_s) {
-    CallState& c = call(id);
-    c.rng = makeRng(cfg_.seed, kCallStreamBase + static_cast<std::uint64_t>(id));
+  /// Builds one call in its slot: spawn draw, tracking walk, snapshot.
+  /// Uses only the call's own stream plus \p shard's scratch estimator —
+  /// safe to run for many calls concurrently, and allocation-free in
+  /// steady state.
+  void prepareCall(int shard, std::uint32_t slot, double arrival_s) {
+    CallState& c = call_pool_.at(slot);
+    const CallId id = call_pool_.occupantOf(slot);
+    c.rng =
+        makeRng(cfg_.seed, kCallStreamBase + static_cast<std::uint64_t>(id));
 
     const CellId spawn_cell = drawSpawnCell(c.rng);
     const bool mixed = !cell_mix_.empty() &&
@@ -413,8 +698,9 @@ class Engine {
           cfg_.scenario.gps_error_m.value_or(0.0)};
       const double period = cfg_.scenario.gps_fix_period_s;
       const int fix_count = static_cast<int>(window / period) + 1;
-      mobility::GpsEstimator estimator{
-          static_cast<std::size_t>(std::max(2, fix_count))};
+      mobility::GpsEstimator& estimator =
+          scratch_est_[static_cast<std::size_t>(shard)];
+      estimator.reset();
       estimator.addFix(sampler.sample(arrival_s, c.state.position_km, c.rng));
       for (int i = 1; i < fix_count; ++i) {
         c.model.step(c.state, period, c.rng);
@@ -460,24 +746,32 @@ class Engine {
 
   /// Each shard drains its queue up to the window end. Mobility steps run
   /// here (call-local: per-call RNG and state); everything that needs the
-  /// shared ledgers/controller becomes a mailbox entry for the commit
-  /// phase. Stale events (superseded epochs, finished calls) die here.
+  /// shared ledgers/controller becomes a ring-mailbox entry for the commit
+  /// phase (overflow spills to a counted vector — backpressure is visible,
+  /// not fatal). Stale events (recycled slots, superseded epochs, finished
+  /// calls) die here.
   void runLocalPhase(double window_end) {
     pool_.run([&](int shard) {
       Queue& q = queues_[static_cast<std::size_t>(shard)];
-      auto& outbox = outboxes_[static_cast<std::size_t>(shard)];
+      auto& ring = rings_[static_cast<std::size_t>(shard)];
+      auto& spill = spills_[static_cast<std::size_t>(shard)];
       std::uint64_t& events = local_events_[static_cast<std::size_t>(shard)];
+      const auto emit = [&](const CommitEntry& e) {
+        if (!ring.tryPush(e)) spill.push_back(e);
+      };
       while (const auto entry = q.popBefore(window_end)) {
         const ShardEvent& ev = entry->payload;
-        CallState& c = call(ev.call);
+        CallState* cp = liveCall(ev);
+        if (!cp) continue;  // slot recycled: a previous lifetime's event
+        CallState& c = *cp;
         switch (ev.kind) {
           case ShardEventKind::Decision:
             if (c.phase != CallPhase::Pending) break;
-            outbox.push_back(CommitEntry{entry->time_s, ev});
+            emit(CommitEntry{entry->time_s, ev});
             break;
           case ShardEventKind::End:
             if (c.phase != CallPhase::Active || ev.epoch != c.epoch) break;
-            outbox.push_back(CommitEntry{entry->time_s, ev});
+            emit(CommitEntry{entry->time_s, ev});
             break;
           case ShardEventKind::Move: {
             if (c.phase != CallPhase::Active || ev.epoch != c.epoch) break;
@@ -500,7 +794,7 @@ class Engine {
                 c.predicted = precompute(mobility::snapshotFromTruth(
                     c.state, network_.cell(*now_cell).center));
               }
-              outbox.push_back(CommitEntry{entry->time_s, ev});
+              emit(CommitEntry{entry->time_s, ev});
             }
             break;
           }
@@ -515,14 +809,20 @@ class Engine {
   /// call's current cell. All of a call's events of one window route to
   /// one lane (pending calls do not move, and active calls change cells
   /// only when that same lane — or the barrier — commits the crossing),
-  /// so lanes touch disjoint call and ledger state by construction.
+  /// so lanes touch disjoint call and ledger state by construction. Ring
+  /// first, then the spill vector — together the shard's push order.
   void routeCommits() {
-    for (auto& outbox : outboxes_) {
-      for (const CommitEntry& e : outbox) {
-        const CellId cell = call(e.event.call).request.target_cell;
-        lanes_[static_cast<std::size_t>(laneOf(cell))].queue.push(e);
-      }
-      outbox.clear();
+    const auto route = [&](const CommitEntry& e) {
+      const CellId cell = call_pool_.at(e.event.slot).request.target_cell;
+      lanes_[static_cast<std::size_t>(laneOf(cell))].queue.push(e);
+    };
+    for (std::size_t s = 0; s < rings_.size(); ++s) {
+      auto& ring = rings_[s];
+      while (auto e = ring.tryPop()) route(*e);
+      auto& spill = spills_[s];
+      ring_spills_total_ += spill.size();
+      for (const CommitEntry& e : spill) route(e);
+      spill.clear();
     }
   }
 
@@ -551,7 +851,9 @@ class Engine {
       const CommitEntry e = lane.queue.top();
       lane.queue.pop();
       const double now = e.time_s;
-      CallState& c = call(e.event.call);
+      CallState* cp = liveCall(e.event);
+      if (!cp) continue;
+      CallState& c = *cp;
       // Only events that execute count toward engine_events; stale entries
       // superseded by an in-window handoff or drop are bookkeeping noise.
       switch (e.event.kind) {
@@ -583,7 +885,7 @@ class Engine {
   /// queue.
   void scheduleEnd(GroupLane& lane, const CallState& c, CallId id,
                    double window_end) {
-    const ShardEvent ev{ShardEventKind::End, id, c.epoch};
+    const ShardEvent ev{ShardEventKind::End, id, c.epoch, c.slot};
     if (c.end_time_s < window_end) {
       lane.queue.push(CommitEntry{c.end_time_s, ev});
     } else {
@@ -600,8 +902,15 @@ class Engine {
     const double period = cfg_.mobility_update_s;
     const double next = (std::floor(now / period) + 1.0) * period;
     lane.deferred.push_back(DeferredEvent{
-        next, c.request.target_cell, ShardEvent{ShardEventKind::Move, id,
-                                                c.epoch}});
+        next, c.request.target_cell,
+        ShardEvent{ShardEventKind::Move, id, c.epoch, c.slot}});
+  }
+
+  /// Marks a lane-context call finished: the slot joins the lane's freed
+  /// list and recycles at the barrier.
+  void finishInLane(GroupLane& lane, CallState& c) {
+    c.phase = CallPhase::Done;
+    lane.freed.push_back(c.slot);
   }
 
   void commitDecision(GroupLane& lane, CallState& c, double now,
@@ -619,16 +928,23 @@ class Engine {
       ++lane.partial.class_requests[static_cast<std::size_t>(req.service)];
     }
 
-    const cellular::AdmissionDecision decision = controller_->decide(req, ctx);
-    noteRationale(lane.partial, decision, count);
-    // Defence in depth: an accept that does not fit would corrupt the
-    // ledger, so the simulator re-checks the invariant the policy promised.
-    const bool admit = decision.accept && station.canFit(req.demand_bu);
+    // A cell under an outage mutation admits nothing; the policy is not
+    // even consulted (there is no station to decide for).
+    bool admit = false;
+    if (!isDown(req.target_cell)) {
+      const cellular::AdmissionDecision decision =
+          controller_->decide(req, ctx);
+      noteRationale(lane.partial, decision, count);
+      // Defence in depth: an accept that does not fit would corrupt the
+      // ledger, so the simulator re-checks the invariant the policy
+      // promised.
+      admit = decision.accept && station.canFit(req.demand_bu);
+    }
 
     if (!admit) {
       if (count) ++lane.partial.new_blocked;
       controller_->onRejected(req, ctx);
-      c.phase = CallPhase::Done;
+      finishInLane(lane, c);
       return;
     }
 
@@ -657,7 +973,7 @@ class Engine {
     lane.occupied_bu -= c.request.demand_bu;
     if (counted(now)) ++lane.partial.completed;
     controller_->onReleased(c.request, AdmissionContext{station, now});
-    c.phase = CallPhase::Done;
+    finishInLane(lane, c);
   }
 
   /// A mobility step detected the call outside its cell: hand it over
@@ -688,7 +1004,8 @@ class Engine {
       ++c.epoch;
       lane.outgoing.push_back(Reservation{now, c.request.call,
                                           c.request.target_cell, *new_cell,
-                                          c.request.demand_bu, counted(now)});
+                                          c.request.demand_bu, counted(now),
+                                          c.slot});
       return;
     }
 
@@ -707,9 +1024,13 @@ class Engine {
     // c.predicted was refreshed by the local phase when this crossing was
     // detected, from the identical snapshot req now carries.
     const AdmissionContext ctx{new_station, now, cfg_.explain, c.predicted};
-    const cellular::AdmissionDecision decision = controller_->decide(req, ctx);
-    noteRationale(lane.partial, decision, count);
-    const bool admit = decision.accept && new_station.canFit(req.demand_bu);
+    bool admit = false;
+    if (!isDown(*new_cell)) {
+      const cellular::AdmissionDecision decision =
+          controller_->decide(req, ctx);
+      noteRationale(lane.partial, decision, count);
+      admit = decision.accept && new_station.canFit(req.demand_bu);
+    }
 
     noteOccupancy(lane, now);
     old_station.release(req.call);
@@ -728,12 +1049,12 @@ class Engine {
       scheduleEnd(lane, c, req.call, window_end);
       lane.deferred.push_back(DeferredEvent{
           now + cfg_.mobility_update_s, *new_cell,
-          ShardEvent{ShardEventKind::Move, req.call, c.epoch}});
+          ShardEvent{ShardEventKind::Move, req.call, c.epoch, c.slot}});
     } else {
       if (count) ++lane.partial.handoff_dropped;
       controller_->onRejected(req, ctx);
       controller_->onReleased(c.request, AdmissionContext{old_station, now});
-      c.phase = CallPhase::Done;  // pending End/Move copies die at pop
+      finishInLane(lane, c);  // pending End/Move copies die at pop
     }
   }
 
@@ -767,6 +1088,18 @@ class Engine {
     }
   }
 
+  /// Recycles the slots of every call the lanes finished this window.
+  /// Single-threaded and in lane order, so the freelist (and therefore
+  /// slot reuse) is deterministic at any shard count.
+  void releaseFreed() {
+    for (GroupLane& lane : lanes_) {
+      for (const std::uint32_t slot : lane.freed) {
+        call_pool_.release(slot);
+      }
+      lane.freed.clear();
+    }
+  }
+
   /// Resolves one inter-group bandwidth claim at the barrier. The grant is
   /// decided by the policy plus the hard ledger, exactly like an in-lane
   /// handoff — but against the target group's end-of-window state, which
@@ -775,7 +1108,7 @@ class Engine {
   /// granted bandwidth occupies the new cell from the barrier instant.
   void commitReservation(GroupLane& lane, const Reservation& r,
                          double window_end) {
-    CallState& c = call(r.call);
+    CallState& c = call_pool_.at(r.slot);
     cellular::BaseStation& new_station = network_.station(r.to_cell);
 
     // The reservation is the authoritative inter-BS message: the handoff
@@ -797,9 +1130,13 @@ class Engine {
     // same snapshot.
     const AdmissionContext ctx{new_station, r.time_s, cfg_.explain,
                                c.predicted};
-    const cellular::AdmissionDecision decision = controller_->decide(req, ctx);
-    noteRationale(metrics_, decision, count);
-    const bool admit = decision.accept && new_station.canFit(req.demand_bu);
+    bool admit = false;
+    if (!isDown(r.to_cell)) {
+      const cellular::AdmissionDecision decision =
+          controller_->decide(req, ctx);
+      noteRationale(metrics_, decision, count);
+      admit = decision.accept && new_station.canFit(req.demand_bu);
+    }
 
     if (!admit) {
       if (count) {
@@ -810,6 +1147,7 @@ class Engine {
       controller_->onReleased(
           c.request, AdmissionContext{network_.station(r.from_cell), r.time_s});
       c.phase = CallPhase::Done;
+      call_pool_.release(r.slot);  // barrier context: recycle directly
       return;
     }
 
@@ -835,34 +1173,136 @@ class Engine {
       controller_->onReleased(c.request,
                               AdmissionContext{new_station, window_end});
       c.phase = CallPhase::Done;
+      call_pool_.release(r.slot);
       return;
     }
     queues_[static_cast<std::size_t>(shardOf(r.to_cell))].push(
-        c.end_time_s, ShardEvent{ShardEventKind::End, r.call, c.epoch});
+        c.end_time_s, ShardEvent{ShardEventKind::End, r.call, c.epoch,
+                                 r.slot});
     queues_[static_cast<std::size_t>(shardOf(r.to_cell))].push(
         r.time_s + cfg_.mobility_update_s,
-        ShardEvent{ShardEventKind::Move, r.call, c.epoch});
+        ShardEvent{ShardEventKind::Move, r.call, c.epoch, r.slot});
+  }
+
+  // ------------------------------------------------------------- mutations
+
+  /// Applies one scheduled workload change. Runs between windows (the
+  /// barrier context: every lane quiesced, no claim in flight), so it may
+  /// touch any group's ledger and the pool directly.
+  void applyMutation(const serve::ScenarioMutation& m) {
+    switch (m.op) {
+      case serve::MutationOp::ArrivalScale:
+        if (m.cell) {
+          ensureSpawnWeights();
+          spawn_weight_[static_cast<std::size_t>(*m.cell)] = m.scale;
+          rebuildSpawnCdf();
+        } else {
+          arrivals_.rescale(m.scale, m.at_s);
+        }
+        break;
+      case serve::MutationOp::Outage:
+        down_[static_cast<std::size_t>(*m.cell)] = 1;
+        forceDropCell(*m.cell, m.at_s);
+        break;
+      case serve::MutationOp::Restore:
+        down_[static_cast<std::size_t>(*m.cell)] = 0;
+        break;
+      case serve::MutationOp::Mix:
+        if (m.cell) {
+          if (cell_mix_.empty()) cell_mix_.resize(network_.cellCount());
+          cell_mix_[static_cast<std::size_t>(*m.cell)] = *m.mix;
+        } else {
+          cfg_.scenario.mix = *m.mix;
+        }
+        break;
+    }
+  }
+
+  /// Cell outage: every call the cell carries is force-dropped at the
+  /// outage instant, in call-id order (deterministic at any shard count —
+  /// pool slot order is a freelist artifact, call ids are not). Pending
+  /// calls targeting the cell stay pending; their decisions will be denied
+  /// while the cell is down.
+  void forceDropCell(CellId cell, double at_s) {
+    victims_.clear();
+    call_pool_.forEachLive(
+        [&](std::uint32_t slot, CallId /*id*/, CallState& c) {
+          if (c.phase == CallPhase::Active && c.request.target_cell == cell) {
+            victims_.push_back(slot);
+          }
+        });
+    if (victims_.empty()) return;
+    std::sort(victims_.begin(), victims_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return call_pool_.occupantOf(a) < call_pool_.occupantOf(b);
+              });
+    GroupLane& lane = lanes_[static_cast<std::size_t>(laneOf(cell))];
+    cellular::BaseStation& station = network_.station(cell);
+    for (const std::uint32_t slot : victims_) {
+      CallState& c = call_pool_.at(slot);
+      noteOccupancy(lane, at_s);
+      station.release(c.request.call);
+      lane.occupied_bu -= c.request.demand_bu;
+      if (counted(at_s)) ++metrics_.outage_forced_drops;
+      controller_->onReleased(c.request, AdmissionContext{station, at_s});
+      c.phase = CallPhase::Done;
+      call_pool_.release(slot);
+    }
   }
 
   SimulationConfig cfg_;
+  ServiceHooks hooks_;
   HexNetwork network_;
   std::unique_ptr<cellular::AdmissionController> controller_;
   cellular::CellGroupPartition partition_;
   int shard_count_;
   ShardPool pool_;
 
-  std::vector<Queue> queues_;                        ///< One per shard.
-  std::vector<std::vector<CommitEntry>> outboxes_;   ///< One per shard.
-  std::vector<std::uint64_t> local_events_;          ///< One per shard.
-  std::vector<GroupLane> lanes_;                     ///< One per group.
-  std::vector<ReservationMailbox> mailboxes_;        ///< One per group.
-  std::vector<CallState> calls_;  ///< Indexed by call id - 1.
+  std::vector<Queue> queues_;  ///< One per shard.
+  /// Per-shard outbox: a fixed ring plus a counted spill vector for
+  /// overflow. Together they preserve the shard's push order.
+  std::vector<serve::RingBuffer<CommitEntry>> rings_;
+  std::vector<std::vector<CommitEntry>> spills_;
+  std::vector<std::uint64_t> local_events_;   ///< One per shard.
+  std::vector<GroupLane> lanes_;              ///< One per group.
+  std::vector<ReservationMailbox> mailboxes_; ///< One per group.
+
+  /// Call storage proportional to CONCURRENT calls: slots recycle the
+  /// moment a call finishes (the batch engine kept every call for the
+  /// whole run — unbounded growth serve mode cannot live with).
+  serve::CallPool<CallState> call_pool_;
+  ArrivalSource arrivals_;
+  CallId next_call_id_ = 0;
+
+  /// Window-materialization scratch (reused every window — no steady-state
+  /// allocation once grown to the largest batch).
+  std::vector<std::uint32_t> batch_slots_;
+  std::vector<double> batch_times_;
+  std::vector<std::uint32_t> victims_;
+  /// Per-shard scratch GPS estimators (empty when tracking is off).
+  std::vector<mobility::GpsEstimator> scratch_est_;
+
+  /// Cells currently under an outage mutation (empty when the run has no
+  /// outage/restore mutations at all — the common case pays nothing).
+  std::vector<std::uint8_t> down_;
 
   /// Spawn-cell weighting (empty = legacy uniform draw) and per-cell mix
-  /// overrides (empty = scenario mix everywhere), both digested once from
-  /// cell_overrides.
+  /// overrides (empty = scenario mix everywhere), digested from
+  /// cell_overrides and updated by mutations.
+  std::vector<double> spawn_weight_;
   std::vector<double> spawn_cdf_;
   std::vector<std::optional<cellular::TrafficMix>> cell_mix_;
+
+  /// Mutation application order (indices into cfg_.mutations) and cursor.
+  std::vector<std::size_t> mutation_order_;
+  std::size_t next_mutation_ = 0;
+
+  std::uint64_t ring_spills_total_ = 0;
+
+  // Streaming emission state.
+  double next_emit_s_ = 0.0;
+  double last_emit_t_ = 0.0;
+  std::uint64_t emit_index_ = 0;
 
   Metrics metrics_;
 };
@@ -937,6 +1377,10 @@ void validateConfig(const SimulationConfig& cfg) {
       }
       seen[o.cell] = true;
     }
+    for (std::size_t i = 0; i < cfg.mutations.size(); ++i) {
+      serve::validateMutation(cfg.mutations[i], i, cells,
+                              cfg.arrivals == ArrivalProcess::Poisson);
+    }
   }
   const ScenarioParams& s = cfg.scenario;
   if (s.tracking_window_s < 0.0) {
@@ -952,8 +1396,34 @@ void validateConfig(const SimulationConfig& cfg) {
 
 Metrics runSimulation(const SimulationConfig& config,
                       const ControllerFactory& make_controller) {
+  return runSimulation(config, make_controller, ServiceHooks{});
+}
+
+Metrics runSimulation(const SimulationConfig& config,
+                      const ControllerFactory& make_controller,
+                      const ServiceHooks& hooks) {
   validateConfig(config);
-  Engine engine{config, make_controller};
+  if (!(hooks.metrics_every_s >= 0.0) ||
+      !std::isfinite(hooks.metrics_every_s)) {
+    throw std::invalid_argument("metrics period must be finite and >= 0");
+  }
+  if (!(hooks.serve_duration_s >= 0.0) ||
+      !std::isfinite(hooks.serve_duration_s)) {
+    throw std::invalid_argument("serve duration must be finite and >= 0");
+  }
+  if (hooks.serve_duration_s > 0.0) {
+    if (config.arrivals != ArrivalProcess::Poisson) {
+      throw std::invalid_argument(
+          "serve duration requires Poisson arrivals (a uniform burst has "
+          "no steady state to extend)");
+    }
+    if (config.total_requests <= 0) {
+      throw std::invalid_argument(
+          "serve duration requires total_requests > 0 (the arrival-rate "
+          "numerator)");
+    }
+  }
+  Engine engine{config, make_controller, hooks};
   return engine.execute();
 }
 

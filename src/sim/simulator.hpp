@@ -36,6 +36,7 @@
 /// stays deterministic: fixed (config, seed, groups) gives the same bits
 /// at any shard count.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -44,6 +45,7 @@
 #include "cellular/admission.hpp"
 #include "cellular/network.hpp"
 #include "cellular/policy_registry.hpp"
+#include "serve/mutation.hpp"
 #include "sim/metrics.hpp"
 #include "sim/workload.hpp"
 
@@ -140,6 +142,14 @@ struct SimulationConfig {
   /// equivalence tests and for measuring the serial-fraction win.
   bool precompute_cv = true;
 
+  /// Scheduled workload changes (serve/mutation.hpp), applied only at
+  /// tick-window barriers: the engine clamps the window so a barrier
+  /// lands exactly at each mutation's `at_s`, keeping mutated runs
+  /// deterministic at any shard count. Scenario files spell these as
+  /// `[at T]` sections. Kept in file order; equal timestamps apply in
+  /// this order.
+  std::vector<serve::ScenarioMutation> mutations{};
+
   /// Run every admission decision with AdmissionContext::explain set, so
   /// policies fill their rationale text. Decisions (and thus all counters)
   /// are identical either way; the engine additionally counts rationales
@@ -178,5 +188,61 @@ void validateConfig(const SimulationConfig& config);
 /// metrics. \throws std::invalid_argument on nonsensical configuration.
 [[nodiscard]] Metrics runSimulation(const SimulationConfig& config,
                                     const ControllerFactory& make_controller);
+
+// ----------------------------------------------------------- serve hooks
+
+/// Allocation-substrate counters sampled at a window barrier — the memory
+/// story of the streaming engine, reported per window so a consumer can
+/// assert flatness (pool_grow_events stops moving after warmup).
+struct EngineWindowStats {
+  std::uint64_t pool_capacity = 0;     ///< Call-pool slots allocated.
+  std::uint64_t pool_live = 0;         ///< Live calls right now.
+  std::uint64_t pool_high_water = 0;   ///< Max simultaneous live calls.
+  std::uint64_t pool_acquired = 0;     ///< Lifetime slot acquisitions.
+  std::uint64_t pool_released = 0;     ///< Lifetime slot releases.
+  std::uint64_t pool_grow_events = 0;  ///< Slab allocations (flat = good).
+  std::uint64_t ring_capacity = 0;     ///< Per-shard outbox ring capacity.
+  std::uint64_t ring_high_water = 0;   ///< Max ring occupancy (any shard).
+  std::uint64_t ring_spills = 0;       ///< Entries that overflowed a ring.
+  int mutations_applied = 0;           ///< Cumulative mutations so far.
+};
+
+/// One metrics window, emitted at a tick-window barrier. `cumulative` is
+/// the run's full Metrics snapshot at t1 — folded exactly like the final
+/// result, so the LAST window's cumulative is bit-identical to the batch
+/// return value and integer deltas between consecutive windows sum
+/// exactly to the batch totals.
+struct WindowSnapshot {
+  std::uint64_t index = 0;   ///< 0-based emission index.
+  double t0 = 0.0;           ///< Window start (previous emission barrier).
+  double t1 = 0.0;           ///< This barrier's instant.
+  bool final_window = false; ///< Set on the drain/end-of-run emission.
+  Metrics cumulative;
+  EngineWindowStats stats;
+};
+
+/// Streaming-mode contract for runSimulation: window snapshots aligned to
+/// the engine's own tick-window barriers (never extra barriers, so a
+/// hooked run commits identically to an unhooked one), plus optional
+/// unbounded arrivals for always-on service.
+struct ServiceHooks {
+  /// Emission cadence: snapshots fire at the first barrier at or past
+  /// each multiple of this. 0 = every barrier. When the run has no
+  /// natural barriers (handoffs off = one infinite window), the engine
+  /// windows the run at this period instead — outcome-neutral there,
+  /// because windowing only partitions the canonical replay.
+  double metrics_every_s = 0.0;
+  /// > 0: ignore total_requests and keep drawing Poisson arrivals until
+  /// this simulated instant, then drain. Requires ArrivalProcess::Poisson.
+  double serve_duration_s = 0.0;
+  /// Called at each emission barrier (single-threaded).
+  std::function<void(const WindowSnapshot&)> on_window;
+};
+
+/// runSimulation with streaming hooks. With default hooks this IS the
+/// batch run — same engine, same bits.
+[[nodiscard]] Metrics runSimulation(const SimulationConfig& config,
+                                    const ControllerFactory& make_controller,
+                                    const ServiceHooks& hooks);
 
 }  // namespace facs::sim

@@ -1,0 +1,134 @@
+/// \file mutation_test.cpp
+/// ScenarioMutation validation and scheduling: the rules that keep a
+/// mutation script well-formed before the engine ever runs it, and the
+/// stable application order that makes "outage then restore at one
+/// instant" mean what it says.
+
+#include "serve/mutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace facs::serve {
+namespace {
+
+ScenarioMutation ramp(double at_s, double scale) {
+  ScenarioMutation m;
+  m.at_s = at_s;
+  m.op = MutationOp::ArrivalScale;
+  m.scale = scale;
+  return m;
+}
+
+TEST(MutationValidate, AcceptsWellFormedOps) {
+  EXPECT_NO_THROW(validateMutation(ramp(10.0, 2.0), 0, 7, true));
+  ScenarioMutation hotspot = ramp(10.0, 3.0);
+  hotspot.cell = 3;
+  // Per-cell scale is a spawn weight — legal under any arrival process.
+  EXPECT_NO_THROW(validateMutation(hotspot, 0, 7, false));
+  ScenarioMutation outage;
+  outage.op = MutationOp::Outage;
+  outage.cell = 6;
+  EXPECT_NO_THROW(validateMutation(outage, 0, 7, false));
+  ScenarioMutation mix;
+  mix.op = MutationOp::Mix;
+  mix.mix = cellular::TrafficMix{0.2, 0.3, 0.5};
+  EXPECT_NO_THROW(validateMutation(mix, 0, 7, false));
+}
+
+TEST(MutationValidate, RejectsBadTimes) {
+  EXPECT_THROW(validateMutation(ramp(-1.0, 2.0), 0, 7, true),
+               std::invalid_argument);
+  EXPECT_THROW(validateMutation(
+                   ramp(std::numeric_limits<double>::infinity(), 2.0), 0, 7,
+                   true),
+               std::invalid_argument);
+}
+
+TEST(MutationValidate, RejectsCellOutsideTheDisk) {
+  ScenarioMutation m = ramp(5.0, 2.0);
+  m.cell = 7;
+  EXPECT_THROW(validateMutation(m, 0, 7, true), std::invalid_argument);
+  m.cell = 6;
+  EXPECT_NO_THROW(validateMutation(m, 0, 7, true));
+}
+
+TEST(MutationValidate, RejectsNonPositiveScale) {
+  EXPECT_THROW(validateMutation(ramp(5.0, 0.0), 0, 7, true),
+               std::invalid_argument);
+  EXPECT_THROW(validateMutation(ramp(5.0, -2.0), 0, 7, true),
+               std::invalid_argument);
+}
+
+TEST(MutationValidate, GlobalRateRampNeedsPoisson) {
+  // A uniform burst has no rate to ramp — only Poisson arrivals accept a
+  // global arrival_scale.
+  EXPECT_THROW(validateMutation(ramp(5.0, 2.0), 0, 7, false),
+               std::invalid_argument);
+  EXPECT_NO_THROW(validateMutation(ramp(5.0, 2.0), 0, 7, true));
+}
+
+TEST(MutationValidate, OutageAndRestoreNeedACell) {
+  for (const MutationOp op : {MutationOp::Outage, MutationOp::Restore}) {
+    ScenarioMutation m;
+    m.op = op;
+    EXPECT_THROW(validateMutation(m, 0, 7, true), std::invalid_argument);
+    m.cell = 0;
+    EXPECT_NO_THROW(validateMutation(m, 0, 7, true));
+  }
+}
+
+TEST(MutationValidate, MixOpNeedsAMix) {
+  ScenarioMutation m;
+  m.op = MutationOp::Mix;
+  EXPECT_THROW(validateMutation(m, 0, 7, true), std::invalid_argument);
+}
+
+TEST(MutationValidate, ErrorNamesTheEntry) {
+  try {
+    validateMutation(ramp(5.0, -1.0), 3, 7, true);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("mutation 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MutationSchedule, SortsByTimeStableOnTies) {
+  // File order: restore@300, outage@300, ramp@100, ramp@300. The schedule
+  // must order by time but keep the file order within t=300 — the
+  // documented tie-break that makes same-instant sequences deterministic.
+  std::vector<ScenarioMutation> list;
+  ScenarioMutation restore;
+  restore.at_s = 300.0;
+  restore.op = MutationOp::Restore;
+  restore.cell = 1;
+  list.push_back(restore);
+  ScenarioMutation outage = restore;
+  outage.op = MutationOp::Outage;
+  list.push_back(outage);
+  list.push_back(ramp(100.0, 2.0));
+  list.push_back(ramp(300.0, 0.5));
+
+  const std::vector<std::size_t> order = mutationSchedule(list);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 2u);  // t=100 first
+  EXPECT_EQ(order[1], 0u);  // then the t=300 trio in file order
+  EXPECT_EQ(order[2], 1u);
+  EXPECT_EQ(order[3], 3u);
+}
+
+TEST(MutationSchedule, EmptyListYieldsEmptySchedule) {
+  EXPECT_TRUE(mutationSchedule({}).empty());
+}
+
+TEST(MutationOpNames, CoverEveryOp) {
+  EXPECT_EQ(mutationOpName(MutationOp::ArrivalScale), "arrival_scale");
+  EXPECT_EQ(mutationOpName(MutationOp::Outage), "outage");
+  EXPECT_EQ(mutationOpName(MutationOp::Restore), "restore");
+  EXPECT_EQ(mutationOpName(MutationOp::Mix), "mix");
+}
+
+}  // namespace
+}  // namespace facs::serve

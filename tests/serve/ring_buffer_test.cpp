@@ -1,0 +1,82 @@
+/// \file ring_buffer_test.cpp
+/// The streaming mailbox ring: FIFO across wraparound, honest
+/// backpressure at capacity, high-water accounting — the invariants the
+/// engine's zero-steady-state-allocation contract leans on.
+
+#include "serve/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace facs::serve {
+namespace {
+
+TEST(RingBuffer, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ringCapacityFor(0), 2u);
+  EXPECT_EQ(ringCapacityFor(1), 2u);
+  EXPECT_EQ(ringCapacityFor(2), 2u);
+  EXPECT_EQ(ringCapacityFor(3), 4u);
+  EXPECT_EQ(ringCapacityFor(1000), 1024u);
+  EXPECT_EQ(ringCapacityFor(1024), 1024u);
+  EXPECT_EQ(ringCapacityFor(1025), 2048u);
+  EXPECT_EQ(RingBuffer<int>{5}.capacity(), 8u);
+}
+
+TEST(RingBuffer, FifoAcrossManyWraparounds) {
+  RingBuffer<int> ring{4};  // capacity 4; indices wrap many times below
+  int pushed = 0;
+  int popped = 0;
+  // Keep two elements resident while cycling 10x the capacity through, so
+  // the masked indices wrap repeatedly with live content straddling the
+  // seam.
+  ASSERT_TRUE(ring.tryPush(pushed++));
+  ASSERT_TRUE(ring.tryPush(pushed++));
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(ring.tryPush(pushed++));
+    const std::optional<int> out = ring.tryPop();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, popped++);  // strict FIFO, no element lost or reordered
+  }
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(RingBuffer, ExhaustionSignalsBackpressureWithoutGrowing) {
+  RingBuffer<int> ring{4};
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.tryPush(i));
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.tryPush(99));  // refused, not grown
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 4u);
+  // The refused element left no trace: contents drain exactly as pushed.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(ring.tryPop().value(), i);
+  EXPECT_FALSE(ring.tryPop().has_value());
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, HighWaterTracksPeakNotCurrent) {
+  RingBuffer<int> ring{8};
+  EXPECT_EQ(ring.highWater(), 0u);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ring.tryPush(i));
+  EXPECT_EQ(ring.highWater(), 5u);
+  while (ring.tryPop()) {
+  }
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.highWater(), 5u);  // documents the run, not the moment
+  ASSERT_TRUE(ring.tryPush(1));
+  EXPECT_EQ(ring.highWater(), 5u);
+}
+
+TEST(RingBuffer, ClearDropsContentKeepsHighWater) {
+  RingBuffer<std::string> ring{4};
+  ASSERT_TRUE(ring.tryPush("a"));
+  ASSERT_TRUE(ring.tryPush("b"));
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.highWater(), 2u);
+  ASSERT_TRUE(ring.tryPush("c"));
+  EXPECT_EQ(ring.tryPop().value(), "c");
+}
+
+}  // namespace
+}  // namespace facs::serve

@@ -1,0 +1,161 @@
+/// \file bench_diff.cpp
+/// Compares a freshly generated benchmark file against the committed
+/// baseline and fails on regression — the teeth of the CI bench-diff job.
+///
+///   bench_diff BASELINE CURRENT
+///
+/// Both files are flat JSON objects as written by bench_baseline. The
+/// comparison contract lives in the key prefixes:
+///   det_*   must match EXACTLY (these are deterministic engine outputs;
+///           any difference is a correctness regression).
+///   perf_*  may drift within a multiplicative band: keys named *_per_sec
+///           are higher-is-better and must stay >= baseline / tolerance;
+///           every other perf key is lower-is-better and must stay
+///           <= baseline * tolerance. The band absorbs machine-to-machine
+///           variance (CI runners vs the box that generated the baseline);
+///           a genuine order-of-magnitude regression still trips it.
+/// `tolerance` comes from the BASELINE file, so the band itself is a
+/// reviewed, committed number — the current file's copy is ignored.
+/// Key sets must match: a vanished or new key means the benchmark changed
+/// shape and the baseline must be regenerated deliberately.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+/// Parses a flat JSON object of "key": number pairs. Tiny by design — it
+/// reads exactly what bench_baseline writes and rejects everything else,
+/// so a malformed artifact fails loudly instead of comparing garbage.
+std::map<std::string, double> readFlatJson(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error(path + ": cannot open");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::map<std::string, double> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t open = text.find('"', pos);
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos) {
+      throw std::runtime_error(path + ": unterminated key");
+    }
+    const std::string key = text.substr(open + 1, close - open - 1);
+    const std::size_t colon = text.find(':', close);
+    if (colon == std::string::npos) {
+      throw std::runtime_error(path + ": key '" + key + "' has no value");
+    }
+    std::size_t end = text.find_first_of(",}\n", colon + 1);
+    if (end == std::string::npos) end = text.size();
+    const std::string value = text.substr(colon + 1, end - colon - 1);
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(value, &used);
+      // Trailing garbage after the number would mean we mis-split.
+      for (std::size_t i = used; i < value.size(); ++i) {
+        if (value[i] != ' ' && value[i] != '\t' && value[i] != '\r') {
+          throw std::invalid_argument(value);
+        }
+      }
+      out[key] = v;
+    } catch (const std::exception&) {
+      throw std::runtime_error(path + ": key '" + key +
+                               "' has a non-numeric value '" + value + "'");
+    }
+    pos = end;
+  }
+  if (out.empty()) throw std::runtime_error(path + ": no entries");
+  return out;
+}
+
+bool isPerSec(const std::string& key) {
+  return key.find("_per_sec") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: bench_diff BASELINE CURRENT\n";
+    return 2;
+  }
+  try {
+    const std::map<std::string, double> base = readFlatJson(argv[1]);
+    std::map<std::string, double> current = readFlatJson(argv[2]);
+    const auto tol_it = base.find("tolerance");
+    if (tol_it == base.end() || tol_it->second < 1.0) {
+      throw std::runtime_error(std::string{argv[1]} +
+                               ": missing or invalid 'tolerance' (must be a "
+                               "number >= 1)");
+    }
+    const double tol = tol_it->second;
+
+    int failures = 0;
+    const auto failed = [&](const std::string& key, const std::string& why) {
+      std::cerr << "FAIL " << key << ": " << why << "\n";
+      ++failures;
+    };
+
+    for (const auto& [key, base_value] : base) {
+      const auto cur_it = current.find(key);
+      if (cur_it == current.end()) {
+        if (key != "tolerance") failed(key, "missing from current run");
+        continue;
+      }
+      const double cur_value = cur_it->second;
+      current.erase(cur_it);
+      if (key == "tolerance") continue;  // the baseline's copy governs
+      if (key.rfind("det_", 0) == 0) {
+        if (cur_value != base_value) {
+          std::ostringstream os;
+          os << "deterministic value changed: baseline " << base_value
+             << ", current " << cur_value;
+          failed(key, os.str());
+        } else {
+          std::cout << "ok   " << key << " = " << base_value << "\n";
+        }
+      } else if (key.rfind("perf_", 0) == 0) {
+        const bool higher_better = isPerSec(key);
+        const double floor = base_value / tol;
+        const double ceiling = base_value * tol;
+        const bool ok =
+            higher_better ? cur_value >= floor : cur_value <= ceiling;
+        if (!ok) {
+          std::ostringstream os;
+          os << "outside the x" << tol << " band: baseline " << base_value
+             << ", current " << cur_value << " ("
+             << (higher_better ? "floor " : "ceiling ")
+             << (higher_better ? floor : ceiling) << ")";
+          failed(key, os.str());
+        } else {
+          std::cout << "ok   " << key << ": baseline " << base_value
+                    << ", current " << cur_value << " (within x" << tol
+                    << ")\n";
+        }
+      } else {
+        failed(key, "unknown key prefix (expected det_* or perf_*)");
+      }
+    }
+    for (const auto& [key, value] : current) {
+      if (key != "tolerance") {
+        failed(key, "new key not in baseline (regenerate the baseline)");
+      }
+    }
+
+    if (failures > 0) {
+      std::cerr << "bench_diff: " << failures << " comparison(s) failed\n";
+      return 1;
+    }
+    std::cout << "bench_diff: all comparisons within tolerance\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_diff: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -8,6 +8,7 @@
 
 #include "cellular/policy_registry.hpp"
 #include "cli/cli.hpp"
+#include "serve/service.hpp"
 #include "sim/experiment.hpp"
 #include "sim/scenario_file.hpp"
 
@@ -48,6 +49,20 @@ int main(int argc, char** argv) {
       } else {
         std::cout << sim::writeScenarioFile(catalog.at(options.dump_scenario));
       }
+      return 0;
+    }
+
+    if (options.serve) {
+      // Streaming service mode: JSONL records on stdout (one per metrics
+      // window), nothing else on stdout so `facs_cli --serve | consumer`
+      // sees a clean stream. The final record's cumulative counters equal
+      // the batch run's Metrics bit for bit.
+      serve::ServeOptions serve_options;
+      serve_options.metrics_every_s = options.metrics_every_s;
+      serve_options.duration_s = options.serve_duration_s;
+      (void)serve::serveSimulation(options.config,
+                                   sim::makeFactory(options, runtime),
+                                   serve_options, std::cout);
       return 0;
     }
 
