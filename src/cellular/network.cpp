@@ -99,7 +99,64 @@ CellGroupPartition::CellGroupPartition(const HexNetwork& network, int groups) {
                                     cells);
   }
 
-  interior_.assign(cells, true);
+  computeInterior(network);
+}
+
+CellGroupPartition::CellGroupPartition(const HexNetwork& network, int groups,
+                                       const std::vector<double>& weights) {
+  const std::size_t cells = network.cellCount();
+  if (groups < 1) throw std::invalid_argument("commit groups must be >= 1");
+  if (weights.size() != cells) {
+    throw std::invalid_argument("partition weights must name every cell");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument(
+          "partition weights must be non-negative and finite");
+    }
+    total += w;
+  }
+  groups_ = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(groups), cells));
+
+  // Greedy cumulative-weight walk: close the current group once it has
+  // absorbed its fair share of the REMAINING weight (remaining weight over
+  // remaining groups — self-correcting, so one huge cell overshooting its
+  // group does not starve the rest), while always leaving at least one
+  // cell per group still to open. All-zero weights degrade to the uniform
+  // walk (every cell weighs 1). Boundaries are monotone in cell id, so the
+  // ranges stay contiguous and spatially coherent under the spiral layout.
+  group_of_.assign(cells, 0);
+  const bool uniform = !(total > 0.0);
+  double remaining = uniform ? static_cast<double>(cells) : total;
+  int g = 0;
+  double acc = 0.0;
+  for (std::size_t c = 0; c < cells; ++c) {
+    group_of_[c] = g;
+    const double w = uniform ? 1.0 : weights[c];
+    acc += w;
+    remaining -= w;
+    const std::size_t cells_left = cells - c - 1;
+    const std::size_t groups_left =
+        static_cast<std::size_t>(groups_ - g - 1);
+    if (groups_left == 0) continue;  // last group takes the tail
+    const double target =
+        (acc + remaining) / static_cast<double>(groups_left + 1);
+    // Close on reaching the fair share — or when the tail has exactly one
+    // cell per unopened group left (no group may end up empty).
+    if (acc >= target || cells_left == groups_left) {
+      ++g;
+      acc = 0.0;
+    }
+  }
+
+  computeInterior(network);
+}
+
+void CellGroupPartition::computeInterior(const HexNetwork& network) {
+  interior_.assign(group_of_.size(), true);
+  boundary_cells_ = 0;
   for (const Cell& cell : network.cells()) {
     const std::size_t i = static_cast<std::size_t>(cell.id);
     for (const CellId n : network.neighbors(cell.id)) {

@@ -82,17 +82,34 @@ class HexNetwork {
 /// the paper's terms, the assignment of base stations to coordination
 /// domains that exchange inter-BS handoff messages).
 ///
-/// Cells are split into contiguous id ranges of near-equal size. Spiral hex
-/// ids make contiguous ranges spatially coherent (whole rings and arcs), so
-/// most neighbours land in the same group and most handoffs stay
-/// group-local. The mapping is a pure function of (cell count, groups):
-/// independent of shard count, seed, and run history — which is what makes
-/// grouped runs reproducible.
+/// Cells are split into contiguous id ranges. Spiral hex ids make
+/// contiguous ranges spatially coherent (whole rings and arcs), so most
+/// neighbours land in the same group and most handoffs stay group-local.
+/// Two balance criteria share that shape:
+///
+///  * **Unweighted** (the historical default): near-equal range SIZES —
+///    cell c belongs to floor(c * groups / cells). A pure function of
+///    (cell count, groups).
+///  * **Weighted**: near-equal range WEIGHTS. Given one non-negative load
+///    weight per cell (spawn rates, observed commit traffic), boundaries
+///    are placed by a greedy cumulative-weight walk so every group carries
+///    about total/groups weight — a hotspot cell stops dragging its whole
+///    id range into one overloaded lane. A pure function of (weights,
+///    groups): still independent of shard count and thread timing.
 class CellGroupPartition {
  public:
   /// \param groups requested group count; clamped to [1, cellCount] so a
   ///        partition always exists (empty groups are pointless).
   CellGroupPartition(const HexNetwork& network, int groups);
+
+  /// Weighted variant: contiguous ranges of near-equal total weight.
+  /// Deterministic for fixed (weights, groups); every group is non-empty.
+  /// \param weights one non-negative finite weight per cell; an all-zero
+  ///        vector degrades to uniform weights.
+  /// \throws std::invalid_argument on a size mismatch or a negative /
+  ///         non-finite weight.
+  CellGroupPartition(const HexNetwork& network, int groups,
+                     const std::vector<double>& weights);
 
   /// Effective group count after clamping.
   [[nodiscard]] int groups() const noexcept { return groups_; }
@@ -115,6 +132,9 @@ class CellGroupPartition {
   }
 
  private:
+  /// Marks boundary/interior cells from the finished group_of_ mapping.
+  void computeInterior(const HexNetwork& network);
+
   int groups_;
   std::vector<int> group_of_;
   std::vector<bool> interior_;

@@ -193,6 +193,23 @@ CliOptions parseCli(const std::vector<std::string>& args,
                        std::to_string(groups));
       }
       opt.config.commit_groups = groups;
+    } else if (a == "--partition") {
+      const std::string kind = next(a);
+      if (kind == "contiguous") {
+        opt.config.partition = PartitionStrategy::Contiguous;
+      } else if (kind == "weighted") {
+        opt.config.partition = PartitionStrategy::Weighted;
+      } else {
+        throw CliError("flag --partition: must be 'contiguous' or "
+                       "'weighted', got '" +
+                       kind + "'");
+      }
+    } else if (a == "--repartition-every") {
+      opt.config.repartition_every_s = parseDouble(next(a), a);
+      if (opt.config.repartition_every_s < 0.0) {
+        throw CliError("flag --repartition-every: must be >= 0, got " +
+                       std::to_string(opt.config.repartition_every_s));
+      }
     } else if (a == "--serve") {
       opt.serve = true;
     } else if (a == "--metrics-every") {
@@ -299,6 +316,17 @@ run:
                         and changes cross-group visibility — see README
                         "Commit groups & reservations"; deterministic at
                         any shard count)
+  --partition NAME      cell-to-lane mapping for commit groups:
+                        'contiguous' (default; near-equal-size id ranges,
+                        bit-identical to the historical engine) or
+                        'weighted' (near-equal spawn-weight ranges —
+                        arrival_scale x mean mix demand — so hotspot
+                        cells stop overloading one lane; seed-stable and
+                        shard-invariant)
+  --repartition-every S weighted partition only: re-draw the group
+                        boundaries every S simulated seconds from the
+                        observed per-cell committed-event counts (0 =
+                        never; deterministic — epochs land on barriers)
   --no-precompute       keep snapshot-only policy work (FACS FLC1) on the
                         serialized commit path (results are bit-identical;
                         only the phase profile moves)

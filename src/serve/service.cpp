@@ -50,6 +50,7 @@ std::string windowJsonLine(const sim::WindowSnapshot& w,
      << d(c.outage_forced_drops, p.outage_forced_drops)
      << ", \"mutations_applied\": "
      << d(c.mutations_applied, p.mutations_applied)
+     << ", \"repartitions\": " << d(c.repartitions, p.repartitions)
      // Run-cumulative state (doubles stay cumulative: windowed differences
      // of floats would not sum back exactly, so the stream never pretends
      // they do).
@@ -58,7 +59,17 @@ std::string windowJsonLine(const sim::WindowSnapshot& w,
      << ", \"percent_accepted_cum\": "
      << sim::shortestNumber(c.percentAccepted())
      << ", \"mean_utilization_cum\": "
-     << sim::shortestNumber(c.meanUtilization())
+     << sim::shortestNumber(c.meanUtilization());
+  // Per-lane committed events, run-cumulative (integers, so a consumer can
+  // window them exactly): the live lane-balance signal — max/mean over the
+  // array is the imbalance the weighted partition manages. Deterministic
+  // (lane WALL times deliberately never enter the stream: the record must
+  // be byte-identical run to run at a fixed seed).
+  os << ", \"lane_events_cum\": [";
+  for (std::size_t i = 0; i < c.lane_events.size(); ++i) {
+    os << (i ? ", " : "") << c.lane_events[i];
+  }
+  os << "]"
      // Allocation substrate: the flat-memory story, per window.
      << ", \"pool_capacity\": " << s.pool_capacity
      << ", \"pool_live\": " << s.pool_live

@@ -4,7 +4,10 @@
 /// JSON Lines record per metrics window to a stream — the always-on
 /// deployment story (`facs_cli --serve`). Each record carries the window's
 /// INTEGER DELTAS (what happened in this window: requests, accepts,
-/// blocks, completions...) plus the run-cumulative doubles and the
+/// blocks, completions...) plus the run-cumulative doubles, the
+/// run-cumulative per-lane committed-event counts (`lane_events_cum` — the
+/// live lane-balance signal; wall-clock lane times stay out of the stream
+/// so records remain byte-identical run to run) and the
 /// allocation-substrate stats (call-pool occupancy/high-water, ring
 /// high-water/spills) a supervisor needs to assert the engine's memory is
 /// flat.

@@ -46,7 +46,13 @@ std::string Metrics::toJson() const {
      << "  \"observed_span_s\": " << shortestNumber(observed_span_s) << ",\n"
      << "  \"total_capacity_bu\": " << total_capacity_bu << ",\n"
      << "  \"engine_events\": " << engine_events << ",\n"
-     << "  \"commit_groups\": " << commit_groups << ",\n"
+     << "  \"commit_groups\": " << commit_groups << ",\n";
+  os << "  \"lane_events\": [";
+  for (std::size_t i = 0; i < lane_events.size(); ++i) {
+    os << (i ? ", " : "") << lane_events[i];
+  }
+  os << "],\n"
+     << "  \"repartitions\": " << repartitions << ",\n"
      << "  \"reservations_posted\": " << reservations_posted << ",\n"
      << "  \"reservations_admitted\": " << reservations_admitted << ",\n"
      << "  \"reservations_dropped\": " << reservations_dropped << ",\n"

@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cellular/traffic.hpp"
 
@@ -51,6 +52,27 @@ struct Metrics {
   /// Global commit scope (cellular::CommitScope). Deterministic — part of
   /// the JSON so grouped runs are self-describing.
   int commit_groups = 1;
+
+  /// Committed events per commit lane (size == commit_groups, lane order).
+  /// The deterministic face of lane balance: decisions, releases and
+  /// handoffs each lane replayed, plus the reservations it drained at the
+  /// barrier. Sums to engine_events + reservations handled. max/mean over
+  /// this vector is the imbalance ratio the weighted partition exists to
+  /// shrink. Part of the bit-identity contract (unlike lane_commit_s).
+  std::vector<std::uint64_t> lane_events{};
+
+  /// Wall-clock seconds each commit lane spent running (its canonical
+  /// replay plus its share of the parallel reservation drain). Size ==
+  /// commit_groups. NOT deterministic and NOT in toJson() — this is the
+  /// measured twin of lane_events for bench output; commit_lane_s is its
+  /// max (the lane section's critical path).
+  std::vector<double> lane_commit_s{};
+
+  /// Weighted-partition epoch re-partitions that actually changed the
+  /// cell-to-group mapping (SimulationConfig::repartition_every_s).
+  /// Deterministic: epochs land at barrier times and the load weights are
+  /// committed-event counts, both pure functions of (config, seed).
+  int repartitions = 0;
 
   /// Cross-group handoff reservations (the inter-BS messages): claims
   /// posted into foreign group mailboxes, and how they resolved at the

@@ -255,6 +255,16 @@ SimulationBuilder& SimulationBuilder::commitGroups(int n) {
   return *this;
 }
 
+SimulationBuilder& SimulationBuilder::partition(PartitionStrategy strategy) {
+  config_.partition = strategy;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::repartitionEvery(double seconds) {
+  config_.repartition_every_s = seconds;
+  return *this;
+}
+
 /// Finds or creates the single override entry for \p cell, keeping the
 /// one-entry-per-cell invariant validateConfig() enforces regardless of
 /// which setters ran first.

@@ -147,6 +147,13 @@ class SimulationBuilder {
   /// commit phase; N > 1 needs a CommitScope::CellLocal policy — see
   /// SimulationConfig::commit_groups).
   SimulationBuilder& commitGroups(int n);
+  /// How cells map onto commit lanes (contiguous by id, or weighted by
+  /// expected spawn load — see SimulationConfig::partition).
+  SimulationBuilder& partition(PartitionStrategy strategy);
+  /// Weighted partition only: re-draw the lane boundaries from observed
+  /// load every this-many simulated seconds (0 = never; see
+  /// SimulationConfig::repartition_every_s).
+  SimulationBuilder& repartitionEvery(double seconds);
   /// Per-cell capacity override (heterogeneous deployments); repeatable.
   SimulationBuilder& cellCapacityBu(cellular::CellId cell,
                                     cellular::BandwidthUnits bu);

@@ -305,6 +305,18 @@ class Parser {
         cfg.shards = parseInt(value, key);
       } else if (key == "commit_groups") {
         cfg.commit_groups = parseInt(value, key);
+      } else if (key == "partition") {
+        const std::string kind = parseString(value, key);
+        if (kind == "contiguous") {
+          cfg.partition = PartitionStrategy::Contiguous;
+        } else if (kind == "weighted") {
+          cfg.partition = PartitionStrategy::Weighted;
+        } else {
+          fail("partition must be \"contiguous\" or \"weighted\", got \"" +
+               kind + "\"");
+        }
+      } else if (key == "repartition_every_s") {
+        cfg.repartition_every_s = parseNumber(value, key);
       } else if (key == "precompute") {
         cfg.precompute_cv = parseBool(value, key);
       } else if (key == "explain") {
@@ -312,7 +324,8 @@ class Parser {
       } else {
         unknownKey(key,
                    "requests|window_s|arrivals|warmup_s|seed|shards|"
-                   "commit_groups|precompute|explain");
+                   "commit_groups|partition|repartition_every_s|"
+                   "precompute|explain");
       }
     } else if (section_ == "population") {
       if (key == "speed_kmh") {
@@ -696,6 +709,12 @@ std::string writeScenarioFile(const ScenarioSpec& spec) {
      << "seed = " << cfg.seed << "\n"
      << "shards = " << cfg.shards << "\n"
      << "commit_groups = " << cfg.commit_groups << "\n"
+     << "partition = "
+     << (cfg.partition == PartitionStrategy::Weighted ? "\"weighted\""
+                                                      : "\"contiguous\"")
+     << "\n"
+     << "repartition_every_s = " << shortestNumber(cfg.repartition_every_s)
+     << "\n"
      << "precompute = " << (cfg.precompute_cv ? "true" : "false") << "\n"
      << "explain = " << (cfg.explain ? "true" : "false") << "\n\n";
   os << "[population]\n"

@@ -92,6 +92,36 @@ struct CallState {
   return std::max(1, cfg.commit_groups);
 }
 
+/// Static spawn weights for the weighted partition: each cell weighs its
+/// arrival_scale (default 1) times the mean bandwidth demand of the mix its
+/// spawns draw from — the expected BU/arrival load the cell feeds its lane.
+/// A pure function of the config, so the initial weighted partition is
+/// identical at every shard count.
+[[nodiscard]] std::vector<double> spawnWeightsOf(const SimulationConfig& cfg,
+                                                 const HexNetwork& network) {
+  const double base_demand = cfg.scenario.mix.meanDemandBu();
+  std::vector<double> w(network.cellCount(), base_demand);
+  for (const CellOverride& o : cfg.cell_overrides) {
+    const double scale = o.arrival_scale.value_or(1.0);
+    const double demand = o.mix ? o.mix->meanDemandBu() : base_demand;
+    w[static_cast<std::size_t>(o.cell)] = scale * demand;
+  }
+  return w;
+}
+
+/// The run's initial cell-to-lane mapping. The weighted strategy only
+/// engages at more than one lane: a single lane has nothing to balance, and
+/// routing it through the historical constructor keeps groups == 1 runs
+/// bit-identical to the pre-weighted engine by construction.
+[[nodiscard]] cellular::CellGroupPartition makePartition(
+    const SimulationConfig& cfg, const HexNetwork& network, int lanes) {
+  if (lanes > 1 && cfg.partition == PartitionStrategy::Weighted) {
+    return cellular::CellGroupPartition{network, lanes,
+                                        spawnWeightsOf(cfg, network)};
+  }
+  return cellular::CellGroupPartition{network, lanes};
+}
+
 /// Arrival-instant source. The batch engine drew every instant up front;
 /// serve mode cannot (an always-on run has no "all arrivals"), so the
 /// source draws lazily from the same kArrivalStream in the same order —
@@ -197,8 +227,8 @@ class Engine {
         network_{cfg.rings, cfg.cell_radius_km, cfg.capacity_bu,
                  capacityOverrides(cfg)},
         controller_{make_controller(network_)},
-        partition_{network_,
-                   controller_ ? requestedLanes(cfg, *controller_) : 1},
+        partition_{makePartition(
+            cfg, network_, controller_ ? requestedLanes(cfg, *controller_) : 1)},
         shard_count_{std::max(1, std::min(cfg.shards, kMaxShards))},
         pool_{shard_count_},
         queues_(static_cast<std::size_t>(shard_count_)),
@@ -212,6 +242,14 @@ class Engine {
       throw std::invalid_argument("controller factory returned nullptr");
     }
     prepareCellOverrides();
+    if (cfg_.repartition_every_s > 0.0 && partition_.groups() > 1) {
+      // Observed-load epochs: per-cell committed-event counts feed the
+      // epoch re-partitions. Only maintained when they can matter (a
+      // single lane never re-partitions, and a degraded Global-scope run
+      // is a single lane).
+      cell_events_.assign(network_.cellCount(), 0);
+      next_epoch_s_ = cfg_.repartition_every_s;
+    }
     mutation_order_ = serve::mutationSchedule(cfg_.mutations);
     for (const serve::ScenarioMutation& m : cfg_.mutations) {
       if (m.op == serve::MutationOp::Outage ||
@@ -272,11 +310,18 @@ class Engine {
 
     while (true) {
       auto next = nextEventTime();
-      // Mutations due before the next event: the window ending at their
-      // instant is empty, so apply them right here (an empty window's
-      // barrier). Rate ramps can move the next arrival, so re-peek.
-      while (next && nextMutationTime() <= *next) {
-        applyNextMutation();
+      // Mutations and partition epochs due before the next event: the
+      // window ending at their instant is empty, so apply them right here
+      // (an empty window's barrier); a mutation due at the same instant as
+      // an epoch applies first. Rate ramps can move the next arrival, so
+      // re-peek.
+      while (next &&
+             (nextMutationTime() <= *next || nextEpochTime() <= *next)) {
+        if (nextMutationTime() <= nextEpochTime()) {
+          applyNextMutation();
+        } else {
+          repartitionEpoch(nextEpochTime());
+        }
         next = nextEventTime();
       }
       if (!next) break;
@@ -286,10 +331,11 @@ class Engine {
         const double k = std::floor(*next / window_s);
         window_end = (k + 1.0) * window_s;
       }
-      // Clamp so a barrier lands exactly at the next mutation instant.
-      // Progress is guaranteed: the pre-step above left
-      // nextMutationTime() > *next.
+      // Clamp so a barrier lands exactly at the next mutation instant and
+      // at the next partition epoch. Progress is guaranteed: the pre-step
+      // above left both strictly past *next.
       window_end = std::min(window_end, nextMutationTime());
+      window_end = std::min(window_end, nextEpochTime());
 
       t0 = stamp();
       materializeWindow(window_end);
@@ -328,6 +374,15 @@ class Engine {
              nextMutationTime() <= window_end) {
         applyNextMutation();
       }
+      // A partition epoch landing exactly on this barrier re-draws the
+      // group boundaries now — after every commit, mutation and drained
+      // reservation of the window (the mapping is constant within any
+      // window, and no claim is ever in flight across a re-partition).
+      // The explicit enablement check matters: at an unbounded window
+      // both sides of the comparison are +inf.
+      while (!cell_events_.empty() && nextEpochTime() <= window_end) {
+        repartitionEpoch(nextEpochTime());
+      }
       maybeEmit(window_end);
     }
 
@@ -357,6 +412,28 @@ class Engine {
     ShardEvent event;
   };
 
+  /// A drop-path controller release deferred out of the parallel
+  /// reservation drain: onReleased() names the SOURCE cell's station,
+  /// which belongs to a foreign group, so running it inside a per-group
+  /// drain would be the one cross-group touch of the whole barrier. Each
+  /// drain appends these in its canonical drain order; the barrier
+  /// tree-combines the per-lane runs (mergeCombine) and replays the result
+  /// serially in global (time, call) order.
+  struct DeferredRelease {
+    double time_s = 0.0;
+    CallId call = 0;
+    CallRequest request;  ///< The source half (pre-handoff target_cell).
+    CellId from_cell = 0;
+  };
+
+  struct DeferredReleaseEarlier {
+    bool operator()(const DeferredRelease& a,
+                    const DeferredRelease& b) const noexcept {
+      if (a.time_s != b.time_s) return a.time_s < b.time_s;
+      return a.call < b.call;
+    }
+  };
+
   /// One commit lane: the canonical-order replay queue of one cell group
   /// plus everything the lane accumulates privately — outgoing reservation
   /// claims, deferred schedules, slots its commits finished (recycled at
@@ -369,6 +446,9 @@ class Engine {
         queue;
     std::vector<Reservation> outgoing;
     std::vector<DeferredEvent> deferred;
+    /// Drop-path controller releases this lane's reservation drain
+    /// deferred (already in canonical order — the drain order).
+    std::vector<DeferredRelease> releases;
     /// Pool slots of calls this lane finished this window; released by the
     /// single-threaded barrier in lane order (deterministic freelist).
     std::vector<std::uint32_t> freed;
@@ -381,6 +461,15 @@ class Engine {
     /// Counter slice (only the counters lanes touch are merged).
     Metrics partial;
     std::uint64_t events = 0;
+    /// Reservations this lane resolved at barriers (admitted or dropped) —
+    /// barrier work attributed to the lane for Metrics::lane_events, kept
+    /// apart from `events` because reservation commits were never part of
+    /// engine_events and must not become part of it.
+    std::uint64_t barrier_events = 0;
+    /// Wall clock this lane spent running: its canonical replay plus its
+    /// share of the parallel reservation drain (Metrics::lane_commit_s).
+    /// Observational only — never an input to any outcome.
+    double wall_s = 0.0;
   };
 
   [[nodiscard]] static std::vector<cellular::CellCapacityOverride>
@@ -484,6 +573,49 @@ class Engine {
     ++metrics_.mutations_applied;
   }
 
+  /// Next weighted-partition epoch boundary (+inf when re-partitioning is
+  /// off or the run degraded to one lane).
+  [[nodiscard]] double nextEpochTime() const noexcept {
+    return next_epoch_s_;
+  }
+
+  /// Re-draws the group boundaries from the load observed since the last
+  /// epoch: per-cell committed-event counts (+1, so silent cells keep a
+  /// non-zero weight and all-silent epochs degrade to uniform) feed the
+  /// weighted partition. Deterministic — the counts are pure functions of
+  /// (config, seed), never wall time. Runs only in barrier context (lanes
+  /// quiesced, mailboxes drained, deferred events flushed), so remapping a
+  /// cell can never strand an in-flight claim or a queued lane event; the
+  /// per-group occupancy integrals are closed at \p at_s and re-based from
+  /// the live ledgers under the new mapping.
+  void repartitionEpoch(double at_s) {
+    next_epoch_s_ += cfg_.repartition_every_s;
+    epoch_weights_.resize(cell_events_.size());
+    for (std::size_t i = 0; i < cell_events_.size(); ++i) {
+      epoch_weights_[i] = static_cast<double>(cell_events_[i] + 1);
+      cell_events_[i] = 0;  // each epoch rebalances on ITS observed load
+    }
+    cellular::CellGroupPartition next{network_, partition_.groups(),
+                                      epoch_weights_};
+    bool changed = false;
+    for (const cellular::Cell& cell : network_.cells()) {
+      if (next.groupOf(cell.id) != partition_.groupOf(cell.id)) {
+        changed = true;
+        break;
+      }
+    }
+    if (!changed) return;
+
+    for (GroupLane& lane : lanes_) noteOccupancy(lane, at_s);
+    partition_ = std::move(next);
+    for (GroupLane& lane : lanes_) lane.occupied_bu = 0;
+    for (const cellular::Cell& cell : network_.cells()) {
+      lanes_[static_cast<std::size_t>(laneOf(cell.id))].occupied_bu +=
+          network_.station(cell.id).occupiedBu();
+    }
+    ++metrics_.repartitions;
+  }
+
   /// Integrates a group's occupied-BU time up to \p now (call before any
   /// change to that group's ledgers). Touched only by the lane that owns
   /// the group or by the single-threaded barrier drain.
@@ -498,6 +630,15 @@ class Engine {
 
   [[nodiscard]] bool counted(double now) const noexcept {
     return now >= cfg_.warmup_s;
+  }
+
+  /// Attributes one committed event to its cell for the epoch load counts.
+  /// Concurrency: a cell belongs to exactly one lane (and one barrier
+  /// drain), so concurrent writers always hit disjoint elements.
+  void noteCellLoad(CellId cell) noexcept {
+    if (!cell_events_.empty()) {
+      ++cell_events_[static_cast<std::size_t>(cell)];
+    }
   }
 
   /// Counts rationales cut at ReasonText's inline capacity, so explain-mode
@@ -529,6 +670,9 @@ class Engine {
       out.class_accepted[i] += p.class_accepted[i];
     }
     out.truncated_rationales += p.truncated_rationales;
+    out.reservations_posted += p.reservations_posted;
+    out.reservations_admitted += p.reservations_admitted;
+    out.reservations_dropped += p.reservations_dropped;
     out.busy_bu_seconds += lane.busy_bu_seconds;
     out.engine_events += lane.events;
   }
@@ -540,9 +684,13 @@ class Engine {
   /// keep accumulating afterwards.
   [[nodiscard]] Metrics snapshotMetrics() const {
     Metrics out = metrics_;
+    out.lane_events.reserve(lanes_.size());
+    out.lane_commit_s.reserve(lanes_.size());
     double last_change_s = 0.0;
     for (const GroupLane& lane : lanes_) {
       mergeLaneInto(out, lane);
+      out.lane_events.push_back(lane.events + lane.barrier_events);
+      out.lane_commit_s.push_back(lane.wall_s);
       last_change_s = std::max(last_change_s, lane.last_change_s);
     }
     out.observed_span_s = std::max(0.0, last_change_s - cfg_.warmup_s);
@@ -847,6 +995,7 @@ class Engine {
   /// only this group's ledgers and the lane's private slice.
   void runLane(int g, double window_end) {
     GroupLane& lane = lanes_[static_cast<std::size_t>(g)];
+    const auto lane_t0 = std::chrono::steady_clock::now();
     while (!lane.queue.empty()) {
       const CommitEntry e = lane.queue.top();
       lane.queue.pop();
@@ -860,23 +1009,29 @@ class Engine {
         case ShardEventKind::Decision:
           if (c.phase == CallPhase::Pending) {
             ++lane.events;
+            noteCellLoad(c.request.target_cell);
             commitDecision(lane, c, now, window_end);
           }
           break;
         case ShardEventKind::End:
           if (c.phase == CallPhase::Active && e.event.epoch == c.epoch) {
             ++lane.events;
+            noteCellLoad(c.request.target_cell);
             commitEnd(lane, c, now);
           }
           break;
         case ShardEventKind::Move:
           if (c.phase == CallPhase::Active && e.event.epoch == c.epoch) {
             ++lane.events;
+            noteCellLoad(c.request.target_cell);
             commitCrossing(g, lane, c, now, window_end);
           }
           break;
       }
     }
+    lane.wall_s += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - lane_t0)
+                       .count();
   }
 
   /// Schedules an admitted call's departure: into the lane's own queue when
@@ -1062,23 +1217,25 @@ class Engine {
 
   /// The tick-window barrier, after every lane has quiesced: cross-group
   /// reservations are delivered to their target groups' mailboxes and
-  /// drained in canonical (time, call) order with each capacity claim
-  /// re-validated against the live ledger and policy state; then the
-  /// lanes' deferred next-window events are flushed into the shard queues.
-  /// Single-threaded, so it may touch any group.
+  /// drained PER TARGET GROUP, concurrently — each drain validates its
+  /// claims in canonical (time, call) order against ledgers and call state
+  /// only its own group owns. The one cross-group touch (the drop path's
+  /// source-cell controller release) is deferred into per-lane runs that a
+  /// tree-structured combining step merges in O(log groups) rounds and the
+  /// barrier root replays serially; everything else a drain cannot do
+  /// concurrently (shard-queue pushes, pool recycling) rides the existing
+  /// deferred/freed machinery. Then the lanes' deferred next-window events
+  /// are flushed into the shard queues (serial: queues are shared).
   void drainBarrier(double window_end) {
+    bool any = false;
     for (GroupLane& lane : lanes_) {
       for (const Reservation& r : lane.outgoing) {
         mailboxes_[static_cast<std::size_t>(laneOf(r.to_cell))].post(r);
+        any = true;
       }
       lane.outgoing.clear();
     }
-    for (std::size_t g = 0; g < mailboxes_.size(); ++g) {
-      if (mailboxes_[g].empty()) continue;
-      for (const Reservation& r : mailboxes_[g].drain()) {
-        commitReservation(lanes_[g], r, window_end);
-      }
-    }
+    if (any) drainMailboxes(window_end);
     for (GroupLane& lane : lanes_) {
       for (const DeferredEvent& d : lane.deferred) {
         queues_[static_cast<std::size_t>(shardOf(d.cell))].push(d.time_s,
@@ -1086,6 +1243,78 @@ class Engine {
       }
       lane.deferred.clear();
     }
+  }
+
+  /// Fans the reservation drain out over the shard pool, one worker per
+  /// target group (ledger-disjoint by construction), then combines and
+  /// replays the deferred drop-path releases.
+  void drainMailboxes(double window_end) {
+    const int lane_count = partition_.groups();
+    const auto drainOne = [&](int g) {
+      auto& mailbox = mailboxes_[static_cast<std::size_t>(g)];
+      if (mailbox.empty()) return;
+      GroupLane& lane = lanes_[static_cast<std::size_t>(g)];
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const Reservation& r : mailbox.drain()) {
+        commitReservation(lane, r, window_end);
+      }
+      lane.wall_s += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    };
+    if (lane_count == 1) {
+      drainOne(0);
+    } else {
+      pool_.run([&](int shard) {
+        for (int g = shard; g < lane_count; g += shard_count_) {
+          drainOne(g);
+        }
+      });
+    }
+    combineAndRunReleases();
+  }
+
+  /// Tree-structured combining for the deferred drop-path releases (the
+  /// Yu et al. collective-barrier shape): log2(groups) pairwise merge
+  /// rounds fold every lane's (already canonically ordered) run into lane
+  /// 0, then the root replays the combined run serially in global
+  /// (time, call) order — the only stage allowed to touch foreign groups'
+  /// controller state.
+  void combineAndRunReleases() {
+    const int lane_count = partition_.groups();
+    bool any = false;
+    for (const GroupLane& lane : lanes_) {
+      if (!lane.releases.empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return;
+    for (int step = 1; step < lane_count; step *= 2) {
+      const int stride = 2 * step;
+      // More than one pair this round: merge the pairs concurrently (each
+      // touches only its own two lanes).
+      if (lane_count > stride) {
+        pool_.run([&](int shard) {
+          for (int g = shard * stride; g + step < lane_count;
+               g += shard_count_ * stride) {
+            mergeCombine(lanes_[static_cast<std::size_t>(g)].releases,
+                         lanes_[static_cast<std::size_t>(g + step)].releases,
+                         DeferredReleaseEarlier{});
+          }
+        });
+      } else {
+        mergeCombine(lanes_[0].releases,
+                     lanes_[static_cast<std::size_t>(step)].releases,
+                     DeferredReleaseEarlier{});
+      }
+    }
+    for (const DeferredRelease& d : lanes_[0].releases) {
+      controller_->onReleased(
+          d.request,
+          AdmissionContext{network_.station(d.from_cell), d.time_s});
+    }
+    lanes_[0].releases.clear();
   }
 
   /// Recycles the slots of every call the lanes finished this window.
@@ -1106,6 +1335,14 @@ class Engine {
   /// is the documented visibility difference of commit_groups > 1: the
   /// target lane's own events of this window committed first, and the
   /// granted bandwidth occupies the new cell from the barrier instant.
+  ///
+  /// Runs concurrently, one drain per target group: everything it touches
+  /// is owned by \p lane's group (the target station and ledger slice, the
+  /// call — a call crosses at most one border per window, so exactly one
+  /// drain sees it, and its epoch bump keeps every other event copy
+  /// stale) or a lane-private buffer (counters in lane.partial, queue
+  /// pushes in lane.deferred, slot recycling in lane.freed, the drop
+  /// path's foreign-station release in lane.releases).
   void commitReservation(GroupLane& lane, const Reservation& r,
                          double window_end) {
     CallState& c = call_pool_.at(r.slot);
@@ -1122,9 +1359,11 @@ class Engine {
         mobility::snapshotFromTruth(c.state, network_.cell(r.to_cell).center);
 
     const bool count = r.counted;
+    ++lane.barrier_events;
+    noteCellLoad(r.to_cell);
     if (count) {
-      ++metrics_.handoff_requests;
-      ++metrics_.reservations_posted;
+      ++lane.partial.handoff_requests;
+      ++lane.partial.reservations_posted;
     }
     // c.predicted was refreshed when the crossing was detected, from this
     // same snapshot.
@@ -1134,20 +1373,22 @@ class Engine {
     if (!isDown(r.to_cell)) {
       const cellular::AdmissionDecision decision =
           controller_->decide(req, ctx);
-      noteRationale(metrics_, decision, count);
+      noteRationale(lane.partial, decision, count);
       admit = decision.accept && new_station.canFit(req.demand_bu);
     }
 
     if (!admit) {
       if (count) {
-        ++metrics_.handoff_dropped;
-        ++metrics_.reservations_dropped;
+        ++lane.partial.handoff_dropped;
+        ++lane.partial.reservations_dropped;
       }
       controller_->onRejected(req, ctx);
-      controller_->onReleased(
-          c.request, AdmissionContext{network_.station(r.from_cell), r.time_s});
+      // The source-cell release is the drop path's one foreign-group
+      // touch: deferred for the combining barrier to replay serially.
+      lane.releases.push_back(
+          DeferredRelease{r.time_s, r.call, c.request, r.from_cell});
       c.phase = CallPhase::Done;
-      call_pool_.release(r.slot);  // barrier context: recycle directly
+      lane.freed.push_back(r.slot);
       return;
     }
 
@@ -1156,8 +1397,8 @@ class Engine {
                          cellular::profileFor(req.service).real_time);
     lane.occupied_bu += req.demand_bu;
     if (count) {
-      ++metrics_.handoff_accepted;
-      ++metrics_.reservations_admitted;
+      ++lane.partial.handoff_accepted;
+      ++lane.partial.reservations_admitted;
     }
     controller_->onAdmitted(req, ctx);
     c.request = req;  // epoch was already bumped when the claim was posted
@@ -1169,19 +1410,19 @@ class Engine {
       noteOccupancy(lane, window_end);
       new_station.release(req.call);
       lane.occupied_bu -= req.demand_bu;
-      if (counted(c.end_time_s)) ++metrics_.completed;
+      if (counted(c.end_time_s)) ++lane.partial.completed;
       controller_->onReleased(c.request,
                               AdmissionContext{new_station, window_end});
       c.phase = CallPhase::Done;
-      call_pool_.release(r.slot);
+      lane.freed.push_back(r.slot);
       return;
     }
-    queues_[static_cast<std::size_t>(shardOf(r.to_cell))].push(
-        c.end_time_s, ShardEvent{ShardEventKind::End, r.call, c.epoch,
-                                 r.slot});
-    queues_[static_cast<std::size_t>(shardOf(r.to_cell))].push(
-        r.time_s + cfg_.mobility_update_s,
-        ShardEvent{ShardEventKind::Move, r.call, c.epoch, r.slot});
+    lane.deferred.push_back(DeferredEvent{
+        c.end_time_s, r.to_cell,
+        ShardEvent{ShardEventKind::End, r.call, c.epoch, r.slot}});
+    lane.deferred.push_back(DeferredEvent{
+        r.time_s + cfg_.mobility_update_s, r.to_cell,
+        ShardEvent{ShardEventKind::Move, r.call, c.epoch, r.slot}});
   }
 
   // ------------------------------------------------------------- mutations
@@ -1297,6 +1538,14 @@ class Engine {
   std::vector<std::size_t> mutation_order_;
   std::size_t next_mutation_ = 0;
 
+  /// Epoch re-partitioning state (weighted partition only; empty/+inf when
+  /// off): per-cell committed-event counts since the last epoch — the
+  /// deterministic load proxy — the next epoch boundary, and a reusable
+  /// weight buffer.
+  std::vector<std::uint64_t> cell_events_;
+  double next_epoch_s_ = std::numeric_limits<double>::infinity();
+  std::vector<double> epoch_weights_;
+
   std::uint64_t ring_spills_total_ = 0;
 
   // Streaming emission state.
@@ -1342,6 +1591,17 @@ void validateConfig(const SimulationConfig& cfg) {
   if (cfg.commit_groups < 1 || cfg.commit_groups > kMaxShards) {
     throw std::invalid_argument("commit groups must be in [1, " +
                                 std::to_string(kMaxShards) + "]");
+  }
+  if (!(cfg.repartition_every_s >= 0.0) ||
+      !std::isfinite(cfg.repartition_every_s)) {
+    throw std::invalid_argument(
+        "repartition period must be finite and >= 0");
+  }
+  if (cfg.repartition_every_s > 0.0 &&
+      cfg.partition != PartitionStrategy::Weighted) {
+    throw std::invalid_argument(
+        "repartition_every_s requires the weighted partition (contiguous "
+        "boundaries never move)");
   }
   {
     // Mirror HexNetwork's override checks so a bad scenario fails at

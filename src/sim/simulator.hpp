@@ -51,6 +51,23 @@
 
 namespace facs::sim {
 
+/// How cells are mapped onto commit groups (two-level commit lanes).
+enum class PartitionStrategy {
+  /// Contiguous near-equal-size id ranges — the historical default, and
+  /// the bit-identity anchor: every shards × groups combination commits
+  /// exactly like the pre-weighted engine.
+  Contiguous,
+  /// Contiguous near-equal-WEIGHT id ranges: each cell weighs its
+  /// arrival_scale × the mean bandwidth demand of its effective traffic
+  /// mix, so a hotspot cell stops dragging its whole id range into one
+  /// overloaded lane. With repartition_every_s > 0 the engine re-draws
+  /// the boundaries at deterministic epoch barriers from observed
+  /// per-cell committed-event counts. Seed-stable and shard-invariant at
+  /// every group count; groups = 1 is bit-identical to Contiguous (one
+  /// lane is one lane).
+  Weighted,
+};
+
 /// How request arrival instants are drawn.
 enum class ArrivalProcess {
   /// The paper's burst semantics: total_requests instants uniform over the
@@ -134,6 +151,22 @@ struct SimulationConfig {
   /// different (documented) visibility semantics, not reorderings of one
   /// truth. Must be in [1, kMaxShards].
   int commit_groups = 1;
+
+  /// Cell-to-commit-group mapping strategy. Contiguous (default) keeps
+  /// the historical near-equal-size ranges; Weighted balances ranges by
+  /// spawn weight (arrival_scale × mean mix demand). Irrelevant when the
+  /// effective group count is 1.
+  PartitionStrategy partition = PartitionStrategy::Contiguous;
+
+  /// Weighted partition only: > 0 re-draws the group boundaries every
+  /// this many simulated seconds, at the first tick-window barrier at or
+  /// past each epoch instant, using per-cell committed-event counts as
+  /// load weights — a deterministic proxy for lane wall time. The engine
+  /// clamps windows so a barrier lands exactly on each epoch (same
+  /// mechanism as mutations; a mutation due at the same instant applies
+  /// first). 0 disables re-partitioning. Rejected unless partition is
+  /// Weighted.
+  double repartition_every_s = 0.0;
 
   /// Hoist snapshot-only policy work (FACS: the FLC1 prediction) into the
   /// parallel prepare/local phases via AdmissionController::precompute(),

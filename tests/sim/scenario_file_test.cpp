@@ -99,6 +99,9 @@ TEST(ScenarioFile, ParsesEveryConfigField) {
       "warmup_s = 60\n"
       "seed = 12345678901234567890\n"
       "shards = 5\n"
+      "commit_groups = 4\n"
+      "partition = \"weighted\"\n"
+      "repartition_every_s = 45\n"
       "precompute = false\n"
       "explain = true\n"
       "[population]\n"
@@ -133,6 +136,9 @@ TEST(ScenarioFile, ParsesEveryConfigField) {
   EXPECT_DOUBLE_EQ(cfg.warmup_s, 60.0);
   EXPECT_EQ(cfg.seed, 12345678901234567890ull);
   EXPECT_EQ(cfg.shards, 5);
+  EXPECT_EQ(cfg.commit_groups, 4);
+  EXPECT_EQ(cfg.partition, PartitionStrategy::Weighted);
+  EXPECT_DOUBLE_EQ(cfg.repartition_every_s, 45.0);
   EXPECT_FALSE(cfg.precompute_cv);
   EXPECT_TRUE(cfg.explain);
   EXPECT_DOUBLE_EQ(cfg.scenario.speed_min_kmh, 3.0);

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Renders the benchmark trajectory across PRs — the bench-diff artifact.
+
+    python3 tools/bench_report.py [--repo DIR] [--current DIR]
+                                  [--format markdown|csv] [--out FILE]
+
+Walks the git history of every committed BENCH_*.json baseline (each flat
+JSON file as written by bench_baseline), collects one row per (commit,
+benchmark), optionally appends the freshly generated files from --current
+as a "current" row, and renders the whole trajectory as a markdown table
+(default) or CSV. The point is longitudinal: a single bench_diff run says
+"within tolerance of the previous PR"; this report shows the committed
+perf_* numbers drifting across the PR sequence, so a slow regression that
+stays inside each individual x3 band is still visible as a trend.
+
+det_* keys are omitted from the report body (they are exact-match gated by
+bench_diff already); perf_* keys and `tolerance` are the trajectory.
+
+Stdlib + git only. Exits non-zero if no baselines are found anywhere.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def git(repo, *args):
+    return subprocess.run(
+        ["git", "-C", repo, *args], check=True,
+        capture_output=True, text=True).stdout
+
+
+def baseline_names(repo, current_dir):
+    """Every BENCH_*.json name that exists in HEAD or in --current."""
+    names = set()
+    for line in git(repo, "ls-files", "BENCH_*.json").splitlines():
+        names.add(os.path.basename(line.strip()))
+    if current_dir:
+        for entry in sorted(os.listdir(current_dir)):
+            if entry.startswith("BENCH_") and entry.endswith(".json"):
+                names.add(entry)
+    return sorted(names)
+
+
+def history_rows(repo, name):
+    """[(order, commit, subject, {key: value})] oldest-first for one file."""
+    log = git(repo, "log", "--follow", "--format=%H\x1f%h\x1f%s",
+              "--", name)
+    commits = [line.split("\x1f") for line in log.splitlines() if line]
+    commits.reverse()  # oldest first: the trajectory reads left to right
+    rows = []
+    for order, (full, short, subject) in enumerate(commits):
+        try:
+            blob = git(repo, "show", f"{full}:{name}")
+        except subprocess.CalledProcessError:
+            continue  # renamed past --follow; the name did not exist here
+        try:
+            data = json.loads(blob)
+        except json.JSONDecodeError:
+            continue
+        rows.append((order, short, subject, data))
+    return rows
+
+
+def perf_keys(rows):
+    keys = []
+    for _, _, _, data in rows:
+        for key in data:
+            if (key == "tolerance" or key.startswith("perf_")) \
+                    and key not in keys:
+                keys.append(key)
+    return keys
+
+
+def fmt(value):
+    if value is None:
+        return ""
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_markdown(out, name, rows, keys):
+    out.write(f"## {name}\n\n")
+    out.write("| commit | subject | " + " | ".join(keys) + " |\n")
+    out.write("|---|---|" + "---|" * len(keys) + "\n")
+    for _, short, subject, data in rows:
+        cells = [fmt(data.get(k)) for k in keys]
+        subject = subject.replace("|", "\\|")
+        if len(subject) > 60:
+            subject = subject[:57] + "..."
+        out.write(f"| {short} | {subject} | " + " | ".join(cells) + " |\n")
+    out.write("\n")
+
+
+def render_csv(out, name, rows, keys):
+    out.write("benchmark,commit,subject," + ",".join(keys) + "\n")
+    for _, short, subject, data in rows:
+        subject = '"' + subject.replace('"', '""') + '"'
+        cells = [fmt(data.get(k)) for k in keys]
+        out.write(f"{name},{short},{subject}," + ",".join(cells) + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--repo", default=".",
+                        help="git repository holding the committed baselines")
+    parser.add_argument("--current", default=None,
+                        help="directory with freshly generated BENCH_*.json "
+                             "to append as the 'current' row")
+    parser.add_argument("--format", choices=["markdown", "csv"],
+                        default="markdown")
+    parser.add_argument("--out", default=None, help="output file (stdout)")
+    args = parser.parse_args()
+
+    names = baseline_names(args.repo, args.current)
+    if not names:
+        print("bench_report: no BENCH_*.json baselines found",
+              file=sys.stderr)
+        return 1
+
+    sections = []
+    for name in names:
+        rows = history_rows(args.repo, name)
+        if args.current:
+            path = os.path.join(args.current, name)
+            if os.path.exists(path):
+                with open(path) as f:
+                    rows.append((len(rows), "current", "(this run)",
+                                 json.load(f)))
+        if rows:
+            sections.append((name, rows, perf_keys(rows)))
+
+    out = open(args.out, "w") if args.out else sys.stdout
+    with out:
+        if args.format == "markdown":
+            out.write("# Benchmark trajectory\n\n")
+            out.write("Committed `perf_*` values per baseline commit, "
+                      "oldest first; `current` is this run's regenerated "
+                      "file. `det_*` keys are exact-match gated by "
+                      "bench_diff and omitted here.\n\n")
+            for name, rows, keys in sections:
+                render_markdown(out, name, rows, keys)
+        else:
+            for name, rows, keys in sections:
+                render_csv(out, name, rows, keys)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

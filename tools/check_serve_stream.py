@@ -27,16 +27,20 @@ DELTA_KEYS = [
     "handoff_requests", "handoff_accepted", "handoff_dropped",
     "completed", "engine_events",
     "reservations_posted", "reservations_admitted", "reservations_dropped",
-    "outage_forced_drops", "mutations_applied",
+    "outage_forced_drops", "mutations_applied", "repartitions",
 ]
 CUMULATIVE_KEYS = ["busy_bu_seconds_cum", "observed_span_s_cum"]
+# Run-cumulative per-lane committed events: a non-negative-int list whose
+# length (the lane count) never changes, each element monotone.
+LANE_ARRAY_KEY = "lane_events_cum"
 POOL_KEYS = [
     "pool_capacity", "pool_live", "pool_high_water",
     "pool_acquired", "pool_released", "pool_grow_events",
     "ring_capacity", "ring_high_water", "ring_spills",
 ]
 REQUIRED = (["window", "t0", "t1", "final"] + DELTA_KEYS + CUMULATIVE_KEYS
-            + ["percent_accepted_cum", "mean_utilization_cum"] + POOL_KEYS)
+            + ["percent_accepted_cum", "mean_utilization_cum"]
+            + [LANE_ARRAY_KEY] + POOL_KEYS)
 MONOTONE_KEYS = CUMULATIVE_KEYS + [
     "pool_high_water", "pool_acquired", "pool_released", "pool_grow_events",
     "ring_high_water", "ring_spills",
@@ -99,11 +103,24 @@ def main():
                 if not isinstance(rec[key], int) or rec[key] < 0:
                     fail(line_no, f"{key} must be a non-negative integer, "
                                   f"got {rec[key]!r}")
+            lanes = rec[LANE_ARRAY_KEY]
+            if (not isinstance(lanes, list) or not lanes
+                    or any(not isinstance(v, int) or v < 0 for v in lanes)):
+                fail(line_no, f"{LANE_ARRAY_KEY} must be a non-empty list "
+                              f"of non-negative integers, got {lanes!r}")
             if prev is not None:
                 for key in MONOTONE_KEYS:
                     if rec[key] < prev[key]:
                         fail(line_no, f"{key} shrank: {prev[key]} -> "
                                       f"{rec[key]}")
+                prev_lanes = prev[LANE_ARRAY_KEY]
+                if len(lanes) != len(prev_lanes):
+                    fail(line_no, f"{LANE_ARRAY_KEY} lane count changed: "
+                                  f"{len(prev_lanes)} -> {len(lanes)}")
+                for i, (now_v, was_v) in enumerate(zip(lanes, prev_lanes)):
+                    if now_v < was_v:
+                        fail(line_no, f"{LANE_ARRAY_KEY}[{i}] shrank: "
+                                      f"{was_v} -> {now_v}")
 
             if rec["pool_live"] > rec["pool_high_water"]:
                 fail(line_no, "pool_live above pool_high_water")
