@@ -31,6 +31,16 @@ class SirController final : public cellular::AdmissionController {
 
   [[nodiscard]] std::string name() const override { return "SIR"; }
 
+  /// Scope audit: decide() integrates interference over EVERY station's
+  /// live utilization through the RadioModel — the read set is the whole
+  /// network, unbounded by any cell neighbourhood, so no partition can
+  /// confine it. Explicitly Global (the engine serializes to one lane);
+  /// not a candidate for GroupLocal unless the interference sum ever gets
+  /// a bounded-footprint approximation.
+  [[nodiscard]] cellular::CommitScope commitScope() const noexcept override {
+    return cellular::CommitScope::Global;
+  }
+
   [[nodiscard]] cellular::AdmissionDecision decide(
       const cellular::CallRequest& request,
       const cellular::AdmissionContext& context) override;

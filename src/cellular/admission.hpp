@@ -19,6 +19,8 @@
 
 namespace facs::cellular {
 
+class CellGroupPartition;  // network.hpp — the engine's cell-to-lane mapping
+
 /// Result of a policy's optional request-time precomputation — the part of
 /// a decision that depends only on the user snapshot, so it can be produced
 /// before the serialized decision instant (for FACS: the FLC1 correction
@@ -212,11 +214,38 @@ enum class CommitScope : std::uint8_t {
   /// concurrent calls for different cells must be data-race free and must
   /// produce the same bits regardless of which thread runs them.
   CellLocal,
-  /// The call may consult or mutate state spanning cells (SCC shadow
-  /// accumulators, SIR interference from every station's utilization,
-  /// cross-cell reservations). The engine serializes every commit —
-  /// commit_groups degrades to one lane. The safe default.
+  /// Partition-aware middle ground: the call may touch per-cell state of
+  /// ANY cell in the target cell's commit group (per-group shadow stores,
+  /// neighbourhood accumulators), provided the controller learned the
+  /// engine's partition through onPartitionChanged(). Writes that would
+  /// cross a group boundary must be deferred internally and drained when
+  /// the engine calls onCommitBarrier() — single-threaded, at the
+  /// tick-window barrier, alongside the reservation drain. Declaring
+  /// GroupLocal is the same promise as CellLocal, widened from one cell to
+  /// one group: concurrent calls for different GROUPS must be data-race
+  /// free and deterministic. The engine runs GroupLocal policies at the
+  /// full configured lane count.
+  GroupLocal,
+  /// The call may consult or mutate state spanning arbitrary cells with no
+  /// partition discipline (SIR interference from every station's
+  /// utilization, unbounded SCC shadows at reach=0). The engine serializes
+  /// every commit — commit_groups degrades to one lane. The safe default.
   Global,
+};
+
+/// What a GroupLocal policy drained at one tick-window barrier — folded
+/// into Metrics (demand_deltas, shadow_migrations) so cross-group policy
+/// traffic is as observable as the engine's own reservations.
+struct BarrierDrainStats {
+  std::uint64_t deltas_applied = 0;    ///< Cross-group state deltas applied.
+  std::uint64_t shadows_migrated = 0;  ///< Per-group records re-homed.
+};
+
+/// The workload envelope the engine hands to auditWorkload(): the knobs a
+/// policy's sizing footguns depend on but cannot see from its own config.
+struct WorkloadEnvelope {
+  double v_max_kmh = 0.0;      ///< Fastest mobile the scenario can draw.
+  double cell_radius_km = 0.0; ///< Hex circumradius of the network's cells.
 };
 
 /// Abstract CAC policy (stateful: policies may track per-cell bookkeeping).
@@ -264,6 +293,34 @@ class AdmissionController {
                           const AdmissionContext& /*context*/) {}
   virtual void onRejected(const CallRequest& /*request*/,
                           const AdmissionContext& /*context*/) {}
+
+  /// The engine's cell-to-group mapping changed: once at startup (before
+  /// any decision) and again at every adopted repartition epoch — always
+  /// from barrier context (single-threaded, no lane running, no claim in
+  /// flight, no deferred policy work pending). GroupLocal policies re-key
+  /// their per-group state here, deterministically (canonical record
+  /// order); everyone else ignores it. The partition reference is only
+  /// valid for the duration of the call — copy what you keep.
+  virtual void onPartitionChanged(const CellGroupPartition& /*partition*/) {}
+
+  /// Tick-window barrier hook, called single-threaded after every lane has
+  /// quiesced and the engine's own reservation mailboxes have drained.
+  /// GroupLocal policies apply their deferred cross-group writes here (in
+  /// canonical order — the drain must be a pure function of the committed
+  /// event sequence) and report what moved; the default is a no-op. Only
+  /// called when the run actually has more than one commit group.
+  virtual BarrierDrainStats onCommitBarrier(double /*now_s*/) { return {}; }
+
+  /// Startup sizing audit: given the workload envelope, return a one-line
+  /// warning when the policy's configuration silently degrades under it
+  /// (e.g. an SCC reach too small for the fastest mobile's projection
+  /// horizon), or an empty string when the sizing is sound. The engine
+  /// prints a non-empty result once on stderr and counts it in
+  /// Metrics::policy_warnings; decisions never depend on it.
+  [[nodiscard]] virtual std::string auditWorkload(
+      const WorkloadEnvelope& /*envelope*/) const {
+    return {};
+  }
 
  protected:
   AdmissionController() = default;

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "cellular/policy_registry.hpp"
+#include "sim/reservation.hpp"  // mergeCombine — the barrier's combining shape
 
 namespace facs::scc {
 
@@ -139,6 +142,37 @@ void ShadowClusterController::applyShadow(const Shadow& shadow, double sign) {
   ++updates_since_rebuild_;
 }
 
+void ShadowClusterController::applyShadowGrouped(const Shadow& shadow,
+                                                 double sign) {
+  // The acting group is the shadow's anchor group — the lane (or drain)
+  // that owns stores_[g] and therefore this call's commit. Footprint rows
+  // the partition maps to the same group are the lane's own: write live.
+  // Rows across a boundary belong to another lane's cells; deferring them
+  // into the acting group's buffer keeps every demand_ row single-writer
+  // during the parallel phase, and the barrier folds the buffers in
+  // canonical order so the float sums stay shard-invariant.
+  const int g = partition_->groupOf(shadow.anchor);
+  std::vector<DemandDelta>& defer = deferred_[static_cast<std::size_t>(g)];
+  for (const cellular::CellId cell : footprint(shadow.anchor)) {
+    const bool own_row = partition_->groupOf(cell) == g;
+    for (int k = 0; k < config_.intervals; ++k) {
+      const double value = sign * contribution(shadow, cell, k);
+      if (own_row) {
+        demand_[demandIndex(cell, k)] += value;
+      } else {
+        DemandDelta delta;
+        delta.cell = cell;
+        delta.k = k;
+        delta.value = value;
+        delta.group = g;
+        delta.seq = static_cast<std::uint32_t>(defer.size());
+        defer.push_back(delta);
+      }
+    }
+  }
+  ++stores_[static_cast<std::size_t>(g)].updates_since_rebuild;
+}
+
 void ShadowClusterController::maybeRebuild() {
   if (config_.rebuild_every <= 0) return;
   if (updates_since_rebuild_ <
@@ -167,6 +201,45 @@ void ShadowClusterController::maybeRebuild() {
                     static_cast<std::size_t>(config_.intervals) +
                 static_cast<std::size_t>(k)] +=
             contribution(shadow, cell, k);
+      }
+    }
+  }
+}
+
+void ShadowClusterController::maybeRebuildGrouped() {
+  if (config_.rebuild_every <= 0) return;
+  for (std::size_t g = 0; g < stores_.size(); ++g) {
+    GroupStore& due = stores_[g];
+    if (due.updates_since_rebuild <
+        static_cast<std::uint64_t>(config_.rebuild_every)) {
+      continue;
+    }
+    due.updates_since_rebuild = 0;
+    // Zero exactly the rows this group owns, then re-accumulate every
+    // tracked shadow's contribution to those rows (stores in index order,
+    // canonical call order within each) — the same sums the incremental
+    // updates built there, minus the float residue. Other groups' rows are
+    // untouched: their residue ages on their own counters.
+    for (const cellular::CellId cell : all_cells_) {
+      if (partition_->groupOf(cell) != static_cast<int>(g)) continue;
+      for (int k = 0; k < config_.intervals; ++k) {
+        demand_[demandIndex(cell, k)] = 0.0;
+      }
+    }
+    std::vector<cellular::CallId> ids;
+    for (const GroupStore& store : stores_) {
+      ids.clear();
+      ids.reserve(store.shadows.size());
+      for (const auto& [id, shadow] : store.shadows) ids.push_back(id);
+      std::sort(ids.begin(), ids.end());
+      for (const cellular::CallId id : ids) {
+        const Shadow& shadow = store.shadows.find(id)->second;
+        for (const cellular::CellId cell : footprint(shadow.anchor)) {
+          if (partition_->groupOf(cell) != static_cast<int>(g)) continue;
+          for (int k = 0; k < config_.intervals; ++k) {
+            demand_[demandIndex(cell, k)] += contribution(shadow, cell, k);
+          }
+        }
       }
     }
   }
@@ -218,7 +291,11 @@ AdmissionDecision ShadowClusterController::decide(
   // Every cell of the tentative shadow cluster must be able to support the
   // projected demand over the whole horizon. Existing demand is the
   // incremental per-BS accumulator — an O(1) read per (cell, interval), so
-  // the decision cost is flat in the number of tracked calls.
+  // the decision cost is flat in the number of tracked calls. Grouped runs
+  // read the acting group's own rows live and foreign-group rows from the
+  // barrier snapshot (the same visibility the engine's reservations give
+  // cross-group ledger state).
+  const int g = grouped() ? partition_->groupOf(center) : -1;
   double worst_headroom = std::numeric_limits<double>::infinity();
   for (const CellId cell : clusters_[static_cast<std::size_t>(center)]) {
     const double budget =
@@ -226,7 +303,7 @@ AdmissionDecision ShadowClusterController::decide(
         static_cast<double>(network_.station(cell).capacityBu());
     for (int k = 0; k < config_.intervals; ++k) {
       const double projected =
-          demandAt(cell, k) + contribution(tentative, cell, k);
+          demandRead(g, cell, k) + contribution(tentative, cell, k);
       worst_headroom = std::min(worst_headroom, budget - projected);
     }
   }
@@ -258,6 +335,26 @@ void ShadowClusterController::onAdmitted(const CallRequest& request,
       motionFromSnapshot(request.snapshot, network_.cell(center).center);
   shadow.demand_bu = static_cast<double>(request.demand_bu);
   shadow.anchor = center;
+  if (grouped()) {
+    const int g = partition_->groupOf(center);
+    GroupStore& store = stores_[static_cast<std::size_t>(g)];
+    const auto [it, inserted] = store.shadows.try_emplace(request.call, shadow);
+    if (!inserted) {
+      // Same-group handoff refresh: the stale shadow lives in the acting
+      // group's own store — retract it in-lane before casting the new one.
+      applyShadowGrouped(it->second, -1.0);
+      it->second = shadow;
+    } else if (request.is_handoff) {
+      // The refresh crossed a group boundary: the stale record is anchored
+      // in a foreign store this lane must not touch. Cast the new shadow
+      // now; leave a migration record so the barrier retracts and erases
+      // the old one (demand_ conserved — its contribution stays folded in
+      // until exactly then).
+      migrations_[static_cast<std::size_t>(g)].push_back({request.call, g});
+    }
+    applyShadowGrouped(shadow, +1.0);
+    return;  // grouped rebuilds run per group at the barrier
+  }
   // Handoffs refresh the kinematics of an already-tracked call: retract
   // the stale shadow from the accumulators before casting the new one.
   const auto [it, inserted] = shadows_.try_emplace(request.call, shadow);
@@ -270,12 +367,166 @@ void ShadowClusterController::onAdmitted(const CallRequest& request,
 }
 
 void ShadowClusterController::onReleased(const CallRequest& request,
-                                         const AdmissionContext& /*context*/) {
+                                         const AdmissionContext& context) {
+  if (grouped()) {
+    // The release reaches us in the lane (or drain) acting for the cell
+    // the call occupied — which is the shadow's anchor (both are set by
+    // the same last admission), so the lookup stays inside the acting
+    // group's own store. A miss means the call was never tracked (e.g.
+    // released before any grouped admission): nothing to retract.
+    CellId cell = request.target_cell;
+    if (cell == cellular::kInvalidCell) cell = context.station.cell();
+    GroupStore& store =
+        stores_[static_cast<std::size_t>(partition_->groupOf(cell))];
+    const auto it = store.shadows.find(request.call);
+    if (it == store.shadows.end()) return;
+    applyShadowGrouped(it->second, -1.0);
+    store.shadows.erase(it);
+    return;
+  }
   const auto it = shadows_.find(request.call);
   if (it == shadows_.end()) return;
   applyShadow(it->second, -1.0);
   shadows_.erase(it);
   maybeRebuild();
+}
+
+void ShadowClusterController::onPartitionChanged(
+    const cellular::CellGroupPartition& p) {
+  if (config_.reach <= 0) return;  // Global scope: no grouped state to key
+  if (grouped()) {
+    // The engine drains the policy barrier before adopting a repartition,
+    // so this is normally a no-op; a direct driver (unit tests) may still
+    // have deferred work keyed to the old mapping — fold it first, under
+    // that mapping, or the delta targets would be re-homed out from under
+    // the buffered records.
+    (void)drainBarrierWork();
+  }
+  // Canonical call order makes the re-keyed stores — and every later
+  // rebuild walking them — independent of hash-map bucket history.
+  std::vector<std::pair<cellular::CallId, Shadow>> tracked;
+  tracked.reserve(trackedCalls());
+  for (const auto& [id, shadow] : shadows_) tracked.emplace_back(id, shadow);
+  for (const GroupStore& store : stores_) {
+    for (const auto& [id, shadow] : store.shadows) {
+      tracked.emplace_back(id, shadow);
+    }
+  }
+  std::sort(tracked.begin(), tracked.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  shadows_.clear();
+  stores_.clear();
+  deferred_.clear();
+  migrations_.clear();
+  partition_ = p;  // copy: the engine's reference dies with this call
+  if (!grouped()) {
+    // One group: the legacy single-map path stays authoritative, keeping
+    // commit_groups == 1 bit-identical to the pre-grouped controller.
+    for (auto& [id, shadow] : tracked) shadows_.emplace(id, shadow);
+    snapshot_.clear();
+    return;
+  }
+  stores_.resize(static_cast<std::size_t>(partition_->groups()));
+  deferred_.resize(stores_.size());
+  migrations_.resize(stores_.size());
+  for (auto& [id, shadow] : tracked) {
+    stores_[static_cast<std::size_t>(partition_->groupOf(shadow.anchor))]
+        .shadows.emplace(id, shadow);
+  }
+  // demand_ is deliberately untouched: every tracked contribution is
+  // already folded in, so total projected demand is conserved EXACTLY
+  // across the re-key (the migration moves records, not float sums). The
+  // per-group rebuild counters restart at zero — deterministic.
+  snapshot_ = demand_;
+}
+
+cellular::BarrierDrainStats ShadowClusterController::onCommitBarrier(
+    double /*now_s*/) {
+  if (!grouped()) return {};
+  const cellular::BarrierDrainStats stats = drainBarrierWork();
+  maybeRebuildGrouped();
+  // The next window's foreign-row reads see everything up to this barrier
+  // and nothing later — reservation visibility, for demand rows.
+  snapshot_ = demand_;
+  return stats;
+}
+
+cellular::BarrierDrainStats ShadowClusterController::drainBarrierWork() {
+  cellular::BarrierDrainStats stats;
+  // Fold the deferred cross-group writes: sort each acting group's buffer
+  // by the canonical (cell, interval, group, seq) key, tree-combine pairs
+  // of sorted runs (the reservation drain's combining shape), then apply
+  // serially. The fold order is a pure function of the committed event
+  // sequence, so the float sums are reproducible at any shard count.
+  bool any = false;
+  for (std::vector<DemandDelta>& buffer : deferred_) {
+    if (!buffer.empty()) {
+      std::sort(buffer.begin(), buffer.end(), DemandDeltaEarlier{});
+      any = true;
+    }
+  }
+  if (any) {
+    for (std::size_t step = 1; step < deferred_.size(); step *= 2) {
+      for (std::size_t g = 0; g + step < deferred_.size(); g += 2 * step) {
+        sim::mergeCombine(deferred_[g], deferred_[g + step],
+                          DemandDeltaEarlier{});
+      }
+    }
+    for (const DemandDelta& delta : deferred_[0]) {
+      demand_[demandIndex(delta.cell, delta.k)] += delta.value;
+    }
+    stats.deltas_applied = deferred_[0].size();
+    deferred_[0].clear();
+  }
+  // Re-home boundary-crossing handoff refreshes: the fresh shadow already
+  // sits in stores_[to_group]; the stale record under the old anchor still
+  // holds its contribution in a foreign store. Serial context — retract
+  // those rows live and erase it (groups ascending, append order within).
+  for (std::vector<Migration>& moves : migrations_) {
+    for (const Migration& move : moves) {
+      for (std::size_t s = 0; s < stores_.size(); ++s) {
+        if (static_cast<int>(s) == move.to_group) continue;
+        GroupStore& store = stores_[s];
+        const auto it = store.shadows.find(move.call);
+        if (it == store.shadows.end()) continue;
+        for (const cellular::CellId cell : footprint(it->second.anchor)) {
+          for (int k = 0; k < config_.intervals; ++k) {
+            demand_[demandIndex(cell, k)] -=
+                contribution(it->second, cell, k);
+          }
+        }
+        ++store.updates_since_rebuild;
+        store.shadows.erase(it);
+        ++stats.shadows_migrated;
+        break;
+      }
+    }
+    moves.clear();
+  }
+  return stats;
+}
+
+std::string ShadowClusterController::auditWorkload(
+    const cellular::WorkloadEnvelope& envelope) const {
+  if (config_.reach <= 0) return {};  // unbounded accounting: nothing to cut
+  if (!(envelope.v_max_kmh > 0.0) || !(envelope.cell_radius_km > 0.0)) {
+    return {};  // envelope unknown: no basis to audit against
+  }
+  // One hex hop between cell centres is sqrt(3) x circumradius; the
+  // fastest mobile travels v_max x horizon within the projection window.
+  const double pitch_km = std::sqrt(3.0) * envelope.cell_radius_km;
+  const double horizon_s = config_.intervals * config_.interval_s;
+  const double travel_km = envelope.v_max_kmh / 3600.0 * horizon_s;
+  const int needed = static_cast<int>(std::ceil(travel_km / pitch_km)) + 1;
+  if (config_.reach >= needed) return {};
+  std::ostringstream os;
+  os << "SCC reach=" << config_.reach
+     << " is smaller than the projection horizon needs (reach >= " << needed
+     << " for v_max=" << envelope.v_max_kmh << " km/h over " << horizon_s
+     << " s): predicted cells of fast mobiles fall outside the accounting "
+        "footprint, silently disabling their predictive reservations";
+  return os.str();
 }
 
 // ------------------------------------------------------------------------

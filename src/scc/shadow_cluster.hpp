@@ -17,6 +17,7 @@
 /// the cluster for the whole horizon.
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -113,15 +114,18 @@ class ShadowClusterController final : public cellular::AdmissionController {
 
   [[nodiscard]] std::string name() const override { return "SCC"; }
 
-  /// Explicitly Global: decide() reads demand rows of the whole cluster
-  /// and onAdmitted()/onReleased() write accumulators around the shadow's
-  /// anchor, so commits for different cells share state. The engine
-  /// therefore serializes SCC commits (commit_groups degrades to 1). A
-  /// bounded `reach` already keeps each shadow's writes inside a known
-  /// neighbourhood — the remaining blocker for group-parallel SCC lanes is
-  /// the shared shadow map and the global rebuild (see ROADMAP).
+  /// Partition-aware scope. With a bounded `reach`, every shadow's writes
+  /// stay inside a known neighbourhood of its anchor, so the controller
+  /// can keep per-group shadow stores keyed by the engine's partition and
+  /// commit from concurrent group lanes — GroupLocal: in-group footprint
+  /// rows update live, rows crossing a group boundary defer into
+  /// demand-delta records drained (tree-combined) at onCommitBarrier().
+  /// reach = 0 is the original unbounded accumulation — every update
+  /// touches every cell — which no partition can confine: Global, and the
+  /// engine serializes to one lane.
   [[nodiscard]] cellular::CommitScope commitScope() const noexcept override {
-    return cellular::CommitScope::Global;
+    return config_.reach > 0 ? cellular::CommitScope::GroupLocal
+                             : cellular::CommitScope::Global;
   }
 
   [[nodiscard]] cellular::AdmissionDecision decide(
@@ -133,15 +137,45 @@ class ShadowClusterController final : public cellular::AdmissionController {
   void onReleased(const cellular::CallRequest& request,
                   const cellular::AdmissionContext& context) override;
 
+  /// Adopts the engine's cell-to-group mapping (startup and every adopted
+  /// repartition epoch — barrier context). In grouped mode (reach > 0 and
+  /// more than one group) the shared shadow map splits into per-group
+  /// stores keyed by each shadow's anchor group; a boundary move re-keys
+  /// every store in canonical call order. `demand_` is left untouched by
+  /// the re-keying — every tracked contribution is already folded in — so
+  /// total projected demand is conserved exactly across a repartition.
+  void onPartitionChanged(const cellular::CellGroupPartition& p) override;
+
+  /// Applies the deferred cross-group demand deltas (sorted per acting
+  /// group, tree-combined in canonical (cell, interval, group, seq) order,
+  /// then folded serially), re-homes shadows whose handoff refresh crossed
+  /// a group boundary, runs any due per-group exact rebuilds, and
+  /// refreshes the barrier snapshot foreign-row reads use. Single-threaded
+  /// by the engine's contract.
+  [[nodiscard]] cellular::BarrierDrainStats onCommitBarrier(
+      double now_s) override;
+
+  /// Warns when a bounded reach is smaller than the projection horizon of
+  /// the fastest mobile needs: the footprint is anchored at the LAST
+  /// report, but contribution() centres each interval's Gaussian on the
+  /// PREDICTED position — an undersized reach cuts off the cells the
+  /// mobile is headed for, silently disabling predictive reservation for
+  /// fast traffic (the SccConfig::reach footgun, now audited).
+  [[nodiscard]] std::string auditWorkload(
+      const cellular::WorkloadEnvelope& envelope) const override;
+
   /// Projected demand profile of one cell from all currently tracked
   /// mobiles (exposed for tests and the operator-dashboard example). An
   /// O(intervals) copy of the incremental cache; each shadow's projection
   /// is anchored at its last report.
   [[nodiscard]] DemandProfile projectedDemand(cellular::CellId cell) const;
 
-  /// Number of mobiles currently exerting a shadow.
+  /// Number of mobiles currently exerting a shadow (summed over the
+  /// per-group stores in grouped mode).
   [[nodiscard]] std::size_t trackedCalls() const noexcept {
-    return shadows_.size();
+    std::size_t n = shadows_.size();
+    for (const GroupStore& store : stores_) n += store.shadows.size();
+    return n;
   }
 
   [[nodiscard]] const SccConfig& config() const noexcept { return config_; }
@@ -161,6 +195,49 @@ class ShadowClusterController final : public cellular::AdmissionController {
     cellular::CellId anchor = 0;
   };
 
+  /// One commit group's slice of the shadow map (grouped mode): every
+  /// shadow whose anchor the partition maps to this group, plus the
+  /// group's own rebuild counter. Invariant: a shadow lives in the store
+  /// of its anchor's group — lanes and per-target-group reservation
+  /// drains therefore touch disjoint stores.
+  struct GroupStore {
+    std::unordered_map<cellular::CallId, Shadow> shadows;
+    std::uint64_t updates_since_rebuild = 0;
+  };
+
+  /// One deferred cross-group accumulator write: "add value to cell's
+  /// interval-k row". Produced inside a lane or drain whose acting group
+  /// does not own the row; applied single-threaded at the barrier. The
+  /// (cell, k, group, seq) key is the canonical combine order — seq is the
+  /// append index within the acting group's buffer, so the fold is a pure
+  /// function of the committed event sequence.
+  struct DemandDelta {
+    cellular::CellId cell = 0;
+    std::int32_t k = 0;
+    double value = 0.0;
+    std::int32_t group = 0;
+    std::uint32_t seq = 0;
+  };
+
+  struct DemandDeltaEarlier {
+    bool operator()(const DemandDelta& a,
+                    const DemandDelta& b) const noexcept {
+      if (a.cell != b.cell) return a.cell < b.cell;
+      if (a.k != b.k) return a.k < b.k;
+      if (a.group != b.group) return a.group < b.group;
+      return a.seq < b.seq;
+    }
+  };
+
+  /// A handoff refresh that crossed a group boundary: the new shadow is
+  /// already cast in stores_[to_group], but the stale record under the old
+  /// anchor lives in a foreign store the acting drain must not touch. The
+  /// barrier retracts and erases it (canonical order).
+  struct Migration {
+    cellular::CallId call = 0;
+    int to_group = 0;
+  };
+
   /// Probability-weighted demand contribution of one shadow to one cell at
   /// interval k, anchored at the shadow's capture instant.
   [[nodiscard]] double contribution(const Shadow& shadow,
@@ -170,16 +247,58 @@ class ShadowClusterController final : public cellular::AdmissionController {
   /// every station's demand accumulator — the incremental cache update.
   void applyShadow(const Shadow& shadow, double sign);
 
+  /// Grouped-mode incremental update: footprint rows owned by the
+  /// shadow's anchor group apply live (the acting lane/drain owns them);
+  /// rows across a group boundary defer into the acting group's delta
+  /// buffer for the barrier to fold. Counts one update toward the acting
+  /// group's rebuild counter.
+  void applyShadowGrouped(const Shadow& shadow, double sign);
+
   /// Runs the periodic exact rebuild when rebuild_every updates have
   /// accumulated. Called only from the public mutators, when shadows_ and
   /// demand_ agree (never mid-refresh, where a rebuild would double-count
-  /// the shadow being replaced).
+  /// the shadow being replaced). Ungrouped mode only — grouped rebuilds
+  /// run per group at the barrier (maybeRebuildGrouped).
   void maybeRebuild();
 
+  /// Per-group exact rebuilds, barrier context: any group whose counter
+  /// crossed rebuild_every gets its cells' rows zeroed and recomputed from
+  /// every tracked shadow whose footprint intersects them (stores in index
+  /// order, canonical call order within each) — exactly what the
+  /// incremental updates accumulated there, minus the float residue.
+  void maybeRebuildGrouped();
+
+  /// Folds the deferred cross-group deltas (sort per buffer, tree-combine,
+  /// serial apply) and re-homes migrated shadows. Barrier context.
+  [[nodiscard]] cellular::BarrierDrainStats drainBarrierWork();
+
+  /// True when per-group stores are live: a partition with more than one
+  /// group was adopted and reach bounds the footprint.
+  [[nodiscard]] bool grouped() const noexcept {
+    return partition_.has_value() && partition_->groups() > 1 &&
+           config_.reach > 0;
+  }
+
+  [[nodiscard]] std::size_t demandIndex(cellular::CellId cell,
+                                        int k) const noexcept {
+    return static_cast<std::size_t>(cell) *
+               static_cast<std::size_t>(config_.intervals) +
+           static_cast<std::size_t>(k);
+  }
+
   [[nodiscard]] double demandAt(cellular::CellId cell, int k) const noexcept {
-    return demand_[static_cast<std::size_t>(cell) *
-                       static_cast<std::size_t>(config_.intervals) +
-                   static_cast<std::size_t>(k)];
+    return demand_[demandIndex(cell, k)];
+  }
+
+  /// Row read for a decision acting in group \p g: the group's own rows
+  /// read live (end-of-window within the lane's canonical replay), foreign
+  /// rows read the barrier snapshot — the same visibility the engine's
+  /// reservation protocol gives cross-group state. Ungrouped (g < 0)
+  /// reads live, the historical behaviour.
+  [[nodiscard]] double demandRead(int g, cellular::CellId cell,
+                                  int k) const noexcept {
+    if (g < 0 || partition_->groupOf(cell) == g) return demandAt(cell, k);
+    return snapshot_[demandIndex(cell, k)];
   }
 
   const cellular::HexNetwork& network_;
@@ -197,8 +316,27 @@ class ShadowClusterController final : public cellular::AdmissionController {
   /// footprint() answers with all_cells_.
   std::vector<std::vector<cellular::CellId>> footprints_;
   std::vector<cellular::CellId> all_cells_;
-  /// Shadow updates since the last exact rebuild of demand_.
+  /// Shadow updates since the last exact rebuild of demand_ (ungrouped).
   std::uint64_t updates_since_rebuild_ = 0;
+
+  // ---- grouped mode (GroupLocal commits; empty/unused otherwise) ----
+  /// Copy of the engine's cell-to-group mapping, adopted at
+  /// onPartitionChanged(). Grouped mode engages at groups > 1; at one
+  /// group the legacy single-map path above stays authoritative, keeping
+  /// commit_groups == 1 bit-identical to the pre-grouped controller.
+  std::optional<cellular::CellGroupPartition> partition_;
+  /// Per-group shadow stores, indexed by commit group (stores_[g] holds
+  /// exactly the shadows whose anchor maps to g).
+  std::vector<GroupStore> stores_;
+  /// Barrier snapshot of demand_ — what foreign-group rows read during a
+  /// window (each row has exactly one live writer: its owner group).
+  /// Refreshed at every onCommitBarrier().
+  std::vector<double> snapshot_;
+  /// Per-acting-group deferred cross-group writes and boundary-crossing
+  /// handoff re-homes. Exactly one writer per phase (the group's lane, its
+  /// reservation drain, or the serial barrier), drained every barrier.
+  std::vector<std::vector<DemandDelta>> deferred_;
+  std::vector<std::vector<Migration>> migrations_;
 };
 
 /// Reconstructs a mobile's motion state from an admission snapshot taken

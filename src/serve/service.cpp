@@ -51,6 +51,11 @@ std::string windowJsonLine(const sim::WindowSnapshot& w,
      << ", \"mutations_applied\": "
      << d(c.mutations_applied, p.mutations_applied)
      << ", \"repartitions\": " << d(c.repartitions, p.repartitions)
+     << ", \"repartitions_skipped\": "
+     << d(c.repartitions_skipped, p.repartitions_skipped)
+     << ", \"demand_deltas\": " << d(c.demand_deltas, p.demand_deltas)
+     << ", \"shadow_migrations\": "
+     << d(c.shadow_migrations, p.shadow_migrations)
      // Run-cumulative state (doubles stay cumulative: windowed differences
      // of floats would not sum back exactly, so the stream never pretends
      // they do).

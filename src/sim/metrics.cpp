@@ -53,9 +53,13 @@ std::string Metrics::toJson() const {
   }
   os << "],\n"
      << "  \"repartitions\": " << repartitions << ",\n"
+     << "  \"repartitions_skipped\": " << repartitions_skipped << ",\n"
      << "  \"reservations_posted\": " << reservations_posted << ",\n"
      << "  \"reservations_admitted\": " << reservations_admitted << ",\n"
      << "  \"reservations_dropped\": " << reservations_dropped << ",\n"
+     << "  \"demand_deltas\": " << demand_deltas << ",\n"
+     << "  \"shadow_migrations\": " << shadow_migrations << ",\n"
+     << "  \"policy_warnings\": " << policy_warnings << ",\n"
      << "  \"mutations_applied\": " << mutations_applied << ",\n"
      << "  \"outage_forced_drops\": " << outage_forced_drops << ",\n"
      << "  \"peak_concurrent_calls\": " << peak_concurrent_calls << ",\n"

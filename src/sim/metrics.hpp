@@ -74,6 +74,13 @@ struct Metrics {
   /// committed-event counts, both pure functions of (config, seed).
   int repartitions = 0;
 
+  /// Epoch re-draws that produced a different mapping but were skipped by
+  /// the boundary hysteresis: the projected max/mean imbalance improvement
+  /// was below the adoption threshold, so moving cells (and migrating
+  /// GroupLocal policy state) would have been churn, not balance.
+  /// Deterministic for the same reason repartitions is.
+  int repartitions_skipped = 0;
+
   /// Cross-group handoff reservations (the inter-BS messages): claims
   /// posted into foreign group mailboxes, and how they resolved at the
   /// tick-window barrier. posted == admitted + dropped. Warmup-gated like
@@ -83,6 +90,23 @@ struct Metrics {
   std::uint64_t reservations_posted = 0;
   std::uint64_t reservations_admitted = 0;
   std::uint64_t reservations_dropped = 0;
+
+  /// GroupLocal policy traffic drained at tick-window barriers
+  /// (cellular::BarrierDrainStats, summed over the run): cross-group
+  /// demand-delta records a policy deferred out of its lanes and applied
+  /// at the barrier, and per-group records re-homed across a group
+  /// boundary (handoff refreshes whose old anchor lives in a foreign
+  /// store, plus repartition migrations). Always 0 for CellLocal/Global
+  /// policies and at commit_groups == 1. Deterministic for fixed (config,
+  /// seed, commit_groups) at any shard count.
+  std::uint64_t demand_deltas = 0;
+  std::uint64_t shadow_migrations = 0;
+
+  /// Policy sizing warnings raised by auditWorkload() at engine start
+  /// (e.g. an SCC reach smaller than the fastest mobile's projection
+  /// horizon). Printed once on stderr; counted here so JSON consumers see
+  /// the degradation too. A pure function of the config — deterministic.
+  int policy_warnings = 0;
 
   /// Scheduled scenario mutations (SimulationConfig::mutations) applied at
   /// tick-window barriers so far. NOT warmup-gated — a mutation is a

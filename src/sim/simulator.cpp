@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <iostream>
 #include <limits>
 #include <queue>
 #include <stdexcept>
@@ -84,11 +85,13 @@ struct CallState {
 };
 
 /// How many commit lanes a run gets: the configured group count when the
-/// policy promises cell-local commits, one serialized lane otherwise (the
-/// partition further clamps to the cell count).
+/// policy promises cell-local or group-local commits, one serialized lane
+/// for Global scope (the partition further clamps to the cell count).
+/// GroupLocal policies learn the mapping through onPartitionChanged() and
+/// drain their cross-group residue at onCommitBarrier().
 [[nodiscard]] int requestedLanes(const SimulationConfig& cfg,
                                  const cellular::AdmissionController& c) {
-  if (c.commitScope() != cellular::CommitScope::CellLocal) return 1;
+  if (c.commitScope() == cellular::CommitScope::Global) return 1;
   return std::max(1, cfg.commit_groups);
 }
 
@@ -242,6 +245,18 @@ class Engine {
       throw std::invalid_argument("controller factory returned nullptr");
     }
     prepareCellOverrides();
+    // The policy learns the startup mapping before any decision commits;
+    // every adopted repartition epoch re-announces it (barrier context).
+    controller_->onPartitionChanged(partition_);
+    const std::string warning =
+        controller_->auditWorkload(cellular::WorkloadEnvelope{
+            cfg_.scenario.speed_max_kmh, cfg_.cell_radius_km});
+    if (!warning.empty()) {
+      // Once per run, on stderr so diffable stdout never moves; counted so
+      // JSON consumers see the degradation too.
+      std::cerr << "sim: warning: " << warning << "\n";
+      ++metrics_.policy_warnings;
+    }
     if (cfg_.repartition_every_s > 0.0 && partition_.groups() > 1) {
       // Observed-load epochs: per-cell committed-event counts feed the
       // epoch re-partitions. Only maintained when they can matter (a
@@ -606,14 +621,52 @@ class Engine {
     }
     if (!changed) return;
 
+    // Boundary hysteresis: a re-draw that barely improves the projected
+    // max/mean imbalance is flapping, not balancing — moving cells costs
+    // GroupLocal policies a store migration and the occupancy integrals a
+    // re-base, for noise-level gain on a near-balanced disk. Skip unless
+    // the new mapping beats the old by the adoption threshold (on THIS
+    // epoch's observed weights; deterministic either way).
+    if (weightImbalance(partition_) - weightImbalance(next) <
+        kRepartitionHysteresis) {
+      ++metrics_.repartitions_skipped;
+      return;
+    }
+
     for (GroupLane& lane : lanes_) noteOccupancy(lane, at_s);
+    policyBarrier(at_s);  // no deferred policy work may outlive the mapping
     partition_ = std::move(next);
     for (GroupLane& lane : lanes_) lane.occupied_bu = 0;
     for (const cellular::Cell& cell : network_.cells()) {
       lanes_[static_cast<std::size_t>(laneOf(cell.id))].occupied_bu +=
           network_.station(cell.id).occupiedBu();
     }
+    controller_->onPartitionChanged(partition_);
     ++metrics_.repartitions;
+  }
+
+  /// Minimum projected imbalance gain (max/mean group weight, a pure ratio)
+  /// an epoch re-draw must deliver to be adopted.
+  static constexpr double kRepartitionHysteresis = 0.02;
+
+  /// Max/mean per-group weight of this epoch's observed load
+  /// (epoch_weights_) under \p partition — the projected lane imbalance
+  /// the re-draw is trying to shrink.
+  [[nodiscard]] double weightImbalance(
+      const cellular::CellGroupPartition& partition) {
+    group_weight_.assign(static_cast<std::size_t>(partition.groups()), 0.0);
+    for (std::size_t i = 0; i < epoch_weights_.size(); ++i) {
+      group_weight_[static_cast<std::size_t>(
+          partition.groupOf(static_cast<CellId>(i)))] += epoch_weights_[i];
+    }
+    double total = 0.0;
+    double peak = 0.0;
+    for (const double w : group_weight_) {
+      total += w;
+      peak = std::max(peak, w);
+    }
+    if (total <= 0.0) return 1.0;
+    return peak * static_cast<double>(group_weight_.size()) / total;
   }
 
   /// Integrates a group's occupied-BU time up to \p now (call before any
@@ -1236,6 +1289,11 @@ class Engine {
       lane.outgoing.clear();
     }
     if (any) drainMailboxes(window_end);
+    // GroupLocal policies drain their own cross-group residue now —
+    // unconditionally: an in-lane commit whose write footprint crosses a
+    // group boundary defers deltas even when no call crossed (no
+    // reservation posted).
+    policyBarrier(window_end);
     for (GroupLane& lane : lanes_) {
       for (const DeferredEvent& d : lane.deferred) {
         queues_[static_cast<std::size_t>(shardOf(d.cell))].push(d.time_s,
@@ -1243,6 +1301,18 @@ class Engine {
       }
       lane.deferred.clear();
     }
+  }
+
+  /// Lets a GroupLocal policy apply its deferred cross-group writes (and
+  /// re-home migrated records) in barrier context, folding what it drained
+  /// into the run's metrics. A no-op at one lane: the single lane IS the
+  /// serialized commit and policies never defer there.
+  void policyBarrier(double now_s) {
+    if (partition_.groups() <= 1) return;
+    const cellular::BarrierDrainStats stats =
+        controller_->onCommitBarrier(now_s);
+    metrics_.demand_deltas += stats.deltas_applied;
+    metrics_.shadow_migrations += stats.shadows_migrated;
   }
 
   /// Fans the reservation drain out over the shard pool, one worker per
@@ -1444,6 +1514,10 @@ class Engine {
       case serve::MutationOp::Outage:
         down_[static_cast<std::size_t>(*m.cell)] = 1;
         forceDropCell(*m.cell, m.at_s);
+        // The forced releases ran in barrier context but may have deferred
+        // cross-group policy writes; drain them before the next window's
+        // lanes (or a following epoch's migration) can observe the stores.
+        policyBarrier(m.at_s);
         break;
       case serve::MutationOp::Restore:
         down_[static_cast<std::size_t>(*m.cell)] = 0;
@@ -1545,6 +1619,7 @@ class Engine {
   std::vector<std::uint64_t> cell_events_;
   double next_epoch_s_ = std::numeric_limits<double>::infinity();
   std::vector<double> epoch_weights_;
+  std::vector<double> group_weight_;  ///< weightImbalance() scratch.
 
   std::uint64_t ring_spills_total_ = 0;
 

@@ -419,6 +419,226 @@ TEST(ShadowCluster, ReachSpanningTheDiskMatchesUnbounded) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// GroupLocal protocol: per-group stores, deferred cross-group deltas, the
+// barrier drain, repartition re-keying and the reach-sizing audit.
+// ---------------------------------------------------------------------------
+
+TEST(ShadowCluster, CommitScopeFollowsReach) {
+  const HexNetwork net{1};
+  EXPECT_EQ(ShadowClusterController(net).commitScope(),
+            cellular::CommitScope::Global);
+  SccConfig bounded;
+  bounded.reach = 2;
+  EXPECT_EQ(ShadowClusterController(net, bounded).commitScope(),
+            cellular::CommitScope::GroupLocal);
+}
+
+TEST(ShadowCluster, GroupedDemandMatchesUngroupedAfterTheBarrier) {
+  // Same shadows, two accounting modes: the grouped controller applies
+  // own-group rows live and folds cross-group rows at the barrier; once
+  // drained, its accumulators must agree with the ungrouped controller's
+  // (to float re-association noise — the fold changes the addition order,
+  // never the terms).
+  const HexNetwork net{2};  // 19 cells
+  SccConfig cfg;
+  cfg.reach = 2;
+  ShadowClusterController grouped{net, cfg};
+  ShadowClusterController ungrouped{net, cfg};
+  grouped.onPartitionChanged(cellular::CellGroupPartition{net, 3});
+
+  std::uint64_t expected_deltas = 0;
+  for (cellular::CallId id = 1; id <= 6; ++id) {
+    const cellular::CellId anchor = static_cast<cellular::CellId>(3 * id % 19);
+    const auto r = makeRequest(id, ServiceClass::Video,
+                               net.cell(anchor).center + Vec2{0.3, -0.2},
+                               30.0 + 5.0 * static_cast<double>(id),
+                               40.0 * static_cast<double>(id), anchor);
+    grouped.onAdmitted(r, AdmissionContext{net.station(anchor), 0.0});
+    ungrouped.onAdmitted(r, AdmissionContext{net.station(anchor), 0.0});
+    ++expected_deltas;  // at least some of each footprint crosses a border
+  }
+  ASSERT_GE(expected_deltas, 1u);
+  const cellular::BarrierDrainStats stats = grouped.onCommitBarrier(0.0);
+  EXPECT_GT(stats.deltas_applied, 0u);
+  EXPECT_EQ(stats.shadows_migrated, 0u);
+  EXPECT_EQ(grouped.trackedCalls(), ungrouped.trackedCalls());
+  for (const cellular::Cell& cell : net.cells()) {
+    const DemandProfile a = grouped.projectedDemand(cell.id);
+    const DemandProfile b = ungrouped.projectedDemand(cell.id);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_NEAR(a[k], b[k], 1e-9) << "cell " << cell.id << " k " << k;
+    }
+  }
+}
+
+TEST(ShadowCluster, CrossGroupHandoffMigratesAtTheBarrier) {
+  // A handoff whose refresh crosses a group boundary casts the new shadow
+  // immediately but must leave the stale record for the barrier: the lane
+  // acting for the target group may not touch a foreign store. After the
+  // drain exactly one record remains and the accumulators match a fresh
+  // controller tracking only the moved shadow.
+  const HexNetwork net{2};
+  SccConfig cfg;
+  cfg.reach = 1;
+  ShadowClusterController scc{net, cfg};
+  const cellular::CellGroupPartition part{net, 3};
+  scc.onPartitionChanged(part);
+
+  const cellular::CellId from = 0;
+  cellular::CellId to = cellular::kInvalidCell;
+  for (const cellular::Cell& cell : net.cells()) {
+    if (part.groupOf(cell.id) != part.groupOf(from)) {
+      to = cell.id;
+      break;
+    }
+  }
+  ASSERT_NE(to, cellular::kInvalidCell);
+
+  const auto first =
+      makeRequest(7, ServiceClass::Video, net.cell(from).center, 60.0, 20.0,
+                  from);
+  scc.onAdmitted(first, AdmissionContext{net.station(from), 0.0});
+  (void)scc.onCommitBarrier(0.0);
+
+  auto moved = makeRequest(7, ServiceClass::Video, net.cell(to).center, 60.0,
+                           -45.0, to);
+  moved.is_handoff = true;
+  scc.onAdmitted(moved, AdmissionContext{net.station(to), 30.0});
+  // Until the barrier both records exist: the new shadow plus the stale
+  // one awaiting its deterministic retraction.
+  EXPECT_EQ(scc.trackedCalls(), 2u);
+  const cellular::BarrierDrainStats stats = scc.onCommitBarrier(30.0);
+  EXPECT_EQ(stats.shadows_migrated, 1u);
+  EXPECT_EQ(scc.trackedCalls(), 1u);
+
+  ShadowClusterController fresh{net, cfg};
+  fresh.onAdmitted(moved, AdmissionContext{net.station(to), 30.0});
+  for (const cellular::Cell& cell : net.cells()) {
+    const DemandProfile a = scc.projectedDemand(cell.id);
+    const DemandProfile b = fresh.projectedDemand(cell.id);
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_NEAR(a[k], b[k], 1e-9) << "cell " << cell.id << " k " << k;
+    }
+  }
+}
+
+TEST(ShadowCluster, RepartitionConservesDemandExactly) {
+  // Re-keying the stores moves RECORDS, never float sums: projected demand
+  // before and after a boundary move must be bit-identical, and every
+  // tracked call must survive the move.
+  const HexNetwork net{2};
+  SccConfig cfg;
+  cfg.reach = 1;
+  ShadowClusterController scc{net, cfg};
+  scc.onPartitionChanged(cellular::CellGroupPartition{net, 2});
+  for (cellular::CallId id = 1; id <= 9; ++id) {
+    const cellular::CellId anchor = static_cast<cellular::CellId>(2 * id);
+    const auto r = makeRequest(id, ServiceClass::Voice,
+                               net.cell(anchor).center + Vec2{0.2, 0.1}, 25.0,
+                               15.0 * static_cast<double>(id), anchor);
+    scc.onAdmitted(r, AdmissionContext{net.station(anchor), 0.0});
+  }
+  (void)scc.onCommitBarrier(0.0);
+
+  std::vector<DemandProfile> before;
+  for (const cellular::Cell& cell : net.cells()) {
+    before.push_back(scc.projectedDemand(cell.id));
+  }
+  const std::size_t tracked = scc.trackedCalls();
+
+  // 2 -> 3 groups AND 3 -> back to 2: both directions must conserve.
+  scc.onPartitionChanged(cellular::CellGroupPartition{net, 3});
+  for (const cellular::Cell& cell : net.cells()) {
+    const DemandProfile after = scc.projectedDemand(cell.id);
+    for (std::size_t k = 0; k < after.size(); ++k) {
+      EXPECT_EQ(after[k], before[static_cast<std::size_t>(cell.id)][k])
+          << "cell " << cell.id << " k " << k;
+    }
+  }
+  EXPECT_EQ(scc.trackedCalls(), tracked);
+  scc.onPartitionChanged(cellular::CellGroupPartition{net, 2});
+  for (const cellular::Cell& cell : net.cells()) {
+    const DemandProfile after = scc.projectedDemand(cell.id);
+    for (std::size_t k = 0; k < after.size(); ++k) {
+      EXPECT_EQ(after[k], before[static_cast<std::size_t>(cell.id)][k])
+          << "cell " << cell.id << " k " << k;
+    }
+  }
+  EXPECT_EQ(scc.trackedCalls(), tracked);
+}
+
+TEST(ShadowCluster, GroupedRebuildPreservesLiveShadows) {
+  // The per-group exact rebuild (barrier context) must be invisible, like
+  // its ungrouped counterpart: a grouped controller with aggressive
+  // rebuilds agrees with one that never rebuilds, to rounding noise.
+  const HexNetwork net{2};
+  SccConfig with_rebuild;
+  with_rebuild.reach = 1;
+  with_rebuild.rebuild_every = 8;
+  SccConfig without_rebuild = with_rebuild;
+  without_rebuild.rebuild_every = 0;
+  ShadowClusterController rebuilt{net, with_rebuild};
+  ShadowClusterController incremental{net, without_rebuild};
+  const cellular::CellGroupPartition part{net, 3};
+  rebuilt.onPartitionChanged(part);
+  incremental.onPartitionChanged(part);
+
+  const auto keeper =
+      makeRequest(1000, ServiceClass::Video, net.cell(4).center, 50.0, 70.0,
+                  4);
+  rebuilt.onAdmitted(keeper, AdmissionContext{net.station(4), 0.0});
+  incremental.onAdmitted(keeper, AdmissionContext{net.station(4), 0.0});
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    const cellular::CellId anchor = static_cast<cellular::CellId>(cycle % 19);
+    const auto churn = makeRequest(1 + static_cast<cellular::CallId>(cycle),
+                                   ServiceClass::Voice,
+                                   net.cell(anchor).center + Vec2{0.1, 0.1},
+                                   20.0, 0.0, anchor);
+    const AdmissionContext ctx{net.station(anchor), 1.0 * cycle};
+    rebuilt.onAdmitted(churn, ctx);
+    incremental.onAdmitted(churn, ctx);
+    rebuilt.onReleased(churn, ctx);
+    incremental.onReleased(churn, ctx);
+    (void)rebuilt.onCommitBarrier(1.0 * cycle);
+    (void)incremental.onCommitBarrier(1.0 * cycle);
+  }
+  EXPECT_EQ(rebuilt.trackedCalls(), 1u);
+  for (const cellular::Cell& cell : net.cells()) {
+    const DemandProfile a = rebuilt.projectedDemand(cell.id);
+    const DemandProfile b = incremental.projectedDemand(cell.id);
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_NEAR(a[k], b[k], 1e-9) << "cell " << cell.id << " k " << k;
+    }
+  }
+}
+
+TEST(ShadowCluster, AuditWorkloadFlagsAnUndersizedReach) {
+  const HexNetwork net{1, 2.0};
+  cellular::WorkloadEnvelope fast;
+  fast.v_max_kmh = 130.0;
+  fast.cell_radius_km = 2.0;
+  // 130 km/h over the default 90 s horizon is ~3.25 km — within one hex
+  // pitch (sqrt(3) x 2 km), so the required reach is 2: reach=1 is
+  // undersized, reach=2 is sound.
+  SccConfig small;
+  small.reach = 1;
+  const std::string warning =
+      ShadowClusterController(net, small).auditWorkload(fast);
+  EXPECT_NE(warning.find("reach=1"), std::string::npos) << warning;
+  EXPECT_NE(warning.find(">= 2"), std::string::npos) << warning;
+  SccConfig sound;
+  sound.reach = 2;
+  EXPECT_TRUE(ShadowClusterController(net, sound).auditWorkload(fast).empty());
+  // Unbounded accounting has no footprint to undersize; an empty envelope
+  // gives no basis to audit.
+  EXPECT_TRUE(ShadowClusterController(net).auditWorkload(fast).empty());
+  EXPECT_TRUE(ShadowClusterController(net, small)
+                  .auditWorkload(cellular::WorkloadEnvelope{})
+                  .empty());
+}
+
 TEST(ShadowCluster, ReachSpecKeyAndValidation) {
   EXPECT_THROW(
       (void)ShadowClusterController(HexNetwork{1}, [] {

@@ -12,7 +12,11 @@
 ///  * Cross-group handoffs flow through reservations, and contended claims
 ///    (several groups after the last bandwidth units of one cell) resolve
 ///    deterministically in canonical (time, call) order.
-///  * Policies with a Global commit scope degrade to one lane.
+///  * Policies with a Global commit scope degrade to one lane; GroupLocal
+///    policies (SCC with a bounded reach) keep the full lane count, defer
+///    cross-group writes through the barrier drain, and stay bit-identical
+///    across shard counts — including under epoch re-partitioning, where
+///    their per-group stores re-key deterministically.
 ///  * The load-aware (weighted) partition is deterministic too — seed-
 ///    stable and shard-invariant at every group count — and on a skewed
 ///    hotspot its per-lane committed-event split is measurably flatter
@@ -79,10 +83,14 @@ void expectBitIdentical(const Metrics& a, const Metrics& b,
   EXPECT_EQ(a.reservations_posted, b.reservations_posted) << label;
   EXPECT_EQ(a.reservations_admitted, b.reservations_admitted) << label;
   EXPECT_EQ(a.reservations_dropped, b.reservations_dropped) << label;
-  // The per-lane event split and the repartition count are part of the
-  // deterministic surface: identical bits at every shard count.
+  // The per-lane event split, the repartition counts and the GroupLocal
+  // barrier traffic are part of the deterministic surface: identical bits
+  // at every shard count.
   EXPECT_EQ(a.lane_events, b.lane_events) << label;
   EXPECT_EQ(a.repartitions, b.repartitions) << label;
+  EXPECT_EQ(a.repartitions_skipped, b.repartitions_skipped) << label;
+  EXPECT_EQ(a.demand_deltas, b.demand_deltas) << label;
+  EXPECT_EQ(a.shadow_migrations, b.shadow_migrations) << label;
 }
 
 /// max/mean over the per-lane committed-event counts — 1.0 is a perfectly
@@ -208,9 +216,11 @@ TEST(CommitGroups, ContendedLastUnitsResolveDeterministically) {
 }
 
 TEST(CommitGroups, GlobalScopePoliciesDegradeToOneLane) {
-  // SCC reads cluster-wide demand and writes accumulators across cells —
-  // CommitScope::Global — so a grouped config must serialize (and report
-  // that it did), with results identical to an explicit groups=1 run.
+  // SCC at reach=0 writes accumulators across EVERY cell — no partition
+  // confines it, CommitScope::Global — so a grouped config must serialize
+  // (and report that it did), with results identical to an explicit
+  // groups=1 run. (A bounded reach upgrades the scope to GroupLocal — the
+  // GroupLocalScc tests below.)
   SimulationConfig cfg = contestedConfig();
   cfg.commit_groups = 4;
   const Metrics grouped = SimulationBuilder{cfg}.policy("scc").run();
@@ -219,6 +229,143 @@ TEST(CommitGroups, GlobalScopePoliciesDegradeToOneLane) {
   cfg.commit_groups = 1;
   const Metrics serial = SimulationBuilder{cfg}.policy("scc").run();
   expectBitIdentical(serial, grouped, "scc grouped vs serial");
+}
+
+// ------------------------------------------------ GroupLocal policy commits
+
+TEST(GroupLocalScc, CommitsFromAllLanesAndStaysDeterministic) {
+  // The tentpole contract: a bounded reach makes SCC GroupLocal, so the
+  // engine keeps the full configured lane count (no degrade), cross-group
+  // shadow rows flow through the deferred-delta drain (observable as
+  // demand_deltas), and the run stays a pure function of (config, seed) —
+  // bit-identical at every shard count and on repeats.
+  for (const int groups : {2, 4}) {
+    SimulationConfig cfg = contestedConfig();
+    cfg.commit_groups = groups;
+    cfg.shards = 1;
+    const Metrics first = SimulationBuilder{cfg}.policy("scc:reach=2").run();
+    EXPECT_EQ(first.commit_groups, groups);
+    EXPECT_GT(first.demand_deltas, 0u)
+        << "a reach-2 footprint on a 7-cell disk must cross group borders";
+    for (const int shards : {2, 4}) {
+      cfg.shards = shards;
+      const Metrics m = SimulationBuilder{cfg}.policy("scc:reach=2").run();
+      expectBitIdentical(first, m, "scc groups=" + std::to_string(groups) +
+                                       " shards=" + std::to_string(shards));
+    }
+    cfg.shards = 1;
+    const Metrics again = SimulationBuilder{cfg}.policy("scc:reach=2").run();
+    expectBitIdentical(first, again,
+                       "scc repeated groups=" + std::to_string(groups));
+  }
+}
+
+TEST(GroupLocalScc, GroupsOneStaysOnTheLegacyPath) {
+  // At one group the per-group stores never engage: no deferred deltas, no
+  // migrations, no reservations — the exact single-map controller the
+  // pre-grouped engine ran, bit-identical at every shard count.
+  SimulationConfig cfg = contestedConfig();
+  cfg.commit_groups = 1;
+  cfg.shards = 1;
+  const Metrics serial = SimulationBuilder{cfg}.policy("scc:reach=2").run();
+  EXPECT_EQ(serial.commit_groups, 1);
+  EXPECT_EQ(serial.reservations_posted, 0u);
+  EXPECT_EQ(serial.demand_deltas, 0u);
+  EXPECT_EQ(serial.shadow_migrations, 0u);
+  cfg.shards = 4;
+  const Metrics sharded = SimulationBuilder{cfg}.policy("scc:reach=2").run();
+  expectBitIdentical(serial, sharded, "scc:reach=2 groups=1 shards=4");
+}
+
+TEST(GroupLocalScc, ContendedCrossGroupClaimsResolveDeterministically) {
+  // Starved cells + one group per cell: every handoff is a cross-group
+  // reservation and SCC's shadow traffic crosses borders constantly. The
+  // contended outcomes must still be canonical — same bits on every run
+  // and at every shard count.
+  SimulationConfig cfg = contestedConfig();
+  cfg.capacity_bu = 10;
+  cfg.total_requests = 200;
+  cfg.warmup_s = 0.0;
+  cfg.commit_groups = 7;
+  cfg.scenario.mix = cellular::TrafficMix{0.0, 1.0, 0.0};  // 5 BU voice
+  cfg.shards = 1;
+  const Metrics first = SimulationBuilder{cfg}.policy("scc:reach=1").run();
+  EXPECT_EQ(first.commit_groups, 7);
+  ASSERT_GT(first.reservations_posted, 0u);
+  ASSERT_GT(first.demand_deltas, 0u);
+  EXPECT_EQ(first.reservations_posted,
+            first.reservations_admitted + first.reservations_dropped);
+  for (const int shards : {2, 4}) {
+    cfg.shards = shards;
+    const Metrics m = SimulationBuilder{cfg}.policy("scc:reach=1").run();
+    expectBitIdentical(first, m,
+                       "scc contended shards=" + std::to_string(shards));
+  }
+  cfg.shards = 1;
+  const Metrics again = SimulationBuilder{cfg}.policy("scc:reach=1").run();
+  expectBitIdentical(first, again, "scc contended repeat");
+}
+
+TEST(GroupLocalScc, SurvivesAMigratingHotspotRepartition) {
+  // The hard composition: grouped SCC + weighted partition + epoch
+  // re-partitioning + a hotspot that MOVES. Boundary moves re-key the
+  // per-group shadow stores mid-run; the books must still balance, and
+  // the whole run must stay bit-identical across shard counts and
+  // repeats — shadows migrate deterministically or not at all.
+  SimulationConfig cfg = hotspotConfig();
+  cfg.commit_groups = 4;
+  cfg.partition = PartitionStrategy::Weighted;
+  cfg.repartition_every_s = 50.0;
+  serve::ScenarioMutation cool;
+  cool.at_s = 180.0;
+  cool.op = serve::MutationOp::ArrivalScale;
+  cool.cell = 0;
+  cool.scale = 1.0;
+  serve::ScenarioMutation heat;
+  heat.at_s = 180.0;
+  heat.op = serve::MutationOp::ArrivalScale;
+  heat.cell = 4;
+  heat.scale = 12.0;
+  cfg.mutations.push_back(cool);
+  cfg.mutations.push_back(heat);
+  cfg.shards = 1;
+  const Metrics first = SimulationBuilder{cfg}.policy("scc:reach=2").run();
+  EXPECT_EQ(first.commit_groups, 4);
+  EXPECT_GT(first.repartitions, 0)
+      << "a migrating hotspot must trigger at least one boundary re-draw";
+  EXPECT_GT(first.demand_deltas, 0u);
+  EXPECT_EQ(first.mutations_applied, 2);
+  EXPECT_EQ(first.reservations_posted,
+            first.reservations_admitted + first.reservations_dropped);
+  EXPECT_EQ(first.handoff_requests,
+            first.handoff_accepted + first.handoff_dropped);
+  for (const int shards : {2, 4}) {
+    cfg.shards = shards;
+    const Metrics m = SimulationBuilder{cfg}.policy("scc:reach=2").run();
+    expectBitIdentical(first, m,
+                       "scc migrating shards=" + std::to_string(shards));
+  }
+  cfg.shards = 1;
+  const Metrics again = SimulationBuilder{cfg}.policy("scc:reach=2").run();
+  expectBitIdentical(first, again, "scc migrating repeat");
+}
+
+TEST(GroupLocalScc, RepartitionHysteresisSkipsLowGainEpochs) {
+  // A STEADY hotspot: after the initial weighted draw the projected
+  // improvement of later epochs is noise, so the hysteresis gate must
+  // skip them (counted, deterministic) instead of churning the policy
+  // stores through pointless re-keys.
+  SimulationConfig cfg = hotspotConfig();
+  cfg.commit_groups = 4;
+  cfg.partition = PartitionStrategy::Weighted;
+  cfg.repartition_every_s = 40.0;
+  cfg.shards = 1;
+  const Metrics first = SimulationBuilder{cfg}.policy("guard:8").run();
+  EXPECT_GT(first.repartitions_skipped, 0)
+      << "a steady hotspot must not clear the hysteresis bar every epoch";
+  cfg.shards = 4;
+  const Metrics m = SimulationBuilder{cfg}.policy("guard:8").run();
+  expectBitIdentical(first, m, "hysteresis shards=4");
 }
 
 TEST(CommitGroups, GroupCountClampsToCellCount) {

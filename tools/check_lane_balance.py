@@ -59,6 +59,10 @@ def main():
     if not report.get("hotspot", False):
         fail("report was not generated with --hotspot (the audit gates the "
              "skewed scenario; a uniform load proves nothing)")
+    # The gate runs per policy now that GroupLocal policies (grouped SCC)
+    # commit from the full lane count too: name the policy in every line
+    # so a violation in one policy's artifact reads unambiguously.
+    policy = report.get("policy", "?")
 
     # event imbalance per (partition, groups); recomputed from lane_events
     # so the gate does not trust the bench's own ratio arithmetic.
@@ -71,7 +75,8 @@ def main():
         ratio = (max(lanes) / mean) if mean > 0 else 1.0
         key = (run["partition"], run["commit_groups"])
         imbalance[key] = ratio
-        print(f"check_lane_balance: {run['partition']:>10} groups="
+        print(f"check_lane_balance: policy={policy} "
+              f"{run['partition']:>10} groups="
               f"{run['commit_groups']} shards={run['shards']} "
               f"imbalance={ratio:.4f} lane_events={lanes}")
 
@@ -81,15 +86,16 @@ def main():
             continue
         saw_weighted = True
         if ratio > args.max_weighted_imbalance:
-            fail(f"weighted groups={groups} imbalance {ratio:.4f} exceeds "
-                 f"the committed bound {args.max_weighted_imbalance}")
+            fail(f"policy={policy} weighted groups={groups} imbalance "
+                 f"{ratio:.4f} exceeds the committed bound "
+                 f"{args.max_weighted_imbalance}")
         contiguous = imbalance.get(("contiguous", groups))
         if contiguous is not None and contiguous > 1.0:
             if ratio > contiguous * args.min_improvement:
-                fail(f"weighted groups={groups} imbalance {ratio:.4f} is "
-                     f"not <= {args.min_improvement} x contiguous "
-                     f"({contiguous:.4f}) — the load-aware partition "
-                     f"stopped paying for itself")
+                fail(f"policy={policy} weighted groups={groups} imbalance "
+                     f"{ratio:.4f} is not <= {args.min_improvement} x "
+                     f"contiguous ({contiguous:.4f}) — the load-aware "
+                     f"partition stopped paying for itself")
     if not saw_weighted:
         fail("no weighted multi-group runs found (run with --partition "
              "both or weighted and --groups including a value > 1)")

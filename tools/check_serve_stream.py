@@ -28,6 +28,7 @@ DELTA_KEYS = [
     "completed", "engine_events",
     "reservations_posted", "reservations_admitted", "reservations_dropped",
     "outage_forced_drops", "mutations_applied", "repartitions",
+    "repartitions_skipped", "demand_deltas", "shadow_migrations",
 ]
 CUMULATIVE_KEYS = ["busy_bu_seconds_cum", "observed_span_s_cum"]
 # Run-cumulative per-lane committed events: a non-negative-int list whose
