@@ -45,14 +45,13 @@ cellular::PredictedCv FacsController::precompute(
   return {predictCv(user), true};
 }
 
-FacsEvaluation FacsController::evaluate(double predicted_cv, double demand_bu,
-                                        double occupied_bu, bool is_handoff,
-                                        int priority) const {
+FacsEvaluation FacsController::finishEvaluation(double cv, double ar,
+                                                bool is_handoff,
+                                                int priority) const {
   FacsEvaluation eval;
-  eval.cv = predicted_cv;
-  const std::array<double, 3> inputs{eval.cv, demand_bu, occupied_bu};
-  eval.ar = flc2_.infer(inputs);
-  eval.soft = classify(eval.ar);
+  eval.cv = cv;
+  eval.ar = ar;
+  eval.soft = classify(ar);
 
   double threshold = config_.accept_threshold;
   threshold -= config_.priority_bias * priority;
@@ -61,8 +60,16 @@ FacsEvaluation FacsController::evaluate(double predicted_cv, double demand_bu,
   // (e.g. a pure "not reject not accept" outcome against tau = 0) must not
   // flip on the sign of a 1e-18 rounding residue.
   constexpr double kDecisionEpsilon = 1e-9;
-  eval.accept = eval.ar > threshold + kDecisionEpsilon;
+  eval.accept = ar > threshold + kDecisionEpsilon;
   return eval;
+}
+
+FacsEvaluation FacsController::evaluate(double predicted_cv, double demand_bu,
+                                        double occupied_bu, bool is_handoff,
+                                        int priority) const {
+  const std::array<double, 3> inputs{predicted_cv, demand_bu, occupied_bu};
+  return finishEvaluation(predicted_cv, flc2_.infer(inputs), is_handoff,
+                          priority);
 }
 
 FacsEvaluation FacsController::evaluate(const cellular::UserSnapshot& user,
@@ -73,13 +80,29 @@ FacsEvaluation FacsController::evaluate(const cellular::UserSnapshot& user,
 }
 
 void FacsController::evaluateBatch(std::span<PendingDecision> batch) const {
-  // In order, one entry at a time: each entry carries the ledger state of
-  // its own decision instant, so there is nothing to reorder — the batch
-  // amortizes the per-inference setup (validation is sealed away, the FLC2
-  // scratch stays warm across entries) rather than changing any result.
-  for (PendingDecision& pending : batch) {
-    pending.eval = evaluate(pending.cv, pending.demand_bu, pending.occupied_bu,
-                            pending.is_handoff, pending.priority);
+  // In order: each entry carries the ledger state of its own decision
+  // instant, so there is nothing to reorder. The span flattens into an
+  // entry-major input array and runs through FLC2's batch kernel — sealed
+  // sample-grid aggregation plus fuzzification memoized across consecutive
+  // entries with an unchanged input. The scratch is per-thread and keyed to
+  // the engine's seal id, so the memo also spans consecutive decide()
+  // calls (a batch of one each) within a commit lane, and concurrent lanes
+  // never share state.
+  static thread_local fuzzy::BatchScratch scratch;
+  static thread_local std::vector<double> inputs;
+  static thread_local std::vector<double> outputs;
+  inputs.clear();
+  inputs.reserve(batch.size() * 3);
+  for (const PendingDecision& pending : batch) {
+    inputs.push_back(pending.cv);
+    inputs.push_back(pending.demand_bu);
+    inputs.push_back(pending.occupied_bu);
+  }
+  outputs.resize(batch.size());
+  flc2_.inferBatch(inputs, outputs, scratch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].eval = finishEvaluation(batch[i].cv, outputs[i],
+                                     batch[i].is_handoff, batch[i].priority);
   }
 }
 

@@ -118,9 +118,13 @@ class FacsController final : public cellular::AdmissionController {
   /// (sealed away at engine build) and inference-buffer allocation (a warm
   /// per-thread scratch) — is amortized across all decisions of a tick
   /// window whether they arrive as one span or as consecutive decide()
-  /// calls. Entries carry their own ledger state and are never reordered
-  /// (each decision's occupancy input depends on its predecessors'
-  /// outcomes); each result is bit-identical to a standalone evaluate().
+  /// calls, and the batch runs MamdaniEngine::inferBatch: aggregation
+  /// iterates FLC2's sealed sample-grid tables and fuzzification of each
+  /// input is memoized across consecutive entries whose crisp value is
+  /// unchanged (Cs rarely moves between a window's decisions). Entries
+  /// carry their own ledger state and are never reordered (each decision's
+  /// occupancy input depends on its predecessors' outcomes); each result is
+  /// bit-identical to a standalone evaluate().
   void evaluateBatch(std::span<PendingDecision> batch) const;
 
   /// Consumes context.predicted when valid (the precomputed FLC1 output);
@@ -143,6 +147,12 @@ class FacsController final : public cellular::AdmissionController {
   [[nodiscard]] const FacsConfig& config() const noexcept { return config_; }
 
  private:
+  /// Threshold logic + soft classification around a crisp A/R value — the
+  /// single back half both evaluate() and evaluateBatch() share.
+  [[nodiscard]] FacsEvaluation finishEvaluation(double cv, double ar,
+                                               bool is_handoff,
+                                               int priority) const;
+
   FacsConfig config_;
   fuzzy::MamdaniEngine flc1_;
   fuzzy::MamdaniEngine flc2_;

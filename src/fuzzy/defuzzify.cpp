@@ -1,8 +1,8 @@
 #include "fuzzy/defuzzify.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <vector>
 
 namespace facs::fuzzy {
 
@@ -10,75 +10,60 @@ namespace {
 
 constexpr double kZeroArea = 1e-12;
 
-struct Samples {
-  std::vector<double> x;
-  std::vector<double> mu;
-};
-
-Samples sample(const AggregatedCurve& curve, Interval u, int resolution) {
-  Samples s;
-  s.x.resize(static_cast<std::size_t>(resolution));
-  s.mu.resize(static_cast<std::size_t>(resolution));
-  const double step = u.width() / (resolution - 1);
-  for (int i = 0; i < resolution; ++i) {
-    const double x = u.lo + step * i;
-    s.x[static_cast<std::size_t>(i)] = x;
-    s.mu[static_cast<std::size_t>(i)] = curve(x);
-  }
-  return s;
-}
-
-double centroid(const Samples& s) {
-  // Trapezoidal integration of x*mu(x) and mu(x).
+double centroid(std::span<const double> x, std::span<const double> mu,
+                std::span<const double> w) {
+  // Trapezoidal integration of x*mu(x) and mu(x); w[i-1] = 0.5 * dx of the
+  // segment, so each addend matches the historical 0.5 * dx * (...) bit for
+  // bit (0.5 * dx is an exact product either way).
   double num = 0.0;
   double den = 0.0;
-  for (std::size_t i = 1; i < s.x.size(); ++i) {
-    const double dx = s.x[i] - s.x[i - 1];
-    num += 0.5 * dx * (s.x[i] * s.mu[i] + s.x[i - 1] * s.mu[i - 1]);
-    den += 0.5 * dx * (s.mu[i] + s.mu[i - 1]);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    num += w[i - 1] * (x[i] * mu[i] + x[i - 1] * mu[i - 1]);
+    den += w[i - 1] * (mu[i] + mu[i - 1]);
   }
-  if (den < kZeroArea) return 0.5 * (s.x.front() + s.x.back());
+  if (den < kZeroArea) return 0.5 * (x.front() + x.back());
   return num / den;
 }
 
-double bisector(const Samples& s) {
+double bisector(std::span<const double> x, std::span<const double> mu,
+                std::span<const double> w, std::vector<double>& cumulative) {
   double total = 0.0;
-  std::vector<double> cumulative(s.x.size(), 0.0);
-  for (std::size_t i = 1; i < s.x.size(); ++i) {
-    const double dx = s.x[i] - s.x[i - 1];
-    total += 0.5 * dx * (s.mu[i] + s.mu[i - 1]);
+  cumulative.assign(x.size(), 0.0);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    total += w[i - 1] * (mu[i] + mu[i - 1]);
     cumulative[i] = total;
   }
-  if (total < kZeroArea) return 0.5 * (s.x.front() + s.x.back());
+  if (total < kZeroArea) return 0.5 * (x.front() + x.back());
   const double half = 0.5 * total;
-  for (std::size_t i = 1; i < s.x.size(); ++i) {
+  for (std::size_t i = 1; i < x.size(); ++i) {
     if (cumulative[i] >= half) {
       // Linear interpolation within the segment for a stable answer.
       const double seg = cumulative[i] - cumulative[i - 1];
       const double t = seg > 0.0 ? (half - cumulative[i - 1]) / seg : 0.0;
-      return s.x[i - 1] + t * (s.x[i] - s.x[i - 1]);
+      return x[i - 1] + t * (x[i] - x[i - 1]);
     }
   }
-  return s.x.back();
+  return x.back();
 }
 
 enum class MaxPick { Mean, Smallest, Largest };
 
-double ofMax(const Samples& s, MaxPick pick) {
+double ofMax(std::span<const double> x, std::span<const double> mu,
+             MaxPick pick) {
   double peak = 0.0;
-  for (const double m : s.mu) peak = std::max(peak, m);
-  if (peak < kZeroArea) return 0.5 * (s.x.front() + s.x.back());
+  for (const double m : mu) peak = std::max(peak, m);
+  if (peak < kZeroArea) return 0.5 * (x.front() + x.back());
   const double tol = 1e-9;
   double sum = 0.0;
   std::size_t count = 0;
-  double smallest = s.x.back();
-  double largest = s.x.front();
-  for (std::size_t i = 0; i < s.x.size(); ++i) {
-    if (s.mu[i] >= peak - tol) {
-      sum += s.x[i];
+  double smallest = x.back();
+  double largest = x.front();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (mu[i] >= peak - tol) {
+      sum += x[i];
       ++count;
-      smallest = std::min(smallest, s.x[i]);
-      largest = std::max(largest, s.x[i]);
+      smallest = std::min(smallest, x[i]);
+      largest = std::max(largest, x[i]);
     }
   }
   switch (pick) {
@@ -92,30 +77,76 @@ double ofMax(const Samples& s, MaxPick pick) {
   return sum / static_cast<double>(count);
 }
 
+double dispatch(Defuzzifier method, std::span<const double> x,
+                std::span<const double> mu, std::span<const double> w,
+                std::vector<double>& cumulative) {
+  switch (method) {
+    case Defuzzifier::Centroid:
+      return centroid(x, mu, w);
+    case Defuzzifier::Bisector:
+      return bisector(x, mu, w, cumulative);
+    case Defuzzifier::MeanOfMax:
+      return ofMax(x, mu, MaxPick::Mean);
+    case Defuzzifier::SmallestOfMax:
+      return ofMax(x, mu, MaxPick::Smallest);
+    case Defuzzifier::LargestOfMax:
+      return ofMax(x, mu, MaxPick::Largest);
+  }
+  return centroid(x, mu, w);
+}
+
 }  // namespace
 
+void fillTrapezoidWeights(std::span<const double> x,
+                          std::vector<double>& weights) {
+  weights.resize(x.empty() ? 0 : x.size() - 1);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    weights[i - 1] = 0.5 * (x[i] - x[i - 1]);
+  }
+}
+
 double defuzzify(Defuzzifier method, const AggregatedCurve& curve,
-                 Interval universe, int resolution) {
+                 Interval universe, int resolution, DefuzzScratch& scratch) {
   if (resolution < 2) {
     throw std::invalid_argument("defuzzification resolution must be >= 2");
   }
   if (!(universe.lo < universe.hi)) {
     throw std::invalid_argument("defuzzification universe is empty");
   }
-  const Samples s = sample(curve, universe, resolution);
-  switch (method) {
-    case Defuzzifier::Centroid:
-      return centroid(s);
-    case Defuzzifier::Bisector:
-      return bisector(s);
-    case Defuzzifier::MeanOfMax:
-      return ofMax(s, MaxPick::Mean);
-    case Defuzzifier::SmallestOfMax:
-      return ofMax(s, MaxPick::Smallest);
-    case Defuzzifier::LargestOfMax:
-      return ofMax(s, MaxPick::Largest);
+  const auto n = static_cast<std::size_t>(resolution);
+  scratch.x.resize(n);
+  scratch.mu.resize(n);
+  const double step = universe.width() / (resolution - 1);
+  for (int i = 0; i < resolution; ++i) {
+    const double x = universe.lo + step * i;
+    scratch.x[static_cast<std::size_t>(i)] = x;
+    scratch.mu[static_cast<std::size_t>(i)] = curve(x);
   }
-  return centroid(s);
+  fillTrapezoidWeights(scratch.x, scratch.weights);
+  return dispatch(method, scratch.x, scratch.mu, scratch.weights,
+                  scratch.cumulative);
+}
+
+double defuzzify(Defuzzifier method, const AggregatedCurve& curve,
+                 Interval universe, int resolution) {
+  // Shared per thread: repeated callable defuzzification (the unsealed
+  // engine path, tests, examples) stays allocation-free after warmup.
+  static thread_local DefuzzScratch scratch;
+  return defuzzify(method, curve, universe, resolution, scratch);
+}
+
+double defuzzifySampled(Defuzzifier method, std::span<const double> x,
+                        std::span<const double> mu,
+                        std::span<const double> half_dx,
+                        DefuzzScratch& scratch) {
+  if (x.size() < 2) {
+    throw std::invalid_argument("defuzzification needs >= 2 samples");
+  }
+  if (mu.size() != x.size() || half_dx.size() != x.size() - 1) {
+    throw std::invalid_argument(
+        "defuzzification sample spans have mismatched sizes");
+  }
+  return dispatch(method, x, mu, half_dx, scratch.cumulative);
 }
 
 std::string_view toString(Defuzzifier method) noexcept {

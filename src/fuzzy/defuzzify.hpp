@@ -3,7 +3,9 @@
 /// Defuzzification of an aggregated output fuzzy set into a crisp value.
 
 #include <functional>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "fuzzy/membership.hpp"
 
@@ -23,6 +25,18 @@ enum class Defuzzifier {
 /// A sampled view of the aggregated output membership curve.
 using AggregatedCurve = std::function<double(double)>;
 
+/// Reusable working buffers for the allocation-free defuzzification path.
+/// `x`/`mu`/`weights` hold the sampled curve when defuzzifying a callable;
+/// `cumulative` is the bisector's running-area buffer. One scratch serves
+/// any resolution (each call resizes to its own shape), so a warm scratch
+/// keeps repeated defuzzification free of heap traffic.
+struct DefuzzScratch {
+  std::vector<double> x;
+  std::vector<double> mu;
+  std::vector<double> weights;
+  std::vector<double> cumulative;
+};
+
 /// Defuzzifies \p curve over \p universe using \p resolution uniform samples.
 ///
 /// If the curve is identically zero over the universe (no rule fired), the
@@ -32,6 +46,33 @@ using AggregatedCurve = std::function<double(double)>;
 /// \throws std::invalid_argument if resolution < 2 or the universe is empty.
 [[nodiscard]] double defuzzify(Defuzzifier method, const AggregatedCurve& curve,
                                Interval universe, int resolution = 1001);
+
+/// As above, reusing \p scratch for the sample buffers — allocation-free
+/// once the scratch has warmed up, and bit-identical to the plain overload
+/// (same grid, same arithmetic in the same order).
+[[nodiscard]] double defuzzify(Defuzzifier method, const AggregatedCurve& curve,
+                               Interval universe, int resolution,
+                               DefuzzScratch& scratch);
+
+/// Defuzzifies an already-sampled curve: \p x is the sample grid, \p mu the
+/// membership at each sample, \p half_dx the trapezoid weights
+/// (0.5 * (x[i+1] - x[i]) per segment, so |half_dx| == |x| - 1). This is
+/// the sealed-engine fast path — the grid and weights are precomputed once
+/// at seal() and every inference only fills \p mu. Bit-identical to
+/// sampling the equivalent callable at the same points.
+///
+/// \throws std::invalid_argument on mismatched spans or fewer than 2 samples.
+[[nodiscard]] double defuzzifySampled(Defuzzifier method,
+                                      std::span<const double> x,
+                                      std::span<const double> mu,
+                                      std::span<const double> half_dx,
+                                      DefuzzScratch& scratch);
+
+/// Fills \p weights with the trapezoid integration weights of grid \p x:
+/// weights[i] = 0.5 * (x[i+1] - x[i]). The one formula both the sealed
+/// tables and the sampling path use, so their integrals share every bit.
+void fillTrapezoidWeights(std::span<const double> x,
+                          std::vector<double>& weights);
 
 [[nodiscard]] std::string_view toString(Defuzzifier method) noexcept;
 

@@ -1,10 +1,88 @@
 #include "fuzzy/engine.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
 namespace facs::fuzzy {
+
+namespace {
+
+/// Monotonic id source for seal(): a BatchScratch memo keyed on the id can
+/// never be replayed against a different engine (or the same engine after a
+/// mutation + reseal), even if an engine object is destroyed and another
+/// constructed at the same address.
+std::atomic<std::uint64_t> g_seal_counter{0};
+
+/// The aggregation inner loop of the sealed path, specialized per operator
+/// pair so the per-sample work is branch-light and autovectorizable. Each
+/// functor mirrors apply() in norms.cpp exactly — same primitive ops, so
+/// the specialized loops share every bit with the generic path.
+template <typename ImplOp, typename AggOp>
+void accumulateRow(double activation, const double* term_mu, double* mu,
+                   std::size_t n, ImplOp impl, AggOp agg) {
+  for (std::size_t i = 0; i < n; ++i) {
+    mu[i] = agg(mu[i], impl(activation, term_mu[i]));
+  }
+}
+
+struct MinOp {
+  double operator()(double a, double b) const { return std::min(a, b); }
+};
+struct ProdOp {
+  double operator()(double a, double b) const { return a * b; }
+};
+struct LukOp {
+  double operator()(double a, double b) const {
+    return std::max(0.0, a + b - 1.0);
+  }
+};
+struct MaxOp {
+  double operator()(double a, double b) const { return std::max(a, b); }
+};
+struct ProborOp {
+  double operator()(double a, double b) const { return a + b - a * b; }
+};
+struct BsumOp {
+  double operator()(double a, double b) const { return std::min(1.0, a + b); }
+};
+
+template <typename ImplOp>
+void accumulateWithAgg(SNorm agg, double activation, const double* term_mu,
+                       double* mu, std::size_t n, ImplOp impl) {
+  switch (agg) {
+    case SNorm::Maximum:
+      return accumulateRow(activation, term_mu, mu, n, impl, MaxOp{});
+    case SNorm::AlgebraicSum:
+      return accumulateRow(activation, term_mu, mu, n, impl, ProborOp{});
+    case SNorm::BoundedSum:
+      return accumulateRow(activation, term_mu, mu, n, impl, BsumOp{});
+  }
+  // Unknown enum value: fall back to the generic dispatcher so a future
+  // norm cannot silently diverge from apply().
+  for (std::size_t i = 0; i < n; ++i) {
+    mu[i] = apply(agg, mu[i], impl(activation, term_mu[i]));
+  }
+}
+
+void accumulateTerm(TNorm impl, SNorm agg, double activation,
+                    const double* term_mu, double* mu, std::size_t n) {
+  switch (impl) {
+    case TNorm::Minimum:
+      return accumulateWithAgg(agg, activation, term_mu, mu, n, MinOp{});
+    case TNorm::AlgebraicProduct:
+      return accumulateWithAgg(agg, activation, term_mu, mu, n, ProdOp{});
+    case TNorm::BoundedDifference:
+      return accumulateWithAgg(agg, activation, term_mu, mu, n, LukOp{});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    mu[i] = apply(agg, mu[i], apply(impl, activation, term_mu[i]));
+  }
+}
+
+}  // namespace
 
 MamdaniEngine::MamdaniEngine(std::string name, EngineConfig config)
     : name_{std::move(name)}, config_{config} {
@@ -17,25 +95,25 @@ MamdaniEngine::MamdaniEngine(std::string name, EngineConfig config)
 }
 
 std::size_t MamdaniEngine::addInput(LinguisticVariable variable) {
-  sealed_ = false;
+  unseal();
   inputs_.push_back(std::move(variable));
   return inputs_.size() - 1;
 }
 
 void MamdaniEngine::setOutput(LinguisticVariable variable) {
-  sealed_ = false;
+  unseal();
   output_.clear();
   output_.push_back(std::move(variable));
 }
 
 void MamdaniEngine::addRule(const std::vector<std::string>& antecedent_terms,
                             const std::string& consequent_term, double weight) {
-  sealed_ = false;
+  unseal();
   rules_.add(inputs_, output(), antecedent_terms, consequent_term, weight);
 }
 
 void MamdaniEngine::addRule(Rule rule) {
-  sealed_ = false;
+  unseal();
   rules_.add(std::move(rule));
 }
 
@@ -86,13 +164,41 @@ void MamdaniEngine::setConfig(const EngineConfig& config) {
   if (config.resolution < 2) {
     throw std::invalid_argument("engine resolution must be >= 2");
   }
-  sealed_ = false;
+  unseal();
   config_ = config;
 }
 
 void MamdaniEngine::seal() {
   checkValid();
+
+  // Precompute the defuzzification tables on the fixed sample grid. The
+  // grid formula is exactly the sampling loop in defuzzify(): x = lo +
+  // step * i with step = width / (resolution - 1) — a pure function of
+  // (universe, resolution) — so sealed lookups reproduce the unsealed
+  // path's samples bit for bit.
+  const LinguisticVariable& out = output();
+  const Interval u = out.universe();
+  const auto n = static_cast<std::size_t>(config_.resolution);
+  tables_.x.resize(n);
+  const double step = u.width() / (config_.resolution - 1);
+  for (int i = 0; i < config_.resolution; ++i) {
+    tables_.x[static_cast<std::size_t>(i)] = u.lo + step * i;
+  }
+  fillTrapezoidWeights(tables_.x, tables_.half_dx);
+  tables_.term_mu.resize(out.termCount() * n);
+  for (std::size_t t = 0; t < out.termCount(); ++t) {
+    out.tabulateTerm(t, tables_.x,
+                     std::span<double>{tables_.term_mu.data() + t * n, n});
+  }
+
   sealed_ = true;
+  seal_id_ = g_seal_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void MamdaniEngine::unseal() {
+  sealed_ = false;
+  seal_id_ = 0;
+  tables_ = OutputTables{};
 }
 
 void MamdaniEngine::ensureValid() const {
@@ -116,19 +222,38 @@ void MamdaniEngine::fireInto(const std::vector<FuzzyVector>& fuzzified,
 }
 
 double MamdaniEngine::aggregateAndDefuzzify(
-    const std::vector<double>& strengths,
-    std::vector<double>& term_activation) const {
+    const std::vector<double>& strengths, InferenceScratch& scratch) const {
   // Per-output-term activation level: the s-norm of the strengths of all
   // rules concluding in that term. Computing per-term activation first (and
   // evaluating each term's membership once per sample point) keeps the
   // aggregated-curve evaluation O(#terms) instead of O(#rules).
   const LinguisticVariable& out = output();
+  std::vector<double>& term_activation = scratch.term_activation;
   term_activation.assign(out.termCount(), 0.0);
   for (std::size_t i = 0; i < strengths.size(); ++i) {
     if (strengths[i] <= 0.0) continue;
     const std::size_t t = rules_.rule(i).consequent;
     term_activation[t] =
         apply(config_.aggregation, term_activation[t], strengths[i]);
+  }
+
+  if (sealed_) {
+    // Sealed fast path: fold each active term's precomputed sample row into
+    // the aggregated curve. Term-outer / sample-inner reorders only the
+    // loop nest, not the arithmetic — per sample the same apply() chain
+    // runs in the same ascending-term order as the curve lambda below, so
+    // the result is bit-identical while the inner loop walks contiguous
+    // doubles.
+    const std::size_t n = tables_.x.size();
+    scratch.curve_mu.assign(n, 0.0);
+    for (std::size_t t = 0; t < term_activation.size(); ++t) {
+      if (term_activation[t] <= 0.0) continue;
+      accumulateTerm(config_.implication, config_.aggregation,
+                     term_activation[t], tables_.term_mu.data() + t * n,
+                     scratch.curve_mu.data(), n);
+    }
+    return defuzzifySampled(config_.defuzzifier, tables_.x, scratch.curve_mu,
+                            tables_.half_dx, scratch.defuzz);
   }
 
   const auto curve = [&](double x) {
@@ -143,7 +268,7 @@ double MamdaniEngine::aggregateAndDefuzzify(
   };
 
   return defuzzify(config_.defuzzifier, curve, out.universe(),
-                   config_.resolution);
+                   config_.resolution, scratch.defuzz);
 }
 
 double MamdaniEngine::infer(std::span<const double> crisp_inputs) const {
@@ -173,7 +298,57 @@ double MamdaniEngine::inferInto(std::span<const double> crisp_inputs,
     inputs_[v].fuzzifyInto(crisp_inputs[v], scratch.fuzzified[v]);
   }
   fireInto(scratch.fuzzified, scratch.strengths);
-  return aggregateAndDefuzzify(scratch.strengths, scratch.term_activation);
+  return aggregateAndDefuzzify(scratch.strengths, scratch);
+}
+
+void MamdaniEngine::inferBatch(std::span<const double> crisp_inputs,
+                               std::span<double> outputs,
+                               BatchScratch& scratch) const {
+  ensureValid();
+  const std::size_t arity = inputs_.size();
+  if (crisp_inputs.size() != outputs.size() * arity) {
+    std::ostringstream os;
+    os << "engine '" << name_ << "' batch expects " << outputs.size() << " x "
+       << arity << " inputs, got " << crisp_inputs.size();
+    throw std::invalid_argument(os.str());
+  }
+
+  // The memo (previous entry's crisp inputs, fuzzified degrees and output)
+  // only transfers across calls when this scratch last served this exact
+  // sealed engine; any other history is dropped. Unsealed engines never
+  // carry a memo out (seal_id_ == 0 matches nothing), though entries within
+  // this one call still share it — the engine cannot mutate mid-span.
+  if (scratch.engine_seal_id != seal_id_ || seal_id_ == 0) {
+    scratch.warm = false;
+  }
+  scratch.engine_seal_id = seal_id_;
+  scratch.inference.fuzzified.resize(arity);
+  scratch.last_inputs.resize(arity);
+
+  for (std::size_t e = 0; e < outputs.size(); ++e) {
+    const double* in = crisp_inputs.data() + e * arity;
+    bool all_unchanged = scratch.warm;
+    for (std::size_t v = 0; v < arity; ++v) {
+      // Bitwise-equal crisp value => identical fuzzified degrees (fuzzify
+      // is a pure function), so the previous entry's vector stands. NaN
+      // compares unequal to itself and always recomputes.
+      if (scratch.warm && in[v] == scratch.last_inputs[v]) continue;
+      inputs_[v].fuzzifyInto(in[v], scratch.inference.fuzzified[v]);
+      scratch.last_inputs[v] = in[v];
+      all_unchanged = false;
+    }
+    if (all_unchanged) {
+      // Every input repeated: the whole inference would re-run identical
+      // arithmetic on identical operands. Reuse the previous output.
+      outputs[e] = scratch.last_output;
+      continue;
+    }
+    fireInto(scratch.inference.fuzzified, scratch.inference.strengths);
+    outputs[e] =
+        aggregateAndDefuzzify(scratch.inference.strengths, scratch.inference);
+    scratch.last_output = outputs[e];
+    scratch.warm = true;
+  }
 }
 
 InferenceTrace MamdaniEngine::inferTraced(
@@ -198,16 +373,15 @@ InferenceTrace MamdaniEngine::inferTraced(
   // Exactly the scratch path's arithmetic — fireInto() and
   // aggregateAndDefuzzify() are the single implementation both share — plus
   // the activation bookkeeping only the trace wants.
-  std::vector<double> strengths;
-  fireInto(trace.fuzzified, strengths);
-  for (std::size_t i = 0; i < strengths.size(); ++i) {
-    if (strengths[i] > 0.0) {
-      trace.activations.push_back({i, strengths[i]});
+  InferenceScratch scratch;
+  fireInto(trace.fuzzified, scratch.strengths);
+  for (std::size_t i = 0; i < scratch.strengths.size(); ++i) {
+    if (scratch.strengths[i] > 0.0) {
+      trace.activations.push_back({i, scratch.strengths[i]});
     }
   }
 
-  std::vector<double> term_activation;
-  trace.crisp_output = aggregateAndDefuzzify(strengths, term_activation);
+  trace.crisp_output = aggregateAndDefuzzify(scratch.strengths, scratch);
   trace.winning_output_term = output().winningTerm(trace.crisp_output);
   return trace;
 }

@@ -3,6 +3,7 @@
 /// The Mamdani fuzzy logic controller: fuzzifier, inference engine, fuzzy
 /// rule base and defuzzifier — the four FLC elements of the paper's Fig. 2.
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -32,6 +33,22 @@ struct InferenceScratch {
   std::vector<FuzzyVector> fuzzified;
   std::vector<double> strengths;
   std::vector<double> term_activation;
+  std::vector<double> curve_mu;  ///< Aggregated curve on the sealed grid.
+  DefuzzScratch defuzz;
+};
+
+/// Working state of the batch inference path: the per-entry buffers plus the
+/// fuzzification memo. Unlike InferenceScratch, a BatchScratch is bound to
+/// one sealed engine at a time — the memo caches the previous entry's
+/// fuzzified degrees (and output) and is only valid against the engine that
+/// produced them, so inferBatch() re-keys and drops the memo whenever the
+/// scratch last served a different (or since-resealed) engine.
+struct BatchScratch {
+  InferenceScratch inference;
+  std::vector<double> last_inputs;  ///< Previous entry's crisp inputs.
+  double last_output = 0.0;
+  bool warm = false;                ///< Memo holds the previous entry.
+  std::uint64_t engine_seal_id = 0; ///< Which seal() the memo belongs to.
 };
 
 /// Per-rule diagnostic from a traced inference.
@@ -96,9 +113,17 @@ class MamdaniEngine {
 
   /// Validates once and caches the result: sealed engines skip the
   /// per-inference checkValid() (an O(rules^2 + term-product) scan that
-  /// otherwise dominates small rule bases). Any mutation (addInput,
-  /// setOutput, addRule, setConfig) unseals. Seal before sharing the engine
-  /// across threads; the flag is written here only.
+  /// otherwise dominates small rule bases). Sealing also precomputes the
+  /// output sample-grid tables — the defuzzification x-grid, its trapezoid
+  /// weights, and every output term's membership at every grid point (an
+  /// SoA resolution x termCount array) — so the aggregated-curve evaluation
+  /// becomes flat loops over contiguous doubles instead of a per-sample
+  /// lambda with nested apply() dispatch. The grid is a pure function of
+  /// (universe, resolution), so table lookups reproduce degree() bit-exactly
+  /// and sealed inference stays bit-identical to the unsealed path. Any
+  /// mutation (addInput, setOutput, addRule, setConfig) unseals and drops
+  /// the tables. Seal before sharing the engine across threads; the sealed
+  /// state is written here only.
   /// \throws std::logic_error when the engine is structurally invalid.
   void seal();
   [[nodiscard]] bool sealed() const noexcept { return sealed_; }
@@ -112,6 +137,22 @@ class MamdaniEngine {
   /// and bit-identical to infer() (same arithmetic in the same order).
   [[nodiscard]] double infer(std::span<const double> crisp_inputs,
                              InferenceScratch& scratch) const;
+
+  /// Batch inference: \p crisp_inputs holds the entries back to back,
+  /// entry-major (entry e's inputs at [e * inputCount(), (e+1) *
+  /// inputCount())), and \p outputs receives one crisp value per entry.
+  /// Fuzzification of each input variable is memoized across consecutive
+  /// entries whose crisp value is unchanged (in a commit window the shared
+  /// Cs input rarely moves between decisions); an entry whose inputs all
+  /// repeat reuses the previous output outright. Both shortcuts reuse pure
+  /// functions of identical inputs, so every entry is bit-identical to a
+  /// standalone infer(). The memo survives across calls when the same
+  /// scratch keeps serving the same sealed engine — consecutive decide()
+  /// calls batch as well as one span does.
+  /// \throws std::invalid_argument when crisp_inputs.size() !=
+  ///         outputs.size() * inputCount().
+  void inferBatch(std::span<const double> crisp_inputs,
+                  std::span<double> outputs, BatchScratch& scratch) const;
 
   /// As infer(), returning full diagnostics.
   [[nodiscard]] InferenceTrace inferTraced(
@@ -127,27 +168,45 @@ class MamdaniEngine {
   void fireInto(const std::vector<FuzzyVector>& fuzzified,
                 std::vector<double>& strengths) const;
 
-  /// Per-term aggregation of \p strengths into \p term_activation (resized
-  /// and zeroed here) followed by defuzzification of the aggregated curve —
-  /// the shared back half of every inference.
+  /// Per-term aggregation of \p strengths into scratch.term_activation
+  /// (resized and zeroed here) followed by defuzzification of the
+  /// aggregated curve — the shared back half of every inference. Sealed
+  /// engines iterate the precomputed sample-grid tables; unsealed engines
+  /// evaluate the curve through the term objects. Same grid, same apply()
+  /// order, so the two are bit-identical.
   [[nodiscard]] double aggregateAndDefuzzify(
-      const std::vector<double>& strengths,
-      std::vector<double>& term_activation) const;
+      const std::vector<double>& strengths, InferenceScratch& scratch) const;
 
   /// checkValid() unless a prior seal() vouches for the current structure.
   void ensureValid() const;
+
+  /// Drops the cached validation, the seal id and the precomputed tables —
+  /// every mutating entry point funnels through here.
+  void unseal();
 
   /// Arity check + defuzzified output via the scratch buffers (shared core
   /// of both infer() overloads).
   [[nodiscard]] double inferInto(std::span<const double> crisp_inputs,
                                  InferenceScratch& scratch) const;
 
+  /// Precomputed defuzzification tables of a sealed engine (empty while
+  /// unsealed). The grid and weights depend only on (universe, resolution);
+  /// term_mu is term-major — term t's row is [t * x.size(), (t+1) *
+  /// x.size()) — so the aggregation inner loop walks contiguous doubles.
+  struct OutputTables {
+    std::vector<double> x;        ///< Sample grid over the output universe.
+    std::vector<double> half_dx;  ///< Trapezoid weights, 0.5 * segment dx.
+    std::vector<double> term_mu;  ///< termCount x resolution, term-major.
+  };
+
   std::string name_;
   EngineConfig config_;
   std::vector<LinguisticVariable> inputs_;
   std::vector<LinguisticVariable> output_;  ///< 0 or 1 elements.
   RuleBase rules_;
+  OutputTables tables_;
   bool sealed_ = false;
+  std::uint64_t seal_id_ = 0;  ///< Unique per seal(); 0 while unsealed.
 };
 
 }  // namespace facs::fuzzy

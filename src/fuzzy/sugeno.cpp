@@ -60,6 +60,15 @@ void SugenoEngine::addRule(const std::vector<std::string>& antecedent_terms,
 }
 
 double SugenoEngine::infer(std::span<const double> crisp_inputs) const {
+  // Shared across engines on the same thread, as with the Mamdani scratch:
+  // every inference resizes the buffers to its own shape, so the steady
+  // state allocates nothing.
+  static thread_local SugenoScratch scratch;
+  return infer(crisp_inputs, scratch);
+}
+
+double SugenoEngine::infer(std::span<const double> crisp_inputs,
+                           SugenoScratch& scratch) const {
   if (inputs_.empty()) {
     throw std::logic_error("TSK engine '" + name_ + "' has no inputs");
   }
@@ -73,11 +82,13 @@ double SugenoEngine::infer(std::span<const double> crisp_inputs) const {
     throw std::invalid_argument(os.str());
   }
 
-  std::vector<double> clamped(inputs_.size());
-  std::vector<FuzzyVector> fuzzified(inputs_.size());
+  std::vector<double>& clamped = scratch.clamped;
+  std::vector<FuzzyVector>& fuzzified = scratch.fuzzified;
+  clamped.resize(inputs_.size());
+  fuzzified.resize(inputs_.size());
   for (std::size_t v = 0; v < inputs_.size(); ++v) {
     clamped[v] = inputs_[v].universe().clamp(crisp_inputs[v]);
-    fuzzified[v] = inputs_[v].fuzzify(clamped[v]);
+    inputs_[v].fuzzifyInto(clamped[v], fuzzified[v]);
   }
 
   double weighted_sum = 0.0;

@@ -38,6 +38,15 @@ struct SugenoRule {
   double weight = 1.0;
 };
 
+/// Reusable working buffers for the allocation-free TSK inference path —
+/// the same scratch-reuse treatment as the Mamdani engine's
+/// InferenceScratch. One scratch serves any number of engines (each
+/// inference resizes the buffers to its own shape).
+struct SugenoScratch {
+  std::vector<double> clamped;
+  std::vector<FuzzyVector> fuzzified;
+};
+
 /// A single-output TSK engine over shared LinguisticVariable inputs.
 class SugenoEngine {
  public:
@@ -69,6 +78,12 @@ class SugenoEngine {
   /// \throws std::invalid_argument on arity mismatch.
   /// \throws std::logic_error if the engine has no inputs or rules.
   [[nodiscard]] double infer(std::span<const double> crisp_inputs) const;
+
+  /// As infer(), reusing \p scratch for the clamped-input and fuzzified
+  /// buffers — no allocation once the scratch has warmed up, bit-identical
+  /// to infer() (same arithmetic in the same order).
+  [[nodiscard]] double infer(std::span<const double> crisp_inputs,
+                             SugenoScratch& scratch) const;
 
  private:
   std::string name_;

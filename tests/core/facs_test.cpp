@@ -265,6 +265,61 @@ TEST(FacsController, EvaluateBatchMatchesStandaloneEvaluate) {
   }
 }
 
+TEST(FacsController, EvaluateBatchMemoizesRepeatedSharedInputs) {
+  const FacsController facs;
+  // A commit-window batch: Cs holds still across runs of decisions (the
+  // fuzzification memo's target case), then moves mid-batch; some entries
+  // repeat completely. Every result must still equal a standalone
+  // evaluate() bit for bit.
+  std::vector<PendingDecision> batch;
+  const double cs_runs[] = {20.0, 20.0, 20.0, 25.0, 25.0, 20.0};
+  int k = 0;
+  for (double cs : cs_runs) {
+    PendingDecision p;
+    p.cv = (k % 3 == 0) ? 0.4 : 0.4 + 0.1 * (k % 3);  // repeats then moves
+    p.demand_bu = (k % 2 == 0) ? 5.0 : 10.0;
+    p.occupied_bu = cs;
+    ++k;
+    batch.push_back(p);
+    batch.push_back(p);  // exact duplicate: full-entry memo hit
+  }
+  facs.evaluateBatch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PendingDecision& p = batch[i];
+    const FacsEvaluation solo =
+        facs.evaluate(p.cv, p.demand_bu, p.occupied_bu, p.is_handoff,
+                      p.priority);
+    EXPECT_EQ(p.eval.ar, solo.ar) << "entry " << i;
+    EXPECT_EQ(p.eval.accept, solo.accept) << "entry " << i;
+  }
+}
+
+TEST(FacsController, InterleavedControllersNeverShareBatchState) {
+  // decide() routes through a per-thread BatchScratch shared by every
+  // controller on the thread. Two differently-configured controllers fed
+  // the same inputs back to back must each keep their own answers — the
+  // seal-id keying drops the other engine's memo.
+  FacsConfig prod_cfg;
+  prod_cfg.flc2.conjunction = fuzzy::TNorm::AlgebraicProduct;
+  prod_cfg.flc2.implication = fuzzy::TNorm::AlgebraicProduct;
+  prod_cfg.flc2.aggregation = fuzzy::SNorm::AlgebraicSum;
+  FacsController minmax;
+  FacsController prod{prod_cfg};
+
+  BaseStation bs{0, 40};
+  bs.allocate(1, 17, true);
+  const AdmissionContext ctx{bs, 0.0};
+  const CallRequest req = makeRequest(idealUser(), ServiceClass::Voice);
+
+  const double minmax_score = minmax.decide(req, ctx).score;
+  const double prod_score = prod.decide(req, ctx).score;
+  ASSERT_NE(minmax_score, prod_score);  // the configs genuinely differ
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(minmax.decide(req, ctx).score, minmax_score);
+    EXPECT_EQ(prod.decide(req, ctx).score, prod_score);
+  }
+}
+
 TEST(FacsController, EvaluateByCvMatchesSnapshotOverload) {
   const FacsController facs;
   const UserSnapshot u = idealUser();

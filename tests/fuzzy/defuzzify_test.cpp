@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 namespace facs::fuzzy {
 namespace {
@@ -116,6 +117,58 @@ TEST(Defuzzify, ToStringNames) {
   EXPECT_EQ(toString(Defuzzifier::MeanOfMax), "mom");
   EXPECT_EQ(toString(Defuzzifier::SmallestOfMax), "som");
   EXPECT_EQ(toString(Defuzzifier::LargestOfMax), "lom");
+}
+
+class SampledMatchesCurve : public ::testing::TestWithParam<Defuzzifier> {};
+
+TEST_P(SampledMatchesCurve, PresampledPathIsBitIdentical) {
+  // defuzzifySampled is the sealed-engine entry point: the caller hands in
+  // the grid, membership values and trapezoid weights that the curve
+  // overload would otherwise compute per call. Rebuilding those arrays with
+  // the same formulas must reproduce the curve overload bit for bit.
+  const Interval u{-3.0, 7.0};
+  const Triangular tri{6.0, 2.0, 1.0};
+  const AggregatedCurve curve = [&](double x) { return tri.degree(x); };
+  for (int resolution : {2, 11, 101, 1001}) {
+    std::vector<double> x(static_cast<std::size_t>(resolution));
+    std::vector<double> mu(x.size());
+    const double step = u.width() / static_cast<double>(resolution - 1);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = u.lo + step * static_cast<double>(i);
+      mu[i] = curve(x[i]);
+    }
+    std::vector<double> weights;
+    fillTrapezoidWeights(x, weights);
+    ASSERT_EQ(weights.size(), x.size() - 1);
+
+    DefuzzScratch scratch;
+    const double sampled = defuzzifySampled(GetParam(), x, mu, weights,
+                                            scratch);
+    const double direct = defuzzify(GetParam(), curve, u, resolution);
+    EXPECT_EQ(sampled, direct) << "resolution " << resolution;
+    // A dirty scratch (here: warm from the previous resolution and from
+    // this call's own buffers) must not change the answer.
+    EXPECT_EQ(defuzzifySampled(GetParam(), x, mu, weights, scratch), direct);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SampledMatchesCurve,
+                         ::testing::Values(Defuzzifier::Centroid,
+                                           Defuzzifier::Bisector,
+                                           Defuzzifier::MeanOfMax,
+                                           Defuzzifier::SmallestOfMax,
+                                           Defuzzifier::LargestOfMax));
+
+TEST(Defuzzify, ScratchOverloadMatchesLegacyOverload) {
+  const Triangular tri{0.25, 0.25, 0.75};
+  const AggregatedCurve curve = [&](double x) { return tri.degree(x); };
+  DefuzzScratch scratch;
+  for (Defuzzifier d :
+       {Defuzzifier::Centroid, Defuzzifier::Bisector, Defuzzifier::MeanOfMax,
+        Defuzzifier::SmallestOfMax, Defuzzifier::LargestOfMax}) {
+    EXPECT_EQ(defuzzify(d, curve, kUnit, 501, scratch),
+              defuzzify(d, curve, kUnit, 501));
+  }
 }
 
 }  // namespace

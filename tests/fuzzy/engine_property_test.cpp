@@ -8,6 +8,7 @@
 
 #include <array>
 #include <tuple>
+#include <vector>
 
 #include "core/flc1.hpp"
 #include "core/flc2.hpp"
@@ -96,6 +97,74 @@ INSTANTIATE_TEST_SUITE_P(
                           SNorm::BoundedSum),
         ::testing::Values(Defuzzifier::Centroid, Defuzzifier::Bisector,
                           Defuzzifier::MeanOfMax)));
+
+/// The operator families the `facs` policy exposes (`ops=minmax|prod|luk`),
+/// mirrored from applyOperatorFamily in core/facs.cpp.
+enum class OpsFamily { MinMax, Prod, Luk };
+
+using BatchConfig = std::tuple<OpsFamily, Defuzzifier, int>;
+
+class BatchIdentityMatrix : public ::testing::TestWithParam<BatchConfig> {
+ protected:
+  EngineConfig makeConfig() const {
+    const auto [family, defuzz, resolution] = GetParam();
+    EngineConfig cfg;
+    switch (family) {
+      case OpsFamily::MinMax:
+        break;
+      case OpsFamily::Prod:
+        cfg.conjunction = TNorm::AlgebraicProduct;
+        cfg.implication = TNorm::AlgebraicProduct;
+        cfg.aggregation = SNorm::AlgebraicSum;
+        break;
+      case OpsFamily::Luk:
+        cfg.conjunction = TNorm::BoundedDifference;
+        break;
+    }
+    cfg.defuzzifier = defuzz;
+    cfg.resolution = resolution;
+    return cfg;
+  }
+};
+
+TEST_P(BatchIdentityMatrix, Flc2BatchIsBitIdenticalToScalar) {
+  MamdaniEngine engine = core::buildFlc2(makeConfig());
+  engine.seal();
+
+  // Commit-window shape: Cs (the shared ledger input) repeats across runs
+  // of entries, exercising the fuzzification memo; Cv and R vary per entry.
+  std::vector<double> inputs;
+  for (double cs : {0.0, 0.0, 17.0, 17.0, 17.0, 40.0, 23.5}) {
+    for (double cv : {0.05, 0.45, 0.45, 0.95}) {
+      for (double r : {1.0, 6.5, 6.5, 10.0}) {
+        inputs.push_back(cv);
+        inputs.push_back(r);
+        inputs.push_back(cs);
+      }
+    }
+  }
+  const std::size_t entries = inputs.size() / 3;
+  std::vector<double> outputs(entries);
+  BatchScratch scratch;
+  engine.inferBatch(inputs, outputs, scratch);
+  for (std::size_t i = 0; i < entries; ++i) {
+    const std::array<double, 3> in{inputs[3 * i], inputs[3 * i + 1],
+                                   inputs[3 * i + 2]};
+    // Exact equality: memoized fuzzification and the sealed tables reuse
+    // pure functions of bitwise-identical inputs, so the batch path may
+    // never drift from a standalone infer().
+    EXPECT_EQ(outputs[i], engine.infer(in)) << "entry " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsDefuzzResolution, BatchIdentityMatrix,
+    ::testing::Combine(
+        ::testing::Values(OpsFamily::MinMax, OpsFamily::Prod, OpsFamily::Luk),
+        ::testing::Values(Defuzzifier::Centroid, Defuzzifier::Bisector,
+                          Defuzzifier::MeanOfMax, Defuzzifier::SmallestOfMax,
+                          Defuzzifier::LargestOfMax),
+        ::testing::Values(11, 101, 1001)));
 
 }  // namespace
 }  // namespace facs::fuzzy

@@ -131,5 +131,51 @@ TEST(SugenoEngine, MinVersusProductConjunction) {
   EXPECT_NEAR(min.infer(in), 100.0 * 0.4 / 0.7, 1e-9);
 }
 
+TEST(SugenoEngine, ScratchOverloadIsBitIdenticalAndReusable) {
+  SugenoEngine e{"tsk"};
+  e.addInput(makeAxis("x"));
+  e.addInput(makeAxis("y"));
+  e.addRule({"lo", "lo"}, {0.0, {}});
+  e.addRule({"lo", "hi"}, {1.0, {0.5, -0.25}});
+  e.addRule({"hi", "*"}, {100.0, {}});
+
+  SugenoScratch scratch;
+  for (double x = 0.0; x <= 10.0; x += 1.25) {
+    for (double y = 0.0; y <= 10.0; y += 2.5) {
+      const std::array<double, 2> in{x, y};
+      const double plain = e.infer(in);
+      // Exact equality: the scratch overload runs the same arithmetic in
+      // the same order, only the buffer ownership changes.
+      EXPECT_EQ(e.infer(in, scratch), plain) << x << "," << y;
+      // A warm scratch must not leak the previous call's state.
+      EXPECT_EQ(e.infer(in, scratch), plain) << x << "," << y;
+    }
+  }
+}
+
+TEST(SugenoEngine, OneScratchServesEnginesOfDifferentShape) {
+  SugenoEngine two{"two"};
+  two.addInput(makeAxis("x"));
+  two.addInput(makeAxis("y"));
+  two.addRule({"lo", "hi"}, {10.0, {}});
+  two.addRule({"hi", "lo"}, {20.0, {}});
+
+  SugenoEngine one{"one"};
+  one.addInput(makeAxis("x"));
+  one.addRule({"lo"}, {0.0, {}});
+  one.addRule({"hi"}, {5.0, {1.0}});
+
+  SugenoScratch scratch;
+  const std::array<double, 2> in2{3.0, 8.0};
+  const std::array<double, 1> in1{6.0};
+  const double a = two.infer(in2, scratch);
+  const double b = one.infer(in1, scratch);
+  // Interleave the arities: the scratch resizes per call, never bleeds.
+  EXPECT_EQ(two.infer(in2, scratch), a);
+  EXPECT_EQ(one.infer(in1, scratch), b);
+  EXPECT_EQ(a, two.infer(in2));
+  EXPECT_EQ(b, one.infer(in1));
+}
+
 }  // namespace
 }  // namespace facs::fuzzy

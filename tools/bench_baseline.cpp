@@ -26,10 +26,14 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "cellular/policy_registry.hpp"
+#include "core/facs.hpp"
+#include "core/flc2.hpp"
 #include "serve/service.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -218,6 +222,86 @@ int benchScaling(const std::string& path) {
   return 0;
 }
 
+int benchMicro(const std::string& path) {
+  // The decide-path microbaseline: per-inference latency of FLC2 (the
+  // engine every admission decision runs) and of the FACS batch kernel on
+  // a commit-window-shaped span. The sweep walks (Cv, R, Cs) through the
+  // same grid via the scalar and batch paths and audits the checksums
+  // equal before writing — the det_ key pins the engine's arithmetic, the
+  // audit pins the batch kernel's bit-identity to it.
+  const fuzzy::MamdaniEngine flc2 = core::buildFlc2();
+
+  std::vector<double> inputs;
+  for (double cv : {0.05, 0.25, 0.45, 0.45, 0.65, 0.95}) {
+    for (double r : {1.0, 5.0, 5.0, 10.0}) {
+      for (double cs : {0.0, 8.5, 17.0, 17.0, 17.0, 29.5, 40.0}) {
+        inputs.push_back(cv);
+        inputs.push_back(r);
+        inputs.push_back(cs);
+      }
+    }
+  }
+  const std::size_t entries = inputs.size() / 3;
+
+  // Scalar path + checksum; repeated to a fixed work budget for a stable
+  // per-inference time.
+  constexpr int kScalarRounds = 40;
+  double scalar_checksum = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < kScalarRounds; ++round) {
+    double sum = 0.0;
+    for (std::size_t e = 0; e < entries; ++e) {
+      const std::span<const double> in{inputs.data() + 3 * e, 3};
+      sum += flc2.infer(in);
+    }
+    scalar_checksum = sum;  // identical every round
+  }
+  const double infer_ns = secondsSince(t0) * 1e9 /
+                          static_cast<double>(entries * kScalarRounds);
+
+  // Batch path through the FACS controller (the production route) on the
+  // same grid, same order.
+  const core::FacsController facs;
+  std::vector<core::PendingDecision> batch(entries);
+  for (std::size_t e = 0; e < entries; ++e) {
+    batch[e].cv = inputs[3 * e];
+    batch[e].demand_bu = inputs[3 * e + 1];
+    batch[e].occupied_bu = inputs[3 * e + 2];
+  }
+  constexpr int kBatchRounds = 40;
+  double batch_checksum = 0.0;
+  const auto t1 = std::chrono::steady_clock::now();
+  for (int round = 0; round < kBatchRounds; ++round) {
+    facs.evaluateBatch(batch);
+    double sum = 0.0;
+    for (const core::PendingDecision& p : batch) sum += p.eval.ar;
+    batch_checksum = sum;
+  }
+  const double batch_ns = secondsSince(t1) * 1e9 /
+                          static_cast<double>(entries * kBatchRounds);
+
+  if (batch_checksum != scalar_checksum) {
+    std::cerr << "bench_baseline: batch kernel diverged from scalar FLC2 ("
+              << sim::shortestNumber(batch_checksum) << " vs "
+              << sim::shortestNumber(scalar_checksum) << ")\n";
+    return 1;
+  }
+
+  FlatJson json;
+  json.add("tolerance", 3.0);
+  json.add("det_entries", static_cast<std::uint64_t>(entries));
+  json.add("det_flc2_checksum", scalar_checksum);
+  json.add("perf_flc2_infer_ns", infer_ns);
+  json.add("perf_facs_batch_ns", batch_ns);
+  if (!json.writeTo(path)) {
+    std::cerr << "bench_baseline: cannot write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << " (" << entries << " entries, "
+            << "infer " << infer_ns << " ns, batch " << batch_ns << " ns)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,7 +309,9 @@ int main(int argc, char** argv) {
   try {
     const int streaming = benchStreaming(outdir + "/BENCH_streaming.json");
     if (streaming != 0) return streaming;
-    return benchScaling(outdir + "/BENCH_scaling.json");
+    const int scaling = benchScaling(outdir + "/BENCH_scaling.json");
+    if (scaling != 0) return scaling;
+    return benchMicro(outdir + "/BENCH_micro.json");
   } catch (const std::exception& e) {
     std::cerr << "bench_baseline: " << e.what() << "\n";
     return 1;
