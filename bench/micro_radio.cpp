@@ -1,0 +1,102 @@
+/// \file micro_radio.cpp
+/// Microbenchmarks of the radio layer and the SIR admission path: per-call
+/// latency of RadioModel::sinrDb and SirController::decide as the network
+/// grows (rings 2/4/6 = 19/61/127 cells), and the effect of the bounded
+/// interference footprint (`sir:radius=R`). These are the numbers behind
+/// the "SIR is the last scaling ceiling" claim: the interference sum is
+/// O(cells) at radius=0 and O(ring area) at radius=R.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cellular/admission.hpp"
+#include "cellular/network.hpp"
+#include "cellular/policy_registry.hpp"
+#include "cellular/radio.hpp"
+
+namespace {
+
+using namespace facs;
+
+/// A hex disk with every station partially loaded (utilizations vary per
+/// cell so no interferer drops out of the sum and no two cells look alike).
+cellular::HexNetwork loadedNetwork(int rings) {
+  cellular::HexNetwork net{rings, /*cell_radius_km=*/1.5};
+  cellular::CallId next_call = 1;
+  for (const cellular::Cell& c : net.cells()) {
+    cellular::BaseStation& bs = net.station(c.id);
+    const cellular::BandwidthUnits bu =
+        1 + static_cast<cellular::BandwidthUnits>(c.id * 7 % 29);
+    bs.allocate(next_call++, bu, (c.id % 2) == 0);
+  }
+  return net;
+}
+
+/// Positions inside the centre cell, rotated through per iteration so the
+/// distance terms change and nothing can be hoisted out of the loop.
+std::vector<cellular::Vec2> probePositions(const cellular::HexNetwork& net) {
+  const cellular::Vec2 centre = net.cell(0).center;
+  const double r = net.cellRadiusKm();
+  return {
+      {centre.x + 0.1 * r, centre.y + 0.2 * r},
+      {centre.x - 0.4 * r, centre.y + 0.3 * r},
+      {centre.x + 0.7 * r, centre.y - 0.1 * r},
+      {centre.x - 0.2 * r, centre.y - 0.6 * r},
+      {centre.x + 0.5 * r, centre.y + 0.5 * r},
+  };
+}
+
+void BM_SinrDb(benchmark::State& state) {
+  const cellular::HexNetwork net = loadedNetwork(static_cast<int>(state.range(0)));
+  const cellular::RadioModel radio{net};
+  const std::vector<cellular::Vec2> probes = probePositions(net);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(radio.sinrDb(probes[i], 0));
+    i = (i + 1) % probes.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(net.cellCount()) + " cells");
+}
+BENCHMARK(BM_SinrDb)->Arg(2)->Arg(4)->Arg(6);
+
+/// Full admission decision through the registry-built `sir` controller:
+/// range(0) = rings, range(1) = interference radius in hops (0 = exact
+/// whole-network sum).
+void BM_SirDecide(benchmark::State& state) {
+  const cellular::HexNetwork net = loadedNetwork(static_cast<int>(state.range(0)));
+  std::string spec = "sir";
+  if (state.range(1) > 0) {
+    spec += ":radius=" + std::to_string(state.range(1));
+  }
+  const std::unique_ptr<cellular::AdmissionController> controller =
+      cellular::PolicyRuntime::defaultRuntime().makeController(spec, net);
+  const std::vector<cellular::Vec2> probes = probePositions(net);
+  cellular::CallRequest request;
+  request.service = cellular::ServiceClass::Voice;
+  request.demand_bu = 2;
+  request.target_cell = 0;
+  const cellular::AdmissionContext context{net.station(0)};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    request.snapshot.position = probes[i];
+    benchmark::DoNotOptimize(controller->decide(request, context));
+    i = (i + 1) % probes.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(net.cellCount()) + " cells");
+}
+BENCHMARK(BM_SirDecide)
+    ->Args({2, 0})
+    ->Args({2, 2})
+    ->Args({4, 0})
+    ->Args({4, 2})
+    ->Args({6, 0})
+    ->Args({6, 2});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,8 +1,8 @@
 #include "cac/sir_controller.hpp"
 
 #include <algorithm>
-#include <memory>
-#include <sstream>
+#include <cmath>
+#include <cstdio>
 
 #include "cellular/network.hpp"
 #include "cellular/policy_registry.hpp"
@@ -12,6 +12,7 @@ namespace facs::cac {
 using cellular::AdmissionContext;
 using cellular::AdmissionDecision;
 using cellular::CallRequest;
+using cellular::CellId;
 using cellular::ReasonCode;
 
 SirController::SirController(const cellular::RadioModel& radio,
@@ -20,8 +21,23 @@ SirController::SirController(const cellular::RadioModel& radio,
 
 AdmissionDecision SirController::decide(const CallRequest& request,
                                         const AdmissionContext& context) {
-  const double sinr_db =
-      radio_.sinrDb(request.snapshot.position, context.station.cell());
+  const CellId serving = context.station.cell();
+  double sinr_db;
+  if (!grouped()) {
+    sinr_db = radio_.sinrDb(request.snapshot.position, serving);
+  } else {
+    // GroupLocal read discipline: own-group utilizations live (this lane
+    // owns their ledgers for the window), foreign groups from the barrier
+    // snapshot. Same interferer walk and arithmetic as sinrDb(), so a
+    // single-group partition reproduces the Global path bit-for-bit.
+    const int my_group = group_of_[serving];
+    const cellular::HexNetwork& net = radio_.network();
+    sinr_db = radio_.sinrDbWith(
+        request.snapshot.position, serving, [&](CellId cell) {
+          return group_of_[cell] == my_group ? net.station(cell).utilization()
+                                             : snapshot_[cell];
+        });
+  }
   const double needed_db = threshold(request.service);
   const bool clean_enough = sinr_db >= needed_db;
   const bool fits = context.station.canFit(request.demand_bu);
@@ -34,12 +50,65 @@ AdmissionDecision SirController::decide(const CallRequest& request,
   // Confidence: SINR margin scaled into [-1, 1] over a 10 dB window.
   d.score = std::clamp((sinr_db - needed_db) / 10.0, -1.0, 1.0);
   if (context.explain) {
-    std::ostringstream os;
-    os << "sinr=" << sinr_db << "dB need=" << needed_db << "dB";
-    if (!fits) os << " (no free BU)";
-    d.rationale = os.str();
+    d.rationale.appendf("sinr=%gdB need=%gdB", sinr_db, needed_db);
+    if (!fits) d.rationale.appendf(" (no free BU)");
   }
   return d;
+}
+
+void SirController::onPartitionChanged(
+    const cellular::CellGroupPartition& partition) {
+  const std::size_t cells = radio_.network().cellCount();
+  partition_groups_ = partition.groups();
+  group_of_.resize(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    group_of_[c] = partition.groupOf(static_cast<CellId>(c));
+  }
+  // Barrier context: ledgers are quiescent, so priming the snapshot here
+  // (startup and every adopted repartition epoch) is race-free and leaves
+  // no stale rows behind a re-keyed group map.
+  snapshot_.resize(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    snapshot_[c] = radio_.network().station(static_cast<CellId>(c)).utilization();
+  }
+}
+
+cellular::BarrierDrainStats SirController::onCommitBarrier(double /*now_s*/) {
+  // Only the grouped read path consumes the snapshot; a Global-scoped run
+  // (radius 0) must stay byte-for-byte on the legacy metrics too, so leave
+  // its counters untouched.
+  if (!grouped()) return {};
+  cellular::BarrierDrainStats stats;
+  const cellular::HexNetwork& net = radio_.network();
+  for (std::size_t c = 0; c < snapshot_.size(); ++c) {
+    const double live = net.station(static_cast<CellId>(c)).utilization();
+    if (snapshot_[c] != live) {
+      snapshot_[c] = live;
+      ++stats.deltas_applied;
+    }
+  }
+  return stats;
+}
+
+std::string SirController::auditWorkload(
+    const cellular::WorkloadEnvelope& /*envelope*/) const {
+  const int radius = radio_.config().interference_radius_hops;
+  if (radius <= 0) return {};  // exact sum: nothing truncated
+  const double tail_mw = radio_.truncationTailBoundMw();
+  const double noise_mw = radio_.noiseFloorMw();
+  if (!(noise_mw > 0.0) || tail_mw <= kTailNoiseFractionLimit * noise_mw) {
+    return {};
+  }
+  char buf[208];
+  std::snprintf(
+      buf, sizeof buf,
+      "SIR radius=%d can discard a worst-case interference tail of %.3gx "
+      "the thermal noise floor (documented limit %gx): bounded-footprint "
+      "SINR overstates edge-user quality by up to %.1f dB; raise radius or "
+      "use radius=0 for the exact sum",
+      radius, tail_mw / noise_mw, kTailNoiseFractionLimit,
+      10.0 * std::log10(1.0 + tail_mw / noise_mw));
+  return buf;
 }
 
 // ------------------------------------------------------------------------
@@ -50,17 +119,51 @@ using cellular::PolicySpec;
 
 /// SirController bundled with the radio model it consults, so the registry
 /// can hand out self-contained controllers (the inner controller holds a
-/// reference into this wrapper).
+/// reference into this wrapper). Forwards the FULL controller protocol —
+/// scope, precompute, lifecycle hooks, partition/barrier hooks, audit — so
+/// a registry-built `sir` is indistinguishable from a directly-constructed
+/// one (the grouped commit path depends on it).
 class StandaloneSirController final : public cellular::AdmissionController {
  public:
-  explicit StandaloneSirController(const cellular::HexNetwork& net,
-                                   SirThresholds thresholds)
-      : radio_{net}, inner_{radio_, thresholds} {}
+  StandaloneSirController(const cellular::HexNetwork& net,
+                          cellular::RadioConfig radio_config,
+                          SirThresholds thresholds)
+      : radio_{net, radio_config}, inner_{radio_, thresholds} {}
 
   [[nodiscard]] std::string name() const override { return inner_.name(); }
+  [[nodiscard]] cellular::CommitScope commitScope() const noexcept override {
+    return inner_.commitScope();
+  }
   [[nodiscard]] AdmissionDecision decide(
       const CallRequest& request, const AdmissionContext& context) override {
     return inner_.decide(request, context);
+  }
+  [[nodiscard]] cellular::PredictedCv precompute(
+      const cellular::UserSnapshot& user) const override {
+    return inner_.precompute(user);
+  }
+  void onAdmitted(const CallRequest& request,
+                  const AdmissionContext& context) override {
+    inner_.onAdmitted(request, context);
+  }
+  void onReleased(const CallRequest& request,
+                  const AdmissionContext& context) override {
+    inner_.onReleased(request, context);
+  }
+  void onRejected(const CallRequest& request,
+                  const AdmissionContext& context) override {
+    inner_.onRejected(request, context);
+  }
+  void onPartitionChanged(
+      const cellular::CellGroupPartition& partition) override {
+    inner_.onPartitionChanged(partition);
+  }
+  cellular::BarrierDrainStats onCommitBarrier(double now_s) override {
+    return inner_.onCommitBarrier(now_s);
+  }
+  [[nodiscard]] std::string auditWorkload(
+      const cellular::WorkloadEnvelope& envelope) const override {
+    return inner_.auditWorkload(envelope);
   }
 
  private:
@@ -72,9 +175,10 @@ const PolicyRegistrar register_sir{
     {"sir",
      "SIR-based CAC: admit only when downlink SINR clears a per-class "
      "threshold and the bandwidth fits.",
-     "sir[:T_text,T_voice,T_video]  (min SINR dB, default -3,1,5)"},
+     "sir[:T_text,T_voice,T_video][,radius=R]  (min SINR dB, default "
+     "-3,1,5; R hops bound the interference sum, 0 = whole network)"},
     [](const PolicySpec& spec) -> cellular::ControllerFactory {
-      spec.expectOnly(cellular::kServiceClassCount, {});
+      spec.expectOnly(cellular::kServiceClassCount, {"radius"});
       if (!spec.positional().empty() &&
           spec.positionalCount() != cellular::kServiceClassCount) {
         throw cellular::PolicySpecError(
@@ -86,8 +190,16 @@ const PolicyRegistrar register_sir{
       for (std::size_t i = 0; i < spec.positionalCount(); ++i) {
         thresholds.min_sinr_db[i] = spec.numberAt(i, thresholds.min_sinr_db[i]);
       }
-      return [thresholds](const cellular::HexNetwork& net) {
-        return std::make_unique<StandaloneSirController>(net, thresholds);
+      const int radius = spec.intFor("radius", 0);
+      if (radius < 0) {
+        throw cellular::PolicySpecError(
+            "policy 'sir': radius must be >= 0 hops");
+      }
+      return [thresholds, radius](const cellular::HexNetwork& net) {
+        cellular::RadioConfig radio_config;
+        radio_config.interference_radius_hops = radius;
+        return std::make_unique<StandaloneSirController>(net, radio_config,
+                                                         thresholds);
       };
     }};
 

@@ -41,13 +41,70 @@ RadioModel::RadioModel(const HexNetwork& network, Config config)
   if (!(config_.path_loss.min_distance_km > 0.0)) {
     throw std::invalid_argument("minimum path-loss distance must be positive");
   }
+  if (config_.interference_radius_hops < 0) {
+    throw std::invalid_argument("interference radius must be >= 0 hops");
+  }
+  buildTables();
+}
+
+void RadioModel::buildTables() {
+  const PathLossParams& pl = config_.path_loss;
+  // PL(d) = PL0 + 10 n log10(d/d0)  =>  rx_dbm = tx - PL0 + 10 n log10(d0)
+  // - 10 n log10(d), so in linear mW: rx = C * d^-n with the constant below.
+  gain_const_mw_ =
+      dbmToMw(config_.tx_power_dbm - pl.reference_loss_db +
+              10.0 * pl.exponent * std::log10(pl.reference_distance_km));
+  neg_half_exponent_ = -0.5 * pl.exponent;
+  min_distance_sq_ = pl.min_distance_km * pl.min_distance_km;
+  noise_mw_ = dbmToMw(config_.noise_floor_dbm);
+
+  const std::size_t cells = network_.cellCount();
+  const int radius = config_.interference_radius_hops;
+  interferer_offsets_.assign(cells + 1, 0);
+  interferer_ids_.clear();
+  station_x_.clear();
+  station_y_.clear();
+  interferer_ids_.reserve(cells * (cells - (cells > 0 ? 1 : 0)));
+
+  tail_bound_mw_ = 0.0;
+  for (const Cell& serving : network_.cells()) {
+    interferer_offsets_[serving.id] =
+        static_cast<std::uint32_t>(interferer_ids_.size());
+    double tail_mw = 0.0;
+    for (const Cell& other : network_.cells()) {
+      if (other.id == serving.id) continue;
+      const bool in_footprint =
+          radius == 0 || hexDistance(serving.coord, other.coord) <= radius;
+      if (in_footprint) {
+        interferer_ids_.push_back(other.id);
+        station_x_.push_back(other.center.x);
+        station_y_.push_back(other.center.y);
+        continue;
+      }
+      // Worst case for a discarded interferer: its cell fully utilized and
+      // the user at the serving cell's edge toward it — closest approach is
+      // the centre distance minus the hex circumradius (clamped at the
+      // path-loss pole guard, like every real link).
+      const double closest_km =
+          std::max(serving.center.distanceTo(other.center) -
+                       network_.cellRadiusKm(),
+                   pl.min_distance_km);
+      tail_mw += config_.activity_factor * gain_const_mw_ *
+                 std::pow(closest_km * closest_km, neg_half_exponent_);
+    }
+    tail_bound_mw_ = std::max(tail_bound_mw_, tail_mw);
+  }
+  interferer_offsets_[cells] =
+      static_cast<std::uint32_t>(interferer_ids_.size());
 }
 
 double RadioModel::linkPowerMw(Vec2 position, CellId cell,
                                double extra_loss_db) const {
-  const double d = network_.distanceToStationKm(position, cell);
-  const double loss = pathLossDb(config_.path_loss, d) + extra_loss_db;
-  return dbmToMw(config_.tx_power_dbm - loss);
+  const double dx = position.x - network_.cell(cell).center.x;
+  const double dy = position.y - network_.cell(cell).center.y;
+  const double d2 = std::max(dx * dx + dy * dy, min_distance_sq_);
+  const double base = gain_const_mw_ * std::pow(d2, neg_half_exponent_);
+  return extra_loss_db == 0.0 ? base : base * dbToLinear(-extra_loss_db);
 }
 
 double RadioModel::receivedPowerDbm(Vec2 position, CellId cell) const {
@@ -55,36 +112,37 @@ double RadioModel::receivedPowerDbm(Vec2 position, CellId cell) const {
 }
 
 double RadioModel::sinrDb(Vec2 position, CellId serving_cell) const {
-  const double signal_mw = linkPowerMw(position, serving_cell, 0.0);
-  double interference_mw = dbmToMw(config_.noise_floor_dbm);
-  for (const Cell& c : network_.cells()) {
-    if (c.id == serving_cell) continue;
-    const double activity =
-        config_.activity_factor * network_.station(c.id).utilization();
-    if (activity <= 0.0) continue;
-    interference_mw += activity * linkPowerMw(position, c.id, 0.0);
-  }
-  return linearToDb(signal_mw / interference_mw);
+  return sinrDbWith(position, serving_cell, [this](CellId cell) {
+    return network_.station(cell).utilization();
+  });
 }
 
 double RadioModel::shadowedSinrDb(Vec2 position, CellId serving_cell,
                                   std::mt19937_64& rng) const {
   std::normal_distribution<double> shadow{
       0.0, config_.path_loss.shadowing_sigma_db};
-  const double serving_extra =
-      config_.path_loss.shadowing_sigma_db > 0.0 ? shadow(rng) : 0.0;
+  const bool shadowing = config_.path_loss.shadowing_sigma_db > 0.0;
+  const double serving_extra = shadowing ? shadow(rng) : 0.0;
   const double signal_mw = linkPowerMw(position, serving_cell, serving_extra);
-  double interference_mw = dbmToMw(config_.noise_floor_dbm);
-  for (const Cell& c : network_.cells()) {
-    if (c.id == serving_cell) continue;
+  double interference_mw = noise_mw_;
+  const std::uint32_t begin = interferer_offsets_[serving_cell];
+  const std::uint32_t end = interferer_offsets_[serving_cell + 1];
+  for (std::uint32_t k = begin; k != end; ++k) {
+    const CellId cell = interferer_ids_[k];
     const double activity =
-        config_.activity_factor * network_.station(c.id).utilization();
+        config_.activity_factor * network_.station(cell).utilization();
     if (activity <= 0.0) continue;
-    const double extra =
-        config_.path_loss.shadowing_sigma_db > 0.0 ? shadow(rng) : 0.0;
-    interference_mw += activity * linkPowerMw(position, c.id, extra);
+    // One shadowing draw per ACTIVE footprint link, in ascending id order —
+    // the draw sequence is part of the model's deterministic contract.
+    const double extra = shadowing ? shadow(rng) : 0.0;
+    const double dx = position.x - station_x_[k];
+    const double dy = position.y - station_y_[k];
+    const double d2 = std::max(dx * dx + dy * dy, min_distance_sq_);
+    double link_mw = gain_const_mw_ * std::pow(d2, neg_half_exponent_);
+    if (extra != 0.0) link_mw *= dbToLinear(-extra);
+    interference_mw += activity * link_mw;
   }
-  return linearToDb(signal_mw / interference_mw);
+  return linearToDbFast(signal_mw / interference_mw);
 }
 
 }  // namespace facs::cellular

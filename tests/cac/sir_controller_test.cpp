@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "cellular/network.hpp"
+#include "cellular/policy_registry.hpp"
+
 namespace facs::cac {
 namespace {
 
@@ -88,6 +93,129 @@ TEST(SirController, CustomThresholds) {
   const AdmissionContext ctx{net.station(0), 0.0};
   EXPECT_FALSE(sir.decide(request(ServiceClass::Text, {1.0, 0.0}), ctx).accept);
   EXPECT_DOUBLE_EQ(sir.threshold(ServiceClass::Voice), 60.0);
+}
+
+// ------------------------------------------- bounded footprint & grouping --
+
+TEST(SirController, CommitScopeFollowsTheFootprint) {
+  const HexNetwork net{1};
+  const RadioModel exact{net};
+  EXPECT_EQ(SirController{exact}.commitScope(),
+            cellular::CommitScope::Global);
+  cellular::RadioConfig rc;
+  rc.interference_radius_hops = 1;
+  const RadioModel bounded{net, rc};
+  EXPECT_EQ(SirController{bounded}.commitScope(),
+            cellular::CommitScope::GroupLocal);
+}
+
+TEST(SirController, SnapshotReadsMatchLiveAtAQuiescentBarrier) {
+  // Right after the barrier primes the snapshot, grouped decisions must be
+  // bit-identical to an ungrouped live-read controller: snapshot == live
+  // until some ledger moves, and the interferer walk is shared.
+  HexNetwork net{1};
+  for (cellular::CellId id = 1; id < 7; ++id) {
+    net.station(id).allocate(id, static_cast<cellular::BandwidthUnits>(5 * id),
+                             true);
+  }
+  cellular::RadioConfig rc;
+  rc.interference_radius_hops = 1;
+  const RadioModel radio{net, rc};
+  SirController grouped{radio};
+  grouped.onPartitionChanged(cellular::CellGroupPartition{net, 4});
+  SirController live{radio};
+  const AdmissionContext ctx{net.station(0), 0.0};
+  for (const auto s :
+       {ServiceClass::Text, ServiceClass::Voice, ServiceClass::Video}) {
+    for (const Vec2 pos : {Vec2{0.5, 0.0}, Vec2{8.5, 0.0}, Vec2{4.0, 3.0}}) {
+      const auto a = grouped.decide(request(s, pos), ctx);
+      const auto b = live.decide(request(s, pos), ctx);
+      EXPECT_EQ(a.accept, b.accept);
+      EXPECT_EQ(a.reason, b.reason);
+      EXPECT_EQ(a.score, b.score);
+    }
+  }
+}
+
+TEST(SirController, ForeignUtilizationIsSnapshotUntilTheBarrier) {
+  // One group per cell: every interferer is foreign, so decide() reads the
+  // barrier snapshot only. A ledger change in another cell must stay
+  // invisible until onCommitBarrier refreshes — PR 8 barrier-visibility
+  // semantics, one tick-window of lag at most.
+  HexNetwork net{1};
+  cellular::RadioConfig rc;
+  rc.interference_radius_hops = 1;
+  const RadioModel radio{net, rc};
+  SirController sir{radio};
+  sir.onPartitionChanged(cellular::CellGroupPartition{net, 7});
+  const AdmissionContext ctx{net.station(0), 0.0};
+  const CallRequest video = request(ServiceClass::Video, {8.5, 0.0});
+  EXPECT_TRUE(sir.decide(video, ctx).accept);  // quiet network
+  net.station(3).allocate(1, 40, true);        // eastern neighbour fills up
+  EXPECT_TRUE(sir.decide(video, ctx).accept)
+      << "pre-barrier decide must still see the snapshot";
+  const cellular::BarrierDrainStats stats = sir.onCommitBarrier(1.0);
+  EXPECT_EQ(stats.deltas_applied, 1u);  // exactly one cell changed
+  EXPECT_FALSE(sir.decide(video, ctx).accept)
+      << "post-barrier decide must see the loaded neighbour";
+  // Idle barrier: nothing changed, nothing reported.
+  EXPECT_EQ(sir.onCommitBarrier(2.0).deltas_applied, 0u);
+}
+
+TEST(SirController, UngroupedControllerIgnoresTheBarrierProtocol) {
+  // Radius 0 keeps the Global scope: the barrier hook must stay a strict
+  // no-op so a grouped-config run over a Global policy keeps the legacy
+  // metrics byte for byte.
+  const HexNetwork net{1};
+  const RadioModel radio{net};
+  SirController sir{radio};
+  sir.onPartitionChanged(cellular::CellGroupPartition{net, 7});
+  EXPECT_EQ(sir.onCommitBarrier(0.0).deltas_applied, 0u);
+  EXPECT_TRUE(sir.auditWorkload({120.0, 10.0}).empty());
+}
+
+TEST(SirController, AuditFlagsAMaterialTruncationTail) {
+  const HexNetwork net{2, 1.5};
+  cellular::RadioConfig rc;
+  rc.interference_radius_hops = 1;
+  const RadioModel aggressive{net, rc};
+  const std::string warning =
+      SirController{aggressive}.auditWorkload({120.0, 1.5});
+  ASSERT_FALSE(warning.empty());
+  EXPECT_NE(warning.find("radius=1"), std::string::npos);
+  // A footprint covering the whole disk truncates nothing: silent.
+  rc.interference_radius_hops = 4;
+  const RadioModel covering{net, rc};
+  EXPECT_TRUE(SirController{covering}.auditWorkload({120.0, 1.5}).empty());
+}
+
+TEST(SirController, RegistryBuiltSirForwardsTheFullProtocol) {
+  // The standalone wrapper must behave exactly like a directly-constructed
+  // controller: scope, partition/barrier hooks and the audit all reach the
+  // inner policy (forwarding only name/decide was the latent trap).
+  const HexNetwork net{1};
+  auto& runtime = cellular::PolicyRuntime::defaultRuntime();
+  const std::unique_ptr<cellular::AdmissionController> bounded =
+      runtime.makeController("sir:radius=1", net);
+  EXPECT_EQ(bounded->commitScope(), cellular::CommitScope::GroupLocal);
+  EXPECT_FALSE(bounded->auditWorkload({120.0, 10.0}).empty());
+  bounded->onPartitionChanged(cellular::CellGroupPartition{net, 7});
+  EXPECT_EQ(bounded->onCommitBarrier(0.0).deltas_applied, 0u);
+
+  const std::unique_ptr<cellular::AdmissionController> exact =
+      runtime.makeController("sir", net);
+  EXPECT_EQ(exact->commitScope(), cellular::CommitScope::Global);
+  EXPECT_TRUE(exact->auditWorkload({120.0, 10.0}).empty());
+
+  // Thresholds and radius compose in one spec.
+  const std::unique_ptr<cellular::AdmissionController> both =
+      runtime.makeController("sir:-3,1,5,radius=2", net);
+  EXPECT_EQ(both->commitScope(), cellular::CommitScope::GroupLocal);
+
+  EXPECT_THROW((void)runtime.makeController("sir:radius=-1", net),
+               cellular::PolicySpecError);
+  EXPECT_THROW((void)runtime.makeController("sir:radius=1,bogus=2", net),
+               cellular::PolicySpecError);
 }
 
 }  // namespace

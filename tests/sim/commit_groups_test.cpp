@@ -368,6 +368,116 @@ TEST(GroupLocalScc, RepartitionHysteresisSkipsLowGainEpochs) {
   expectBitIdentical(first, m, "hysteresis shards=4");
 }
 
+// -------------------------------------------------- GroupLocal SIR commits
+
+TEST(GroupLocalSir, CommitsFromAllLanesAndStaysDeterministic) {
+  // The bounded-footprint SIR contract: `sir:radius=R` is GroupLocal, so
+  // the engine keeps the full configured lane count (no Global degrade),
+  // the barrier-refreshed utilization snapshot shows up as demand_deltas,
+  // and the run is a pure function of (config, seed) — bit-identical at
+  // every shard count and on repeats.
+  for (const int groups : {2, 4}) {
+    SimulationConfig cfg = contestedConfig();
+    cfg.commit_groups = groups;
+    cfg.shards = 1;
+    const Metrics first =
+        SimulationBuilder{cfg}.policy("sir:radius=1").run();
+    EXPECT_EQ(first.commit_groups, groups);
+    EXPECT_GT(first.demand_deltas, 0u)
+        << "utilizations move every window: the snapshot refresh must "
+           "report changed cells";
+    for (const int shards : {2, 4}) {
+      cfg.shards = shards;
+      const Metrics m = SimulationBuilder{cfg}.policy("sir:radius=1").run();
+      expectBitIdentical(first, m, "sir groups=" + std::to_string(groups) +
+                                       " shards=" + std::to_string(shards));
+    }
+    cfg.shards = 1;
+    const Metrics again = SimulationBuilder{cfg}.policy("sir:radius=1").run();
+    expectBitIdentical(first, again,
+                       "sir repeated groups=" + std::to_string(groups));
+  }
+}
+
+TEST(GroupLocalSir, RadiusZeroStaysGlobalAndOnTheLegacyBits) {
+  // The exact whole-network sum cannot be partition-confined: a grouped
+  // config over plain `sir` must serialize to one lane with results (and
+  // metrics) identical to an explicit groups=1 run — the pre-grouping
+  // engine's bits, at any shard count.
+  SimulationConfig cfg = contestedConfig();
+  cfg.commit_groups = 4;
+  const Metrics grouped = SimulationBuilder{cfg}.policy("sir").run();
+  EXPECT_EQ(grouped.commit_groups, 1);
+  EXPECT_EQ(grouped.reservations_posted, 0u);
+  EXPECT_EQ(grouped.demand_deltas, 0u);
+  cfg.commit_groups = 1;
+  for (const int shards : {1, 4}) {
+    cfg.shards = shards;
+    const Metrics serial = SimulationBuilder{cfg}.policy("sir").run();
+    expectBitIdentical(serial, grouped,
+                       "sir radius=0 shards=" + std::to_string(shards));
+  }
+}
+
+TEST(GroupLocalSir, GroupsOneReadsEverythingLive) {
+  // At one group the snapshot never engages: decide() reads live ledgers
+  // exactly like the Global path, with zero barrier traffic — and the run
+  // is bit-identical at every shard count.
+  SimulationConfig cfg = contestedConfig();
+  cfg.commit_groups = 1;
+  cfg.shards = 1;
+  const Metrics serial = SimulationBuilder{cfg}.policy("sir:radius=1").run();
+  EXPECT_EQ(serial.commit_groups, 1);
+  EXPECT_EQ(serial.demand_deltas, 0u);
+  EXPECT_EQ(serial.reservations_posted, 0u);
+  cfg.shards = 4;
+  const Metrics sharded = SimulationBuilder{cfg}.policy("sir:radius=1").run();
+  expectBitIdentical(serial, sharded, "sir:radius=1 groups=1 shards=4");
+}
+
+TEST(GroupLocalSir, SurvivesAMigratingHotspotRepartition) {
+  // Grouped SIR + weighted partition + epoch re-partitioning + a hotspot
+  // that MOVES: boundary re-draws re-key the group map mid-run and re-prime
+  // the utilization snapshot. The books must still balance and the whole
+  // run must stay bit-identical across shard counts and repeats.
+  SimulationConfig cfg = hotspotConfig();
+  cfg.commit_groups = 4;
+  cfg.partition = PartitionStrategy::Weighted;
+  cfg.repartition_every_s = 50.0;
+  serve::ScenarioMutation cool;
+  cool.at_s = 180.0;
+  cool.op = serve::MutationOp::ArrivalScale;
+  cool.cell = 0;
+  cool.scale = 1.0;
+  serve::ScenarioMutation heat;
+  heat.at_s = 180.0;
+  heat.op = serve::MutationOp::ArrivalScale;
+  heat.cell = 4;
+  heat.scale = 12.0;
+  cfg.mutations.push_back(cool);
+  cfg.mutations.push_back(heat);
+  cfg.shards = 1;
+  const Metrics first = SimulationBuilder{cfg}.policy("sir:radius=1").run();
+  EXPECT_EQ(first.commit_groups, 4);
+  EXPECT_GT(first.repartitions, 0)
+      << "a migrating hotspot must trigger at least one boundary re-draw";
+  EXPECT_GT(first.demand_deltas, 0u);
+  EXPECT_EQ(first.mutations_applied, 2);
+  EXPECT_EQ(first.reservations_posted,
+            first.reservations_admitted + first.reservations_dropped);
+  EXPECT_EQ(first.handoff_requests,
+            first.handoff_accepted + first.handoff_dropped);
+  for (const int shards : {2, 4}) {
+    cfg.shards = shards;
+    const Metrics m = SimulationBuilder{cfg}.policy("sir:radius=1").run();
+    expectBitIdentical(first, m,
+                       "sir migrating shards=" + std::to_string(shards));
+  }
+  cfg.shards = 1;
+  const Metrics again = SimulationBuilder{cfg}.policy("sir:radius=1").run();
+  expectBitIdentical(first, again, "sir migrating repeat");
+}
+
 TEST(CommitGroups, GroupCountClampsToCellCount) {
   // 7 cells, 64 requested lanes: the partition clamps, the run reports
   // the effective count, and the result is exactly the 7-lane run.

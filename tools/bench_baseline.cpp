@@ -31,7 +31,12 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+#include <memory>
+
+#include "cellular/network.hpp"
 #include "cellular/policy_registry.hpp"
+#include "cellular/radio.hpp"
 #include "core/facs.hpp"
 #include "core/flc2.hpp"
 #include "serve/service.hpp"
@@ -287,18 +292,98 @@ int benchMicro(const std::string& path) {
     return 1;
   }
 
+  // The SIR decide path on the 19-cell study network (rings=2, 1.5 km
+  // cells), every station partially loaded. The det_ checksum walks the
+  // gain-table sinrDb over a position x serving-cell grid and is audited
+  // against the legacy log10+pow path-loss chain the tables replaced —
+  // the factorization is a reformulation, so the two sums must agree to
+  // numerical noise before the checksum may become a baseline.
+  cellular::HexNetwork net{2, 1.5};
+  {
+    cellular::CallId call = 1;
+    for (const cellular::Cell& c : net.cells()) {
+      net.station(c.id).allocate(
+          call++, 1 + static_cast<cellular::BandwidthUnits>(c.id * 7 % 29),
+          true);
+    }
+  }
+  const cellular::RadioModel radio{net};
+  const cellular::RadioConfig& rc = radio.config();
+  double sir_checksum = 0.0;
+  double legacy_checksum = 0.0;
+  for (const cellular::Cell& c : net.cells()) {
+    for (const double fx : {0.15, -0.4, 0.65}) {
+      for (const double fy : {0.3, -0.55}) {
+        const cellular::Vec2 pos{c.center.x + fx, c.center.y + fy};
+        sir_checksum += radio.sinrDb(pos, c.id);
+        double i_mw = cellular::dbmToMw(rc.noise_floor_dbm);
+        for (const cellular::Cell& o : net.cells()) {
+          if (o.id == c.id) continue;
+          const double activity =
+              rc.activity_factor * net.station(o.id).utilization();
+          if (activity <= 0.0) continue;
+          i_mw += activity *
+                  cellular::dbmToMw(
+                      rc.tx_power_dbm -
+                      cellular::pathLossDb(
+                          rc.path_loss, net.distanceToStationKm(pos, o.id)));
+        }
+        const double s_mw = cellular::dbmToMw(
+            rc.tx_power_dbm -
+            cellular::pathLossDb(rc.path_loss,
+                                 net.distanceToStationKm(pos, c.id)));
+        legacy_checksum += cellular::linearToDb(s_mw / i_mw);
+      }
+    }
+  }
+  if (std::abs(sir_checksum - legacy_checksum) > 1e-6) {
+    std::cerr << "bench_baseline: gain-table SINR diverged from the legacy "
+              << "formula (" << sim::shortestNumber(sir_checksum) << " vs "
+              << sim::shortestNumber(legacy_checksum) << ")\n";
+    return 1;
+  }
+
+  // Per-decision latency through the registry-built controller (the
+  // production route), radius 0: the exact whole-network sum.
+  const std::unique_ptr<cellular::AdmissionController> sir =
+      cellular::PolicyRuntime::defaultRuntime().makeController("sir", net);
+  cellular::CallRequest sir_request;
+  sir_request.service = cellular::ServiceClass::Voice;
+  sir_request.demand_bu = 2;
+  sir_request.target_cell = 0;
+  const cellular::AdmissionContext sir_context{net.station(0)};
+  const cellular::Vec2 probes[5] = {{0.15, 0.3},  {-0.6, 0.45}, {1.05, -0.15},
+                                    {-0.3, -0.9}, {0.75, 0.75}};
+  constexpr int kSirDecides = 200000;
+  double sir_score_sink = 0.0;
+  const auto t2 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kSirDecides; ++i) {
+    sir_request.snapshot.position = probes[i % 5];
+    sir_score_sink += sir->decide(sir_request, sir_context).score;
+  }
+  const double sir_decide_ns =
+      secondsSince(t2) * 1e9 / static_cast<double>(kSirDecides);
+  if (!std::isfinite(sir_score_sink)) {
+    std::cerr << "bench_baseline: SIR decide sweep produced a non-finite "
+              << "score sum\n";
+    return 1;
+  }
+
   FlatJson json;
   json.add("tolerance", 3.0);
   json.add("det_entries", static_cast<std::uint64_t>(entries));
   json.add("det_flc2_checksum", scalar_checksum);
+  json.add("det_sir_checksum", sir_checksum);
   json.add("perf_flc2_infer_ns", infer_ns);
   json.add("perf_facs_batch_ns", batch_ns);
+  json.add("perf_sir_decide_ns", sir_decide_ns);
   if (!json.writeTo(path)) {
     std::cerr << "bench_baseline: cannot write " << path << "\n";
     return 1;
   }
   std::cout << "wrote " << path << " (" << entries << " entries, "
-            << "infer " << infer_ns << " ns, batch " << batch_ns << " ns)\n";
+            << "infer " << infer_ns << " ns, batch " << batch_ns
+            << " ns, sir decide " << sir_decide_ns << " ns)\n";
   return 0;
 }
 
